@@ -1,0 +1,36 @@
+//! E1 benchmark: wall-clock cost of constructing shortcuts on planar and
+//! genus-g families (the table itself is produced by the `experiments`
+//! binary; this bench times the dominant computation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_core::construction::{doubling_search, DoublingConfig};
+use lcs_graph::{generators, NodeId, RootedTree};
+
+fn bench_e1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_quality");
+    group.sample_size(10);
+    for side in [8usize, 12, 16] {
+        let graph = generators::grid(side, side);
+        let tree = RootedTree::bfs(&graph, NodeId::new(0));
+        let partition = generators::partitions::grid_columns(side, side);
+        group.bench_with_input(BenchmarkId::new("grid_doubling", side), &side, |b, _| {
+            b.iter(|| {
+                doubling_search(&graph, &tree, &partition, DoublingConfig::new()).unwrap()
+            })
+        });
+    }
+    for genus in [1usize, 4] {
+        let graph = generators::genus_handles(12, 12, genus);
+        let tree = RootedTree::bfs(&graph, NodeId::new(0));
+        let partition = generators::partitions::grid_columns(12, 12);
+        group.bench_with_input(BenchmarkId::new("genus_doubling", genus), &genus, |b, _| {
+            b.iter(|| {
+                doubling_search(&graph, &tree, &partition, DoublingConfig::new()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

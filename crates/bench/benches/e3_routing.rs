@@ -1,0 +1,25 @@
+//! E3 benchmark: the Lemma 2 routing scheduler on overlapping subtree
+//! families of growing congestion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_core::routing::{convergecast_rounds, RoutingPriority, SubtreeSpec};
+use lcs_graph::{generators, NodeId, RootedTree};
+
+fn bench_e3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_routing");
+    group.sample_size(10);
+    let graph = generators::path(200);
+    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    let all: Vec<NodeId> = graph.nodes().collect();
+    for load in [2usize, 8, 32] {
+        let family: Vec<SubtreeSpec> =
+            (0..load).map(|_| SubtreeSpec::new(&tree, all.clone())).collect();
+        group.bench_with_input(BenchmarkId::new("overlapping_path", load), &load, |b, _| {
+            b.iter(|| convergecast_rounds(&tree, &family, RoutingPriority::BlockRootDepth))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E5 benchmark: CoreSlow (Algorithm 1) vs CoreFast (Algorithm 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_core::construction::{core_fast, core_slow, CoreFastConfig};
+use lcs_graph::{generators, NodeId, RootedTree};
+
+fn bench_e5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_core");
+    group.sample_size(10);
+    let graph = generators::grid(20, 20);
+    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    for parts in [20usize, 100] {
+        let partition = generators::partitions::random_bfs_balls(&graph, parts, 3);
+        let active = vec![true; partition.part_count()];
+        let congestion = parts / 2;
+        group.bench_with_input(BenchmarkId::new("core_slow", parts), &parts, |b, _| {
+            b.iter(|| core_slow(&graph, &tree, &partition, congestion, &active))
+        });
+        group.bench_with_input(BenchmarkId::new("core_fast", parts), &parts, |b, _| {
+            b.iter(|| {
+                core_fast(&graph, &tree, &partition, &CoreFastConfig::new(congestion), &active)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E6 benchmark: the Appendix A doubling search vs known parameters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_core::construction::{
+    doubling_search, DoublingConfig, FindShortcut, FindShortcutConfig,
+};
+use lcs_core::existential::reference_parameters;
+use lcs_graph::{generators, NodeId, RootedTree};
+
+fn bench_e6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_doubling");
+    group.sample_size(10);
+    for side in [8usize, 16] {
+        let graph = generators::grid(side, side);
+        let tree = RootedTree::bfs(&graph, NodeId::new(0));
+        let partition = generators::partitions::grid_columns(side, side);
+        let (_, reference) = reference_parameters(&graph, &tree, &partition);
+        let config = FindShortcutConfig::new(
+            reference.congestion.max(1),
+            reference.block_parameter.max(1),
+        );
+        group.bench_with_input(BenchmarkId::new("known_parameters", side), &side, |b, _| {
+            b.iter(|| FindShortcut::new(config).run(&graph, &tree, &partition).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("doubling", side), &side, |b, _| {
+            b.iter(|| {
+                doubling_search(&graph, &tree, &partition, DoublingConfig::new()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

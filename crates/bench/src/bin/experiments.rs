@@ -1,0 +1,30 @@
+//! Prints every experiment table of the reproduction (see EXPERIMENTS.md).
+//!
+//! Usage:
+//!   experiments            # run all experiments
+//!   experiments e1 e4      # run a subset
+
+use lcs_bench::{
+    e1_quality_table, e2_findshortcut_table, e3_routing_table, e4_mst_table, e5_core_table,
+    e6_doubling_table, e7_guarantees_table, render_table, Table,
+};
+
+fn main() {
+    let requested: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let all: Vec<(&str, fn() -> Table)> = vec![
+        ("e1", e1_quality_table),
+        ("e2", e2_findshortcut_table),
+        ("e3", e3_routing_table),
+        ("e4", e4_mst_table),
+        ("e5", e5_core_table),
+        ("e6", e6_doubling_table),
+        ("e7", e7_guarantees_table),
+    ];
+    for (name, build) in all {
+        if requested.is_empty() || requested.iter().any(|r| r == name) {
+            eprintln!("running {name}...");
+            let table = build();
+            println!("{}", render_table(&table));
+        }
+    }
+}

@@ -1,0 +1,502 @@
+//! The experiment tables E1–E7.
+
+use lcs_core::construction::{
+    core_fast, core_slow, doubling_search, CoreFastConfig, DoublingConfig, FindShortcut,
+    FindShortcutConfig,
+};
+use lcs_core::existential::reference_parameters;
+use lcs_core::routing::{convergecast_rounds, RoutingPriority, SubtreeSpec};
+use lcs_graph::{diameter_exact, generators, EdgeWeights, NodeId, Partition, RootedTree};
+use lcs_mst::{boruvka_mst, BoruvkaConfig, ShortcutStrategy};
+
+/// A rendered experiment table: a title, column headers and string rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment identifier and short description.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// One row per measurement.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// Renders a [`Table`] as aligned plain text.
+pub fn render_table(table: &Table) -> String {
+    let mut widths: Vec<usize> = table.headers.iter().map(String::len).collect();
+    for row in &table.rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("## {}\n", table.title));
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(&table.headers));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in &table.rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+fn grid_instance(side: usize) -> (lcs_graph::Graph, RootedTree, Partition) {
+    let graph = generators::grid(side, side);
+    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    let partition = generators::partitions::grid_columns(side, side);
+    (graph, tree, partition)
+}
+
+/// E1 — Theorem 1 / Corollary 1 shape: quality of constructed shortcuts on
+/// planar and genus-`g` families (grid-column partitions, doubling
+/// construction).
+pub fn e1_quality_table() -> Table {
+    let mut rows = Vec::new();
+    let mut push_row = |family: String, graph: &lcs_graph::Graph, partition: &Partition| {
+        let tree = RootedTree::bfs(graph, NodeId::new(0));
+        let result = doubling_search(graph, &tree, partition, DoublingConfig::new())
+            .expect("families in E1 admit shortcuts");
+        let q = result.shortcut.quality(graph, partition);
+        rows.push(vec![
+            family,
+            graph.node_count().to_string(),
+            diameter_exact(graph).to_string(),
+            partition.part_count().to_string(),
+            q.congestion.to_string(),
+            q.block_parameter.to_string(),
+            q.dilation.to_string(),
+            result.total_rounds().to_string(),
+        ]);
+    };
+
+    for side in [8usize, 12, 16, 24] {
+        let graph = generators::grid(side, side);
+        let partition = generators::partitions::grid_columns(side, side);
+        push_row(format!("grid {side}x{side} (genus 0)"), &graph, &partition);
+    }
+    for genus in [1usize, 2, 4, 8] {
+        let graph = generators::genus_handles(16, 16, genus);
+        let partition = generators::partitions::grid_columns(16, 16);
+        push_row(format!("16x16 + {genus} handles (genus <= {genus})"), &graph, &partition);
+    }
+    {
+        let graph = generators::torus(16, 16);
+        let partition = generators::partitions::grid_columns(16, 16);
+        push_row("torus 16x16 (genus 1)".to_string(), &graph, &partition);
+    }
+    {
+        let graph = generators::wheel(257);
+        let partition = generators::partitions::wheel_arcs(257, 16);
+        push_row("wheel W_257 (planar, D=2)".to_string(), &graph, &partition);
+    }
+
+    Table {
+        title: "E1: shortcut quality on planar / genus-g families (doubling construction)"
+            .to_string(),
+        headers: ["family", "n", "D", "N", "congestion", "block", "dilation", "rounds"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+    }
+}
+
+/// E2 — Theorem 3 shape: FindShortcut round count as the instance grows
+/// (grid side sweep and part-count sweep).
+pub fn e2_findshortcut_table() -> Table {
+    let mut rows = Vec::new();
+    for side in [8usize, 12, 16, 24, 32] {
+        let (graph, tree, partition) = grid_instance(side);
+        let (_, reference) = reference_parameters(&graph, &tree, &partition);
+        let config = FindShortcutConfig::new(
+            reference.congestion.max(1),
+            reference.block_parameter.max(1),
+        )
+        .with_seed(1);
+        let result = FindShortcut::new(config).run(&graph, &tree, &partition).unwrap();
+        let q = result.shortcut.quality(&graph, &partition);
+        rows.push(vec![
+            format!("grid {side}x{side}, columns"),
+            graph.node_count().to_string(),
+            tree.depth_of_tree().to_string(),
+            partition.part_count().to_string(),
+            format!("({}, {})", reference.congestion, reference.block_parameter),
+            result.iterations.to_string(),
+            result.total_rounds().to_string(),
+            q.congestion.to_string(),
+            q.block_parameter.to_string(),
+            result.all_parts_good.to_string(),
+        ]);
+    }
+    // Part-count sweep at fixed size: random BFS-ball partitions.
+    let side = 20usize;
+    let graph = generators::grid(side, side);
+    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    for parts in [5usize, 10, 20, 40, 80] {
+        let partition = generators::partitions::random_bfs_balls(&graph, parts, 7);
+        let (_, reference) = reference_parameters(&graph, &tree, &partition);
+        let config = FindShortcutConfig::new(
+            reference.congestion.max(1),
+            reference.block_parameter.max(1),
+        )
+        .with_seed(2);
+        let result = FindShortcut::new(config).run(&graph, &tree, &partition).unwrap();
+        let q = result.shortcut.quality(&graph, &partition);
+        rows.push(vec![
+            format!("grid {side}x{side}, {parts} BFS balls"),
+            graph.node_count().to_string(),
+            tree.depth_of_tree().to_string(),
+            parts.to_string(),
+            format!("({}, {})", reference.congestion, reference.block_parameter),
+            result.iterations.to_string(),
+            result.total_rounds().to_string(),
+            q.congestion.to_string(),
+            q.block_parameter.to_string(),
+            result.all_parts_good.to_string(),
+        ]);
+    }
+    Table {
+        title: "E2: FindShortcut (Theorem 3) scaling — rounds vs n, D and N".to_string(),
+        headers: [
+            "instance", "n", "depth(T)", "N", "(c, b) ref", "iterations", "rounds",
+            "out congestion", "out block", "all good",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows,
+    }
+}
+
+/// E3 — Lemma 2 / Theorem 2 shape: routing rounds versus `D + c`.
+pub fn e3_routing_table() -> Table {
+    let mut rows = Vec::new();
+    // Overlapping copies of a path subtree: congestion grows, depth fixed.
+    let graph = generators::path(200);
+    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    let all: Vec<NodeId> = graph.nodes().collect();
+    for c in [1usize, 2, 4, 8, 16, 32] {
+        let family: Vec<SubtreeSpec> =
+            (0..c).map(|_| SubtreeSpec::new(&tree, all.clone())).collect();
+        let lemma2 = convergecast_rounds(&tree, &family, RoutingPriority::BlockRootDepth);
+        let reverse = convergecast_rounds(&tree, &family, RoutingPriority::ReverseDepth);
+        rows.push(vec![
+            format!("path_200, {c} overlapping subtrees"),
+            tree.depth_of_tree().to_string(),
+            c.to_string(),
+            lemma2.rounds.to_string(),
+            (u64::from(tree.depth_of_tree()) + c as u64).to_string(),
+            reverse.rounds.to_string(),
+        ]);
+    }
+    // Nested suffixes on a deeper path: priority rule matters more.
+    let graph = generators::path(240);
+    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    for c in [8usize, 16, 32] {
+        let family: Vec<SubtreeSpec> = (0..c)
+            .map(|k| {
+                SubtreeSpec::new(&tree, (k * (240 / c)..240).map(NodeId::new).collect())
+            })
+            .collect();
+        let lemma2 = convergecast_rounds(&tree, &family, RoutingPriority::BlockRootDepth);
+        let reverse = convergecast_rounds(&tree, &family, RoutingPriority::ReverseDepth);
+        rows.push(vec![
+            format!("path_240, {c} nested suffixes"),
+            tree.depth_of_tree().to_string(),
+            lemma2.max_edge_load.to_string(),
+            lemma2.rounds.to_string(),
+            (u64::from(tree.depth_of_tree()) + lemma2.max_edge_load as u64).to_string(),
+            reverse.rounds.to_string(),
+        ]);
+    }
+    Table {
+        title: "E3: Lemma 2 tree routing — measured rounds vs the D + c bound (and the reverse-priority ablation)".to_string(),
+        headers: ["family", "D", "c", "rounds (Lemma 2 priority)", "D + c bound", "rounds (reverse priority)"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+    }
+}
+
+/// E4 — Lemma 4 shape: distributed MST rounds, shortcuts vs baselines.
+///
+/// Reports both the total rounds (which include the per-phase shortcut
+/// construction) and the routing-only rounds (the cost of the per-part
+/// minimum-outgoing-edge exchanges, the quantity Lemma 4's comparison is
+/// about: `O(D·polylog)` with shortcuts versus the part diameter without).
+pub fn e4_mst_table() -> Table {
+    /// Sum of the "min-outgoing-edge" entries of a run's cost breakdown.
+    fn routing_rounds(outcome: &lcs_mst::MstOutcome) -> u64 {
+        outcome
+            .cost
+            .entries()
+            .iter()
+            .filter(|(label, _)| label.contains("min-outgoing-edge"))
+            .map(|(_, rounds)| rounds)
+            .sum()
+    }
+
+    let mut rows = Vec::new();
+    let mut push_row = |family: &str, graph: &lcs_graph::Graph, seed: u64| {
+        let weights = EdgeWeights::random_permutation(graph, seed);
+        let reference = lcs_graph::kruskal_mst(graph, &weights);
+        let mut cells = vec![
+            family.to_string(),
+            graph.node_count().to_string(),
+            diameter_exact(graph).to_string(),
+        ];
+        let mut routing = Vec::new();
+        for strategy in [
+            ShortcutStrategy::Doubling,
+            ShortcutStrategy::NoShortcut,
+            ShortcutStrategy::WholeTree,
+        ] {
+            let outcome =
+                boruvka_mst(graph, &weights, &BoruvkaConfig::new(strategy).with_seed(seed))
+                    .expect("MST succeeds");
+            assert_eq!(outcome.edges, reference, "distributed MST must match Kruskal");
+            cells.push(outcome.total_rounds().to_string());
+            if matches!(strategy, ShortcutStrategy::Doubling) {
+                cells.push(outcome.phases.to_string());
+            }
+            if !matches!(strategy, ShortcutStrategy::WholeTree) {
+                routing.push(routing_rounds(&outcome).to_string());
+            }
+        }
+        cells.extend(routing);
+        rows.push(cells);
+    };
+
+    push_row("wheel W_129 (D=2)", &generators::wheel(129), 3);
+    push_row("wheel W_257 (D=2)", &generators::wheel(257), 4);
+    push_row("wheel W_513 (D=2)", &generators::wheel(513), 5);
+    push_row("wheel W_1025 (D=2)", &generators::wheel(1025), 10);
+    push_row("grid 12x12", &generators::grid(12, 12), 6);
+    push_row("grid 16x16", &generators::grid(16, 16), 7);
+    push_row("torus 12x12 (genus 1)", &generators::torus(12, 12), 8);
+    let (lb, _) = generators::lower_bound_graph(8, 32);
+    push_row("lower-bound graph 8x32 (hard)", &lb, 9);
+
+    Table {
+        title: "E4: distributed Boruvka MST (Lemma 4) — rounds by shortcut strategy (totals include per-phase construction; 'routing' columns isolate the per-part min-edge exchanges)"
+            .to_string(),
+        headers: [
+            "family", "n", "D", "doubling total", "phases", "no-shortcut total",
+            "whole-tree total", "shortcut routing", "baseline routing",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows,
+    }
+}
+
+/// E5 — Lemmas 5 and 7: CoreSlow vs CoreFast rounds and output quality.
+pub fn e5_core_table() -> Table {
+    let mut rows = Vec::new();
+    let side = 20usize;
+    let graph = generators::grid(side, side);
+    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    for parts in [10usize, 25, 50, 100, 200] {
+        let partition = generators::partitions::random_bfs_balls(&graph, parts, 3);
+        let active = vec![true; partition.part_count()];
+        let (_, reference) = reference_parameters(&graph, &tree, &partition);
+        let c = reference.congestion.max(1);
+        let b = reference.block_parameter.max(1);
+        let slow = core_slow(&graph, &tree, &partition, c, &active);
+        let fast =
+            core_fast(&graph, &tree, &partition, &CoreFastConfig::new(c).with_seed(5), &active);
+        let good = |shortcut: &lcs_core::TreeShortcut| {
+            shortcut
+                .block_counts(&graph, &partition)
+                .iter()
+                .filter(|&&k| k <= 3 * b)
+                .count()
+        };
+        let max_assign = |outcome: &lcs_core::construction::CoreOutcome| {
+            graph
+                .edge_ids()
+                .map(|e| outcome.shortcut.parts_on_edge(e).len())
+                .max()
+                .unwrap_or(0)
+        };
+        rows.push(vec![
+            format!("grid {side}x{side}, {parts} BFS balls"),
+            format!("({c}, {b})"),
+            slow.rounds.to_string(),
+            fast.rounds.to_string(),
+            format!("{}/{}", good(&slow.shortcut), parts),
+            format!("{}/{}", good(&fast.shortcut), parts),
+            format!("{} (<= {})", max_assign(&slow), 2 * c),
+            max_assign(&fast).to_string(),
+        ]);
+    }
+    Table {
+        title: "E5: CoreSlow (Lemma 7) vs CoreFast (Lemma 5) — rounds, good parts, max edge assignment".to_string(),
+        headers: [
+            "instance", "(c, b) ref", "slow rounds", "fast rounds", "slow good", "fast good",
+            "slow max/edge", "fast max/edge",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows,
+    }
+}
+
+/// E6 — Appendix A: overhead of the doubling search versus known
+/// parameters.
+pub fn e6_doubling_table() -> Table {
+    let mut rows = Vec::new();
+    for side in [8usize, 16, 24] {
+        let (graph, tree, partition) = grid_instance(side);
+        let (_, reference) = reference_parameters(&graph, &tree, &partition);
+        let known = FindShortcut::new(
+            FindShortcutConfig::new(reference.congestion.max(1), reference.block_parameter.max(1))
+                .with_seed(3),
+        )
+        .run(&graph, &tree, &partition)
+        .unwrap();
+        let unknown =
+            doubling_search(&graph, &tree, &partition, DoublingConfig::new().with_seed(3)).unwrap();
+        rows.push(vec![
+            format!("grid {side}x{side}, columns"),
+            format!("({}, {})", reference.congestion, reference.block_parameter),
+            known.total_rounds().to_string(),
+            format!("({}, {})", unknown.congestion_guess, unknown.block_guess),
+            unknown.attempts.len().to_string(),
+            unknown.total_rounds().to_string(),
+            format!("{:.2}", unknown.total_rounds() as f64 / known.total_rounds().max(1) as f64),
+        ]);
+    }
+    Table {
+        title: "E6: Appendix A doubling search vs known parameters".to_string(),
+        headers: [
+            "instance", "(c, b) known", "rounds (known)", "(c, b) found", "attempts",
+            "rounds (doubling)", "overhead",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows,
+    }
+}
+
+/// E7 — guarantee validation across families: congestion ≤ 8c·iterations,
+/// block ≤ 3b, dilation ≤ b(2D+1).
+pub fn e7_guarantees_table() -> Table {
+    let mut rows = Vec::new();
+    let mut check = |family: &str,
+                     graph: &lcs_graph::Graph,
+                     tree: &RootedTree,
+                     partition: &Partition| {
+        let (_, reference) = reference_parameters(graph, tree, partition);
+        let c = reference.congestion.max(1);
+        let b = reference.block_parameter.max(1);
+        let result = FindShortcut::new(FindShortcutConfig::new(c, b).with_seed(9))
+            .run(graph, tree, partition)
+            .unwrap();
+        let q = result.shortcut.quality(graph, partition);
+        let congestion_bound = 8 * c * result.iterations.max(1) + 1;
+        rows.push(vec![
+            family.to_string(),
+            format!("({c}, {b})"),
+            result.all_parts_good.to_string(),
+            format!("{} <= {}", q.block_parameter, 3 * b),
+            (q.block_parameter <= 3 * b).to_string(),
+            format!("{} <= {}", q.congestion, congestion_bound),
+            (q.congestion <= congestion_bound).to_string(),
+            q.satisfies_lemma1(tree.depth_of_tree()).to_string(),
+        ]);
+    };
+
+    for side in [8usize, 16] {
+        let (graph, tree, partition) = grid_instance(side);
+        check(&format!("grid {side}x{side}, columns"), &graph, &tree, &partition);
+    }
+    {
+        let graph = generators::torus(12, 12);
+        let tree = RootedTree::bfs(&graph, NodeId::new(0));
+        let partition = generators::partitions::random_bfs_balls(&graph, 12, 2);
+        check("torus 12x12, 12 BFS balls", &graph, &tree, &partition);
+    }
+    {
+        let graph = generators::wheel(129);
+        let tree = RootedTree::bfs(&graph, NodeId::new(0));
+        let partition = generators::partitions::wheel_arcs(129, 8);
+        check("wheel W_129, 8 arcs", &graph, &tree, &partition);
+    }
+    {
+        let graph = generators::genus_handles(16, 16, 4);
+        let tree = RootedTree::bfs(&graph, NodeId::new(0));
+        let partition = generators::partitions::grid_columns(16, 16);
+        check("16x16 + 4 handles, columns", &graph, &tree, &partition);
+    }
+    {
+        let graph = generators::caterpillar(40, 3);
+        let tree = RootedTree::bfs(&graph, NodeId::new(0));
+        let partition = generators::partitions::random_bfs_balls(&graph, 10, 4);
+        check("caterpillar 40x3, 10 BFS balls", &graph, &tree, &partition);
+    }
+
+    Table {
+        title: "E7: Theorem 3 / Lemma 1 guarantee validation across families".to_string(),
+        headers: [
+            "family", "(c, b) ref", "all good", "block <= 3b", "ok", "congestion <= 8c*iter",
+            "ok", "Lemma 1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let table = Table {
+            title: "demo".to_string(),
+            headers: vec!["a".to_string(), "long-header".to_string()],
+            rows: vec![vec!["1".to_string(), "2".to_string()]],
+        };
+        let text = render_table(&table);
+        assert!(text.contains("## demo"));
+        assert!(text.contains("long-header"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn e3_routing_table_respects_the_bound() {
+        let table = e3_routing_table();
+        assert!(!table.rows.is_empty());
+        for row in &table.rows {
+            let rounds: u64 = row[3].parse().unwrap();
+            let bound: u64 = row[4].parse().unwrap();
+            assert!(rounds <= bound, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn e7_guarantees_all_hold() {
+        let table = e7_guarantees_table();
+        for row in &table.rows {
+            assert_eq!(row[4], "true", "{row:?}");
+            assert_eq!(row[6], "true", "{row:?}");
+            assert_eq!(row[7], "true", "{row:?}");
+        }
+    }
+}

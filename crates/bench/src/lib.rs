@@ -1,0 +1,22 @@
+//! Experiment harness for the low-congestion shortcuts reproduction.
+//!
+//! The paper is a theory paper with no numeric tables, so each experiment
+//! here regenerates the quantitative content of one theorem or lemma as a
+//! table over a parameter sweep (see `DESIGN.md` §5 and `EXPERIMENTS.md`).
+//! The same functions back the `experiments` binary (which prints the
+//! tables) and the Criterion benches (which time the underlying
+//! computations).
+//!
+//! Every row reports *measured* quantities: round counts come from the
+//! exact schedules executed by `lcs-core`/`lcs-mst`, and quality figures are
+//! measured on the constructed shortcuts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{
+    e1_quality_table, e2_findshortcut_table, e3_routing_table, e4_mst_table, e5_core_table,
+    e6_doubling_table, e7_guarantees_table, render_table, Table,
+};

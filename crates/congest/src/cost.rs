@@ -1,0 +1,104 @@
+//! Round-cost accounting for composite algorithms.
+//!
+//! The paper builds its algorithms by composing subroutines ("run CoreFast,
+//! then Verification, repeat O(log N) times; each Boruvka phase runs a
+//! shortcut construction followed by a convergecast…"). [`RoundCost`]
+//! mirrors that structure: each executed subroutine contributes its exact
+//! simulated round count under a label, and the total is the sum — so the
+//! reported complexity of a composite algorithm is the sum of the rounds of
+//! the pieces it actually executed, never an asymptotic formula.
+
+use std::fmt;
+
+/// An accumulator of CONGEST rounds, broken down by labelled phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundCost {
+    entries: Vec<(String, u64)>,
+}
+
+impl RoundCost {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `rounds` rounds under the given label.
+    pub fn charge(&mut self, label: impl Into<String>, rounds: u64) {
+        self.entries.push((label.into(), rounds));
+    }
+
+    /// Merges another accumulator into this one, preserving its breakdown.
+    pub fn merge(&mut self, other: RoundCost) {
+        self.entries.extend(other.entries);
+    }
+
+    /// Total number of rounds charged so far.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|(_, r)| r).sum()
+    }
+
+    /// The individual `(label, rounds)` entries in charge order.
+    pub fn entries(&self) -> &[(String, u64)] {
+        &self.entries
+    }
+
+    /// Sums the rounds of all entries whose label starts with `prefix`.
+    pub fn total_for_prefix(&self, prefix: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|(l, _)| l.starts_with(prefix))
+            .map(|(_, r)| r)
+            .sum()
+    }
+}
+
+impl fmt::Display for RoundCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total rounds: {}", self.total())?;
+        for (label, rounds) in &self.entries {
+            writeln!(f, "  {label}: {rounds}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_breakdown() {
+        let mut cost = RoundCost::new();
+        cost.charge("bfs", 10);
+        cost.charge("core/iteration-0", 25);
+        cost.charge("core/iteration-1", 30);
+        assert_eq!(cost.total(), 65);
+        assert_eq!(cost.total_for_prefix("core/"), 55);
+        assert_eq!(cost.entries().len(), 3);
+    }
+
+    #[test]
+    fn merge_preserves_entries() {
+        let mut a = RoundCost::new();
+        a.charge("x", 1);
+        let mut b = RoundCost::new();
+        b.charge("y", 2);
+        a.merge(b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.entries()[1].0, "y");
+    }
+
+    #[test]
+    fn display_includes_total_and_labels() {
+        let mut cost = RoundCost::new();
+        cost.charge("phase", 7);
+        let text = cost.to_string();
+        assert!(text.contains("total rounds: 7"));
+        assert!(text.contains("phase: 7"));
+    }
+
+    #[test]
+    fn empty_cost_is_zero() {
+        assert_eq!(RoundCost::new().total(), 0);
+    }
+}

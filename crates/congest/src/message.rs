@@ -1,0 +1,99 @@
+//! Message size accounting.
+//!
+//! In the CONGEST model a message carries `O(log n)` bits. Protocols declare
+//! the size of their messages via [`MessageBits`]; the simulator rejects any
+//! message larger than the configured per-round bandwidth, which catches
+//! protocols that accidentally stuff a whole neighborhood into one message.
+
+/// Number of bits needed to address one of `count` distinct values
+/// (at least 1 even for trivial domains, so that "empty" messages still
+/// cost something).
+pub fn bits_for_count(count: usize) -> usize {
+    ((usize::BITS - count.saturating_sub(1).leading_zeros()) as usize).max(1)
+}
+
+/// Number of bits of a node, edge or part identifier in a graph with
+/// `node_count` nodes: `⌈log₂ n⌉`, at least 1.
+pub fn bits_for_node_count(node_count: usize) -> usize {
+    bits_for_count(node_count.max(2))
+}
+
+/// Types that know their own size in bits when serialized into a CONGEST
+/// message.
+///
+/// Implementations should return the size of the *encoded* message, not of
+/// the in-memory representation; identifiers count as `⌈log₂ n⌉` bits,
+/// booleans and tags as a constant number of bits.
+pub trait MessageBits {
+    /// Size of this message in bits.
+    fn size_bits(&self) -> usize;
+}
+
+impl MessageBits for () {
+    fn size_bits(&self) -> usize {
+        1
+    }
+}
+
+impl MessageBits for bool {
+    fn size_bits(&self) -> usize {
+        1
+    }
+}
+
+impl MessageBits for u32 {
+    fn size_bits(&self) -> usize {
+        32
+    }
+}
+
+impl MessageBits for u64 {
+    fn size_bits(&self) -> usize {
+        64
+    }
+}
+
+impl<A: MessageBits, B: MessageBits> MessageBits for (A, B) {
+    fn size_bits(&self) -> usize {
+        self.0.size_bits() + self.1.size_bits()
+    }
+}
+
+impl<T: MessageBits> MessageBits for Option<T> {
+    fn size_bits(&self) -> usize {
+        1 + self.as_ref().map_or(0, MessageBits::size_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_count_is_ceil_log2() {
+        assert_eq!(bits_for_count(2), 1);
+        assert_eq!(bits_for_count(3), 2);
+        assert_eq!(bits_for_count(4), 2);
+        assert_eq!(bits_for_count(5), 3);
+        assert_eq!(bits_for_count(1024), 10);
+        assert_eq!(bits_for_count(1025), 11);
+    }
+
+    #[test]
+    fn bits_for_node_count_has_a_floor() {
+        assert_eq!(bits_for_node_count(0), 1);
+        assert_eq!(bits_for_node_count(1), 1);
+        assert_eq!(bits_for_node_count(2), 1);
+        assert_eq!(bits_for_node_count(1_000_000), 20);
+    }
+
+    #[test]
+    fn composite_message_sizes_add_up() {
+        assert_eq!(().size_bits(), 1);
+        assert_eq!(true.size_bits(), 1);
+        assert_eq!(7u32.size_bits(), 32);
+        assert_eq!((7u32, false).size_bits(), 33);
+        assert_eq!(Some(3u64).size_bits(), 65);
+        assert_eq!(None::<u64>.size_bits(), 1);
+    }
+}

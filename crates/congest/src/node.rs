@@ -1,0 +1,107 @@
+//! Per-node protocol interface.
+
+use lcs_graph::{EdgeId, NodeId};
+
+/// Static information a node knows about itself at wake-up time.
+///
+/// This mirrors the paper's model: "initially, nodes only know their
+/// immediate neighbors" plus a polynomially tight bound on `n` (needed to
+/// size `O(log n)`-bit messages).
+#[derive(Debug, Clone)]
+pub struct NodeContext {
+    /// This node's identifier.
+    pub node: NodeId,
+    /// Adjacent `(neighbor, edge)` pairs.
+    pub neighbors: Vec<(NodeId, EdgeId)>,
+    /// A publicly known upper bound on the number of nodes in the network.
+    pub node_count_bound: usize,
+}
+
+impl NodeContext {
+    /// Degree of this node.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Returns the edge towards `neighbor`, if adjacent.
+    pub fn edge_to(&self, neighbor: NodeId) -> Option<EdgeId> {
+        self.neighbors.iter().find(|(v, _)| *v == neighbor).map(|&(_, e)| e)
+    }
+}
+
+/// A message being sent by a node during a round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outgoing<M> {
+    /// The neighbor the message is addressed to.
+    pub to: NodeId,
+    /// The message payload.
+    pub msg: M,
+}
+
+impl<M> Outgoing<M> {
+    /// Convenience constructor.
+    pub fn new(to: NodeId, msg: M) -> Self {
+        Outgoing { to, msg }
+    }
+}
+
+/// A message received by a node at the start of a round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incoming<M> {
+    /// The neighbor the message came from.
+    pub from: NodeId,
+    /// The edge it traveled over.
+    pub edge: EdgeId,
+    /// The message payload.
+    pub msg: M,
+}
+
+/// A per-node state machine executed by the [`crate::Simulator`].
+///
+/// The simulator calls [`NodeProtocol::init`] once for every node before the
+/// first round and then [`NodeProtocol::on_round`] every round, passing the
+/// messages delivered to the node in that round. Execution stops when every
+/// node reports [`NodeProtocol::is_done`] and no messages are in flight.
+pub trait NodeProtocol {
+    /// The message type exchanged by this protocol.
+    type Message: Clone + crate::MessageBits;
+
+    /// Called once before round 1; may already send messages.
+    fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<Self::Message>>;
+
+    /// Called once per round with all messages delivered this round.
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext,
+        round: u64,
+        incoming: &[Incoming<Self::Message>],
+    ) -> Vec<Outgoing<Self::Message>>;
+
+    /// Whether this node has reached a quiescent state. A quiescent node may
+    /// still be woken again by incoming messages in later rounds.
+    fn is_done(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_context_lookup() {
+        let ctx = NodeContext {
+            node: NodeId::new(3),
+            neighbors: vec![(NodeId::new(1), EdgeId::new(0)), (NodeId::new(5), EdgeId::new(7))],
+            node_count_bound: 10,
+        };
+        assert_eq!(ctx.degree(), 2);
+        assert_eq!(ctx.edge_to(NodeId::new(5)), Some(EdgeId::new(7)));
+        assert_eq!(ctx.edge_to(NodeId::new(2)), None);
+    }
+
+    #[test]
+    fn outgoing_constructor() {
+        let out = Outgoing::new(NodeId::new(2), 7u32);
+        assert_eq!(out.to, NodeId::new(2));
+        assert_eq!(out.msg, 7);
+    }
+}

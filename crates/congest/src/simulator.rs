@@ -1,0 +1,363 @@
+//! The synchronous round loop.
+
+use lcs_graph::Graph;
+
+use crate::{Incoming, MessageBits, NodeContext, NodeProtocol, Outgoing, SimError};
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Per-edge, per-direction, per-round bandwidth in bits (the `O(log n)`
+    /// of the CONGEST model).
+    pub bandwidth_bits: usize,
+    /// Hard cap on the number of simulated rounds; exceeding it is reported
+    /// as [`SimError::RoundLimitExceeded`] so buggy protocols fail loudly
+    /// instead of spinning forever.
+    pub max_rounds: u64,
+}
+
+impl SimConfig {
+    /// A standard CONGEST configuration for the given graph: bandwidth
+    /// `4⌈log₂ n⌉ + 64` bits (room for a tagged identifier pair plus a
+    /// 64-bit value, the usual "O(log n) bits" reading) and a generous round
+    /// cap of `64 · n + 1024`.
+    pub fn for_graph(graph: &Graph) -> Self {
+        let id_bits = crate::bits_for_node_count(graph.node_count());
+        SimConfig {
+            bandwidth_bits: 4 * id_bits + 64,
+            max_rounds: 64 * graph.node_count() as u64 + 1024,
+        }
+    }
+
+    /// Overrides the round cap.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Overrides the bandwidth.
+    pub fn with_bandwidth_bits(mut self, bandwidth_bits: usize) -> Self {
+        self.bandwidth_bits = bandwidth_bits;
+        self
+    }
+}
+
+/// Aggregate statistics of a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Number of synchronous rounds executed until quiescence.
+    pub rounds: u64,
+    /// Total number of messages delivered.
+    pub messages: u64,
+    /// Total number of message bits delivered.
+    pub total_bits: u64,
+    /// Largest single message observed, in bits.
+    pub max_message_bits: usize,
+}
+
+/// The result of running a protocol to quiescence.
+#[derive(Debug, Clone)]
+pub struct SimOutcome<P> {
+    /// The final per-node protocol states, indexed by node id.
+    pub nodes: Vec<P>,
+    /// Run statistics (rounds, messages, bits).
+    pub stats: SimStats,
+}
+
+/// A synchronous CONGEST simulator bound to a graph.
+#[derive(Debug, Clone)]
+pub struct Simulator<'g> {
+    graph: &'g Graph,
+    config: SimConfig,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator for `graph` with the given configuration.
+    pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
+        Simulator { graph, config }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> SimConfig {
+        self.config
+    }
+
+    /// Runs a protocol to quiescence: every node is instantiated via
+    /// `factory`, `init` is called once, and rounds are executed until no
+    /// node has pending work and no message is in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a node violates the CONGEST constraints (sends to
+    /// a non-neighbor, sends twice over the same edge in a round, or exceeds
+    /// the bandwidth), or if the round cap is reached.
+    pub fn run<P, F>(&self, mut factory: F) -> crate::Result<SimOutcome<P>>
+    where
+        P: NodeProtocol,
+        F: FnMut(&NodeContext) -> P,
+    {
+        let n = self.graph.node_count();
+        let contexts: Vec<NodeContext> = self
+            .graph
+            .nodes()
+            .map(|v| NodeContext {
+                node: v,
+                neighbors: self.graph.neighbors(v).collect(),
+                node_count_bound: n,
+            })
+            .collect();
+        let mut nodes: Vec<P> = contexts.iter().map(&mut factory).collect();
+        let mut stats = SimStats::default();
+
+        // Mailboxes for the next round, indexed by recipient.
+        let mut inboxes: Vec<Vec<Incoming<P::Message>>> = vec![Vec::new(); n];
+
+        // Initialization: nodes may already emit messages.
+        for (state, ctx) in nodes.iter_mut().zip(&contexts) {
+            let outgoing = state.init(ctx);
+            self.post(ctx, outgoing, 0, &mut inboxes, &mut stats)?;
+        }
+
+        let mut round: u64 = 0;
+        loop {
+            let in_flight: usize = inboxes.iter().map(Vec::len).sum();
+            let all_done = nodes.iter().all(NodeProtocol::is_done);
+            if in_flight == 0 && all_done {
+                break;
+            }
+            if round >= self.config.max_rounds {
+                return Err(SimError::RoundLimitExceeded { limit: self.config.max_rounds });
+            }
+            round += 1;
+
+            // Deliver this round's messages and collect next round's sends.
+            let current: Vec<Vec<Incoming<P::Message>>> =
+                std::mem::replace(&mut inboxes, vec![Vec::new(); n]);
+            for (idx, incoming) in current.into_iter().enumerate() {
+                let ctx = &contexts[idx];
+                let outgoing = nodes[idx].on_round(ctx, round, &incoming);
+                self.post(ctx, outgoing, round, &mut inboxes, &mut stats)?;
+            }
+        }
+
+        stats.rounds = round;
+        Ok(SimOutcome { nodes, stats })
+    }
+
+    /// Validates and enqueues a node's outgoing messages.
+    fn post<M: Clone + MessageBits>(
+        &self,
+        ctx: &NodeContext,
+        outgoing: Vec<Outgoing<M>>,
+        round: u64,
+        inboxes: &mut [Vec<Incoming<M>>],
+        stats: &mut SimStats,
+    ) -> crate::Result<()> {
+        let mut sent_to = Vec::with_capacity(outgoing.len());
+        for out in outgoing {
+            let edge = ctx
+                .edge_to(out.to)
+                .ok_or(SimError::NotANeighbor { from: ctx.node, to: out.to })?;
+            if sent_to.contains(&out.to) {
+                return Err(SimError::DuplicateSend { from: ctx.node, to: out.to, round });
+            }
+            sent_to.push(out.to);
+            let bits = out.msg.size_bits();
+            if bits > self.config.bandwidth_bits {
+                return Err(SimError::BandwidthExceeded {
+                    from: ctx.node,
+                    to: out.to,
+                    message_bits: bits,
+                    bandwidth_bits: self.config.bandwidth_bits,
+                });
+            }
+            stats.messages += 1;
+            stats.total_bits += bits as u64;
+            stats.max_message_bits = stats.max_message_bits.max(bits);
+            inboxes[out.to.index()].push(Incoming { from: ctx.node, edge, msg: out.msg });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_graph::{generators, NodeId};
+
+    /// A protocol where every node floods a token once and counts how many
+    /// tokens it receives.
+    #[derive(Debug)]
+    struct FloodOnce {
+        received: usize,
+        started: bool,
+    }
+
+    impl NodeProtocol for FloodOnce {
+        type Message = ();
+
+        fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<()>> {
+            self.started = true;
+            ctx.neighbors.iter().map(|&(v, _)| Outgoing::new(v, ())).collect()
+        }
+
+        fn on_round(&mut self, _ctx: &NodeContext, _round: u64, incoming: &[Incoming<()>]) -> Vec<Outgoing<()>> {
+            self.received += incoming.len();
+            Vec::new()
+        }
+
+        fn is_done(&self) -> bool {
+            self.started
+        }
+    }
+
+    #[test]
+    fn flood_once_delivers_one_message_per_edge_direction() {
+        let g = generators::cycle(8);
+        let sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let outcome = sim.run(|_| FloodOnce { received: 0, started: false }).unwrap();
+        assert_eq!(outcome.stats.rounds, 1);
+        assert_eq!(outcome.stats.messages, 2 * g.edge_count() as u64);
+        for node in &outcome.nodes {
+            assert_eq!(node.received, 2);
+        }
+    }
+
+    /// A protocol that (incorrectly) sends to a fixed node id regardless of
+    /// adjacency, to exercise error reporting.
+    #[derive(Debug)]
+    struct BadSender;
+
+    impl NodeProtocol for BadSender {
+        type Message = ();
+
+        fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<()>> {
+            if ctx.node == NodeId::new(0) {
+                vec![Outgoing::new(NodeId::new(3), ())]
+            } else {
+                Vec::new()
+            }
+        }
+
+        fn on_round(&mut self, _: &NodeContext, _: u64, _: &[Incoming<()>]) -> Vec<Outgoing<()>> {
+            Vec::new()
+        }
+
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn sending_to_non_neighbor_is_rejected() {
+        // Path 0-1-2-3: node 0 is not adjacent to node 3.
+        let g = generators::path(4);
+        let sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let err = sim.run(|_| BadSender).unwrap_err();
+        assert_eq!(err, SimError::NotANeighbor { from: NodeId::new(0), to: NodeId::new(3) });
+    }
+
+    /// A protocol that sends one oversized message.
+    #[derive(Debug)]
+    struct BigTalker;
+
+    impl NodeProtocol for BigTalker {
+        type Message = (u64, u64);
+
+        fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<(u64, u64)>> {
+            ctx.neighbors
+                .iter()
+                .take(1)
+                .map(|&(v, _)| Outgoing::new(v, (0, 0)))
+                .collect()
+        }
+
+        fn on_round(
+            &mut self,
+            _: &NodeContext,
+            _: u64,
+            _: &[Incoming<(u64, u64)>],
+        ) -> Vec<Outgoing<(u64, u64)>> {
+            Vec::new()
+        }
+
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn oversized_messages_are_rejected() {
+        let g = generators::path(3);
+        let sim = Simulator::new(&g, SimConfig::for_graph(&g).with_bandwidth_bits(32));
+        let err = sim.run(|_| BigTalker).unwrap_err();
+        assert!(matches!(err, SimError::BandwidthExceeded { message_bits: 128, .. }));
+    }
+
+    /// A protocol that never terminates (always has pending work).
+    #[derive(Debug)]
+    struct Restless;
+
+    impl NodeProtocol for Restless {
+        type Message = ();
+
+        fn init(&mut self, _: &NodeContext) -> Vec<Outgoing<()>> {
+            Vec::new()
+        }
+
+        fn on_round(&mut self, _: &NodeContext, _: u64, _: &[Incoming<()>]) -> Vec<Outgoing<()>> {
+            Vec::new()
+        }
+
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        let g = generators::path(2);
+        let sim = Simulator::new(&g, SimConfig::for_graph(&g).with_max_rounds(5));
+        let err = sim.run(|_| Restless).unwrap_err();
+        assert_eq!(err, SimError::RoundLimitExceeded { limit: 5 });
+    }
+
+    #[test]
+    fn duplicate_sends_are_rejected() {
+        #[derive(Debug)]
+        struct DoubleSender;
+        impl NodeProtocol for DoubleSender {
+            type Message = ();
+            fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<()>> {
+                if ctx.node == NodeId::new(0) {
+                    vec![Outgoing::new(NodeId::new(1), ()), Outgoing::new(NodeId::new(1), ())]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn on_round(&mut self, _: &NodeContext, _: u64, _: &[Incoming<()>]) -> Vec<Outgoing<()>> {
+                Vec::new()
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = generators::path(2);
+        let sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let err = sim.run(|_| DoubleSender).unwrap_err();
+        assert!(matches!(err, SimError::DuplicateSend { round: 0, .. }));
+    }
+
+    #[test]
+    fn config_for_graph_scales_with_log_n() {
+        let small = SimConfig::for_graph(&generators::path(4));
+        let large = SimConfig::for_graph(&generators::grid(32, 32));
+        assert!(large.bandwidth_bits > small.bandwidth_bits);
+        assert!(large.max_rounds > small.max_rounds);
+    }
+}

@@ -1,0 +1,318 @@
+//! Algorithm 2: the randomized `CoreFast` subroutine.
+//!
+//! `CoreSlow` spends `Θ(c)` rounds per tree level because every level
+//! forwards up to `2c` part ids serially. `CoreFast` avoids this by
+//! *estimating* the number of contending parts through sampling: every part
+//! becomes active with probability `p = γ·log n / (2c)`, only sampled ids
+//! are forwarded bottom-up (at most `O(log n)` per level w.h.p.), and an
+//! edge is declared unusable once `4c·p = Ω(log n)` sampled ids want to use
+//! it. A second phase then routes the *complete* id sets up the tree until
+//! the first unusable edge, which is a Lemma 2 routing problem costing
+//! `O(D + c)` rounds. Lemma 5 shows congestion `8c` w.h.p. and at least half
+//! the parts good, in `O(D log n + c)` rounds.
+
+use std::collections::BTreeSet;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use lcs_graph::{Graph, PartId, Partition, RootedTree};
+
+use super::CoreOutcome;
+use crate::TreeShortcut;
+
+/// Configuration of the `CoreFast` subroutine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreFastConfig {
+    /// The congestion bound `c` of the canonical shortcut assumed to exist.
+    pub congestion_bound: usize,
+    /// The sampling constant `γ` in `p = γ·log n / (2c)`. Larger values
+    /// sharpen the Chernoff concentration at the cost of more rounds per
+    /// level; the paper only requires a "sufficiently large constant".
+    pub gamma: f64,
+    /// Seed for the shared randomness (the paper distributes `O(log² n)`
+    /// shared random bits in `O(D + log n)` rounds; that cost is charged).
+    pub seed: u64,
+}
+
+impl CoreFastConfig {
+    /// Creates a configuration with the default `γ = 2` and seed 0.
+    pub fn new(congestion_bound: usize) -> Self {
+        CoreFastConfig { congestion_bound, gamma: 2.0, seed: 0 }
+    }
+
+    /// Overrides the sampling constant.
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Overrides the shared-randomness seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The sampling probability `p = min(1, γ·log₂ n / (2c))`.
+    pub fn sampling_probability(&self, node_count: usize) -> f64 {
+        let log_n = (node_count.max(2) as f64).log2();
+        (self.gamma * log_n / (2.0 * self.congestion_bound.max(1) as f64)).min(1.0)
+    }
+
+    /// The unusable-edge threshold `4c·p` (at least 1).
+    pub fn unusable_threshold(&self, node_count: usize) -> usize {
+        let p = self.sampling_probability(node_count);
+        ((4.0 * self.congestion_bound.max(1) as f64 * p).ceil() as usize).max(1)
+    }
+}
+
+/// Runs `CoreFast` (Algorithm 2) on the parts for which `active` is `true`.
+///
+/// The reported round count is the sum of
+/// * the shared-randomness distribution (`depth + ⌈log₂ n⌉` rounds),
+/// * the exact level-synchronous schedule of the sampled-id phase, and
+/// * the exact length of the greedy id-forwarding schedule of the second
+///   phase (each node forwards the smallest not-yet-forwarded id over its
+///   usable parent edge, one id per round).
+///
+/// # Panics
+///
+/// Panics if `active.len()` differs from the partition's part count or the
+/// tree does not span `graph`.
+pub fn core_fast(
+    graph: &Graph,
+    tree: &RootedTree,
+    partition: &Partition,
+    config: &CoreFastConfig,
+    active: &[bool],
+) -> CoreOutcome {
+    assert_eq!(active.len(), partition.part_count(), "one active flag per part is required");
+    assert_eq!(tree.node_count(), graph.node_count(), "tree must span the graph");
+
+    let n = graph.node_count();
+    let p_sample = config.sampling_probability(n);
+    let threshold = config.unusable_threshold(n);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+    // Shared randomness: every node of a part agrees on whether the part is
+    // sampled. Cost of distributing the seed: D + ceil(log2 n) rounds.
+    let sampled: Vec<bool> = (0..partition.part_count())
+        .map(|i| active[i] && rng.gen_bool(p_sample))
+        .collect();
+    let seed_sharing_rounds =
+        u64::from(tree.depth_of_tree()) + lcs_congest::bits_for_node_count(n) as u64;
+
+    // ------------------------------------------------------------------
+    // Phase 1: forward sampled ids bottom-up; declare edges unusable when
+    // `threshold` sampled ids want to cross them.
+    // ------------------------------------------------------------------
+    let mut unusable = vec![false; graph.edge_count()];
+    let mut sampled_lists: Vec<Vec<PartId>> = vec![Vec::new(); n];
+    let depth = tree.depth_of_tree() as usize;
+    let mut level_cost = vec![0u64; depth + 1];
+
+    for &v in tree.nodes_bottom_up() {
+        let mut list: Vec<PartId> = Vec::new();
+        if let Some(p) = partition.part_of(v) {
+            if sampled[p.index()] {
+                list.push(p);
+            }
+        }
+        for &child in tree.children(v) {
+            let child_edge = tree.parent_edge(child).expect("children have parent edges");
+            if unusable[child_edge.index()] {
+                continue;
+            }
+            list.extend_from_slice(&sampled_lists[child.index()]);
+        }
+        list.sort();
+        list.dedup();
+
+        if let Some(parent_edge) = tree.parent_edge(v) {
+            let node_depth = tree.depth(v) as usize;
+            if list.len() >= threshold {
+                unusable[parent_edge.index()] = true;
+                level_cost[node_depth] = level_cost[node_depth].max(1);
+            } else {
+                level_cost[node_depth] = level_cost[node_depth].max(list.len().max(1) as u64);
+            }
+        }
+        sampled_lists[v.index()] = list;
+    }
+    let phase1_rounds: u64 = level_cost.iter().skip(1).sum();
+
+    // ------------------------------------------------------------------
+    // Phase 2: route the complete id sets up the tree until the first
+    // unusable edge (greedy forwarding, smallest id first).
+    // ------------------------------------------------------------------
+    let mut known: Vec<BTreeSet<PartId>> = vec![BTreeSet::new(); n];
+    let mut forwarded: Vec<BTreeSet<PartId>> = vec![BTreeSet::new(); n];
+    for v in graph.nodes() {
+        if let Some(p) = partition.part_of(v) {
+            if active[p.index()] {
+                known[v.index()].insert(p);
+            }
+        }
+    }
+    let mut phase2_rounds: u64 = 0;
+    loop {
+        // Collect the sends of this round based on start-of-round state.
+        let mut sends: Vec<(usize, usize, PartId)> = Vec::new(); // (from, to, id)
+        for v in graph.nodes() {
+            let Some(parent_edge) = tree.parent_edge(v) else { continue };
+            if unusable[parent_edge.index()] {
+                continue;
+            }
+            let next = known[v.index()]
+                .iter()
+                .find(|id| !forwarded[v.index()].contains(*id))
+                .copied();
+            if let Some(id) = next {
+                let parent = tree.parent(v).expect("nodes with parent edges have parents");
+                sends.push((v.index(), parent.index(), id));
+            }
+        }
+        if sends.is_empty() {
+            break;
+        }
+        phase2_rounds += 1;
+        for (from, to, id) in sends {
+            forwarded[from].insert(id);
+            known[to].insert(id);
+        }
+    }
+
+    // Assignment: every id a node knows can use the node's parent edge,
+    // unless that edge is unusable.
+    let mut shortcut = TreeShortcut::empty(graph, partition);
+    for v in graph.nodes() {
+        let Some(parent_edge) = tree.parent_edge(v) else { continue };
+        if unusable[parent_edge.index()] {
+            continue;
+        }
+        for &p in &known[v.index()] {
+            shortcut
+                .assign(tree, p, parent_edge)
+                .expect("parent edges are tree edges and parts are in range");
+        }
+    }
+
+    CoreOutcome {
+        shortcut,
+        unusable,
+        rounds: seed_sharing_rounds + phase1_rounds + phase2_rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construction::core_slow;
+    use crate::construction::core_slow::all_active;
+    use lcs_graph::{generators, NodeId};
+
+    fn setup_grid(rows: usize, cols: usize) -> (Graph, RootedTree, Partition) {
+        let g = generators::grid(rows, cols);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        let p = generators::partitions::grid_columns(rows, cols);
+        (g, t, p)
+    }
+
+    #[test]
+    fn config_derived_quantities() {
+        let config = CoreFastConfig::new(16).with_gamma(2.0);
+        let p = config.sampling_probability(1024);
+        assert!((p - 2.0 * 10.0 / 32.0).abs() < 1e-9);
+        assert_eq!(config.unusable_threshold(1024), 40);
+        // Tiny congestion bound caps the probability at 1.
+        let config = CoreFastConfig::new(1);
+        assert_eq!(config.sampling_probability(1024), 1.0);
+        assert_eq!(config.unusable_threshold(1024), 4);
+    }
+
+    #[test]
+    fn output_is_a_valid_tree_restricted_shortcut() {
+        let (g, t, p) = setup_grid(8, 8);
+        let outcome = core_fast(&g, &t, &p, &CoreFastConfig::new(4).with_seed(7), &all_active(&p));
+        outcome.shortcut.validate(&t, &p).unwrap();
+        // Unusable edges carry no assignment.
+        for e in outcome.unusable_edges() {
+            assert!(outcome.shortcut.parts_on_edge(e).is_empty());
+        }
+    }
+
+    #[test]
+    fn generous_bound_matches_core_slow_exactly() {
+        // When the congestion bound is generous enough that nothing is ever
+        // unusable, both subroutines converge to the same fixed point: every
+        // part gets all of its members' ancestor edges.
+        let (g, t, p) = setup_grid(6, 6);
+        let slow = core_slow(&g, &t, &p, 50, &all_active(&p));
+        let fast = core_fast(&g, &t, &p, &CoreFastConfig::new(50).with_seed(3), &all_active(&p));
+        assert!(slow.unusable_edges().is_empty());
+        assert!(fast.unusable_edges().is_empty());
+        for part in p.parts() {
+            assert_eq!(slow.shortcut.edges_of(part), fast.shortcut.edges_of(part));
+        }
+    }
+
+    #[test]
+    fn at_least_half_the_parts_are_good_with_reference_parameters() {
+        let (g, t, p) = setup_grid(8, 8);
+        let (_, reference) = crate::existential::reference_parameters(&g, &t, &p);
+        let c = reference.congestion.max(1);
+        let b = reference.block_parameter.max(1);
+        for seed in 0..5 {
+            let outcome =
+                core_fast(&g, &t, &p, &CoreFastConfig::new(c).with_seed(seed), &all_active(&p));
+            let counts = outcome.shortcut.block_counts(&g, &p);
+            let good = counts.iter().filter(|&&k| k <= 3 * b).count();
+            assert!(good * 2 >= p.part_count(), "seed {seed}: only {good} good parts");
+        }
+    }
+
+    #[test]
+    fn fast_is_cheaper_than_slow_when_congestion_is_large() {
+        // On a long path partitioned into singleton-ish parts the slow core
+        // pays Θ(D·c) while the fast core pays O(D log n + c).
+        let g = generators::grid(12, 12);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        let p = generators::partitions::random_bfs_balls(&g, 36, 1);
+        let c = 36;
+        let slow = core_slow(&g, &t, &p, c, &all_active(&p));
+        let fast = core_fast(&g, &t, &p, &CoreFastConfig::new(c).with_seed(1), &all_active(&p));
+        assert!(
+            fast.rounds <= slow.rounds,
+            "CoreFast ({}) should not exceed CoreSlow ({}) at large c",
+            fast.rounds,
+            slow.rounds
+        );
+    }
+
+    #[test]
+    fn inactive_parts_receive_no_assignments() {
+        let (g, t, p) = setup_grid(4, 4);
+        let mut active = all_active(&p);
+        active[1] = false;
+        let outcome = core_fast(&g, &t, &p, &CoreFastConfig::new(4), &active);
+        assert!(outcome.shortcut.edges_of(PartId::new(1)).is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (g, t, p) = setup_grid(6, 6);
+        let a = core_fast(&g, &t, &p, &CoreFastConfig::new(3).with_seed(11), &all_active(&p));
+        let b = core_fast(&g, &t, &p, &CoreFastConfig::new(3).with_seed(11), &all_active(&p));
+        assert_eq!(a.shortcut, b.shortcut);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn rounds_include_seed_sharing_and_scale_with_depth() {
+        let (g, t, p) = setup_grid(10, 10);
+        let outcome = core_fast(&g, &t, &p, &CoreFastConfig::new(5), &all_active(&p));
+        let d = u64::from(t.depth_of_tree());
+        assert!(outcome.rounds >= d);
+    }
+}

@@ -1,0 +1,246 @@
+//! Appendix A: shortcut construction when `(c, b)` are unknown.
+//!
+//! The fixed-parameter `FindShortcut` needs upper bounds on the canonical
+//! congestion `c` and block parameter `b`. Because the construction
+//! inherently detects its own termination (a whole-tree convergecast tells
+//! every node whether bad parts remain), the parameters can simply be
+//! guessed and doubled on failure: start small, run `FindShortcut` with an
+//! `O(log N)` iteration budget, and double both guesses whenever some part
+//! remains bad. The extra cost is a `log(bc)` factor, and — as the paper
+//! notes — the search frequently finds shortcuts *better* than the
+//! theoretical bound because it succeeds as soon as any good-enough
+//! parameters work.
+
+use lcs_congest::RoundCost;
+use lcs_graph::{Graph, Partition, RootedTree};
+
+use super::find_shortcut::{FindShortcut, FindShortcutConfig, FindShortcutResult};
+use crate::{CoreError, Result, TreeShortcut};
+
+/// Configuration of the doubling search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DoublingConfig {
+    /// Initial guess for the congestion parameter (doubled on failure).
+    pub initial_congestion: usize,
+    /// Initial guess for the block parameter (doubled on failure).
+    pub initial_block: usize,
+    /// Use the randomized core subroutine (default) or the deterministic
+    /// one.
+    pub use_fast_core: bool,
+    /// Maximum number of doublings before giving up.
+    pub max_doublings: usize,
+    /// Random seed (each attempt derives its own sub-seed).
+    pub seed: u64,
+}
+
+impl Default for DoublingConfig {
+    fn default() -> Self {
+        DoublingConfig {
+            initial_congestion: 1,
+            initial_block: 1,
+            use_fast_core: true,
+            max_doublings: 24,
+            seed: 0,
+        }
+    }
+}
+
+impl DoublingConfig {
+    /// Creates the default configuration (start at `(1, 1)`, fast core).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the initial parameter guesses.
+    pub fn starting_at(mut self, congestion: usize, block: usize) -> Self {
+        self.initial_congestion = congestion.max(1);
+        self.initial_block = block.max(1);
+        self
+    }
+
+    /// Switches to the deterministic core subroutine.
+    pub fn with_slow_core(mut self) -> Self {
+        self.use_fast_core = false;
+        self
+    }
+
+    /// Overrides the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One attempt of the doubling search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoublingAttempt {
+    /// Congestion guess used by the attempt.
+    pub congestion_guess: usize,
+    /// Block-parameter guess used by the attempt.
+    pub block_guess: usize,
+    /// Whether every part was verified good.
+    pub succeeded: bool,
+    /// Rounds spent by the attempt.
+    pub rounds: u64,
+}
+
+/// Result of the doubling search.
+#[derive(Debug, Clone)]
+pub struct DoublingResult {
+    /// The shortcut produced by the first successful attempt.
+    pub shortcut: TreeShortcut,
+    /// The congestion guess that succeeded.
+    pub congestion_guess: usize,
+    /// The block-parameter guess that succeeded.
+    pub block_guess: usize,
+    /// Every attempt made, in order.
+    pub attempts: Vec<DoublingAttempt>,
+    /// Total round cost across all attempts (failed attempts included —
+    /// their work is genuinely spent).
+    pub cost: RoundCost,
+}
+
+impl DoublingResult {
+    /// Total number of rounds across all attempts.
+    pub fn total_rounds(&self) -> u64 {
+        self.cost.total()
+    }
+}
+
+/// Runs the Appendix A doubling search.
+///
+/// # Errors
+///
+/// Returns [`CoreError::IterationBudgetExhausted`] if no parameter guess up
+/// to `max_doublings` doublings produced a shortcut with every part good,
+/// and propagates input-validation errors from `FindShortcut`.
+pub fn doubling_search(
+    graph: &Graph,
+    tree: &RootedTree,
+    partition: &Partition,
+    config: DoublingConfig,
+) -> Result<DoublingResult> {
+    let mut congestion = config.initial_congestion.max(1);
+    let mut block = config.initial_block.max(1);
+    let mut cost = RoundCost::new();
+    let mut attempts = Vec::new();
+
+    for attempt_index in 0..=config.max_doublings {
+        let mut fs_config = FindShortcutConfig::new(congestion, block)
+            .with_seed(config.seed.wrapping_add(attempt_index as u64 * 7919));
+        if !config.use_fast_core {
+            fs_config = fs_config.with_slow_core();
+        }
+        let result: FindShortcutResult =
+            FindShortcut::new(fs_config).run(graph, tree, partition)?;
+
+        let rounds = result.total_rounds();
+        cost.charge(
+            format!("attempt-{attempt_index} (c={congestion}, b={block})"),
+            rounds,
+        );
+        attempts.push(DoublingAttempt {
+            congestion_guess: congestion,
+            block_guess: block,
+            succeeded: result.all_parts_good,
+            rounds,
+        });
+
+        if result.all_parts_good {
+            return Ok(DoublingResult {
+                shortcut: result.shortcut,
+                congestion_guess: congestion,
+                block_guess: block,
+                attempts,
+                cost,
+            });
+        }
+        congestion = congestion.saturating_mul(2);
+        block = block.saturating_mul(2);
+    }
+
+    Err(CoreError::IterationBudgetExhausted {
+        iterations: attempts.len(),
+        remaining_bad: partition.part_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_graph::{generators, NodeId};
+
+    #[test]
+    fn doubling_succeeds_without_knowing_parameters() {
+        let g = generators::grid(8, 8);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        let p = generators::partitions::grid_columns(8, 8);
+        let result = doubling_search(&g, &t, &p, DoublingConfig::new()).unwrap();
+        assert!(result.attempts.last().unwrap().succeeded);
+        let q = result.shortcut.quality(&g, &p);
+        assert!(q.block_parameter <= 3 * result.block_guess);
+        // The successful guesses are the initial values doubled some number
+        // of times.
+        assert!(result.congestion_guess.is_power_of_two());
+        assert!(result.block_guess.is_power_of_two());
+        assert!(result.total_rounds() > 0);
+    }
+
+    #[test]
+    fn doubling_on_wheel_finds_tiny_parameters_immediately() {
+        let g = generators::wheel(41);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        let p = generators::partitions::wheel_arcs(41, 5);
+        let result = doubling_search(&g, &t, &p, DoublingConfig::new()).unwrap();
+        assert_eq!(result.congestion_guess, 1);
+        assert_eq!(result.block_guess, 1);
+        assert_eq!(result.attempts.len(), 1);
+    }
+
+    #[test]
+    fn failed_attempts_are_recorded_and_charged() {
+        // Start from parameters that are too small for the comb partition so
+        // at least one failure is recorded before success.
+        let g = generators::grid(8, 8);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        let p = generators::partitions::grid_combs(8, 8);
+        let result = doubling_search(
+            &g,
+            &t,
+            &p,
+            DoublingConfig::new().with_seed(3),
+        )
+        .unwrap();
+        assert!(result.attempts.iter().any(|a| !a.succeeded) || result.attempts.len() == 1);
+        // Cost covers every attempt.
+        assert_eq!(result.cost.entries().len(), result.attempts.len());
+        let sum: u64 = result.attempts.iter().map(|a| a.rounds).sum();
+        assert_eq!(sum, result.total_rounds());
+    }
+
+    #[test]
+    fn exhausting_the_doubling_budget_reports_an_error() {
+        // The lower-bound instance with eight contending paths cannot be
+        // served at (c, b) = (1, 1): the connector-tree edges are shared by
+        // all parts, so with no doublings allowed the search must fail.
+        let (g, layout) = generators::lower_bound_graph(8, 16);
+        let t = RootedTree::bfs(&g, layout.connector(0));
+        let p = generators::partitions::lower_bound_paths(&layout);
+        let config = DoublingConfig { max_doublings: 0, ..DoublingConfig::new() };
+        let err = doubling_search(&g, &t, &p, config).unwrap_err();
+        assert!(matches!(err, CoreError::IterationBudgetExhausted { .. }));
+        let _ = NodeId::new(0);
+    }
+
+    #[test]
+    fn slow_core_doubling_is_deterministic() {
+        let g = generators::grid(6, 6);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        let p = generators::partitions::grid_columns(6, 6);
+        let config = DoublingConfig::new().with_slow_core();
+        let a = doubling_search(&g, &t, &p, config).unwrap();
+        let b = doubling_search(&g, &t, &p, config).unwrap();
+        assert_eq!(a.shortcut, b.shortcut);
+        assert_eq!(a.congestion_guess, b.congestion_guess);
+    }
+}

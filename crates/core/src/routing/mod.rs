@@ -1,0 +1,21 @@
+//! Deterministic routing on tree-restricted shortcuts.
+//!
+//! * [`convergecast_rounds`] — the Lemma 2 scheduler: given a family of
+//!   subtrees of `T` such that every tree edge lies in at most `c` of them,
+//!   a convergecast on all subtrees in parallel finishes within `D + c`
+//!   rounds when messages are forwarded with the priority "smallest depth of
+//!   the subtree root, ties by smallest subtree id".
+//! * [`PartRouter`] — the Theorem 2 part-parallel primitives built on top:
+//!   leader election, convergecast to the leaders, broadcast from the
+//!   leaders, plus the Lemma 3 block-component counting used by the
+//!   verification subroutine. Each primitive reports the exact number of
+//!   CONGEST rounds it would take, computed from the actually scheduled
+//!   intra-block routings and the supergraph steps it performs.
+
+mod parts;
+mod tree_routing;
+
+pub use parts::{PartRouter, PartRouterOutcome};
+pub use tree_routing::{
+    convergecast_rounds, subtree_specs_from_blocks, RoutingPriority, RoutingSchedule, SubtreeSpec,
+};

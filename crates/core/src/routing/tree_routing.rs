@@ -1,0 +1,333 @@
+//! Lemma 2: deterministic routing on families of subtrees.
+//!
+//! Given a rooted tree `T` of depth `D` and a family of subtrees such that
+//! any tree edge is contained in at most `c` subtrees, a convergecast on all
+//! subtrees in parallel completes in `O(D + c)` rounds, provided messages
+//! contending for the same edge are forwarded in order of (smallest depth of
+//! the subtree root, smallest subtree id). This module simulates that
+//! schedule edge-by-edge and round-by-round, so the reported round count is
+//! the exact behaviour of the deterministic algorithm rather than the bound.
+
+use std::collections::HashMap;
+
+use lcs_graph::{NodeId, RootedTree};
+
+use crate::BlockComponent;
+
+/// One subtree of the family: its root (shallowest node), the root's depth
+/// (the Lemma 2 priority key) and its node set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubtreeSpec {
+    /// The shallowest node of the subtree.
+    pub root: NodeId,
+    /// Depth of the root in `T`.
+    pub root_depth: u32,
+    /// All nodes of the subtree, sorted. Every non-root node's tree parent
+    /// must also be in the set (the set must induce a subtree of `T`).
+    pub nodes: Vec<NodeId>,
+}
+
+impl SubtreeSpec {
+    /// Builds a spec from an unsorted node list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn new(tree: &RootedTree, mut nodes: Vec<NodeId>) -> Self {
+        assert!(!nodes.is_empty(), "a subtree needs at least one node");
+        nodes.sort();
+        nodes.dedup();
+        let root = *nodes
+            .iter()
+            .min_by_key(|v| (tree.depth(**v), **v))
+            .expect("nonempty");
+        SubtreeSpec { root, root_depth: tree.depth(root), nodes }
+    }
+
+    /// Returns `true` if `node` belongs to the subtree.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.binary_search(&node).is_ok()
+    }
+}
+
+/// Converts a set of block components (from any number of parts) into the
+/// subtree family they form for routing purposes.
+pub fn subtree_specs_from_blocks(blocks: &[BlockComponent]) -> Vec<SubtreeSpec> {
+    blocks
+        .iter()
+        .map(|b| SubtreeSpec { root: b.root, root_depth: b.root_depth, nodes: b.nodes.clone() })
+        .collect()
+}
+
+/// The forwarding priority used when several subtrees contend for the same
+/// tree edge in the same round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPriority {
+    /// The Lemma 2 rule: smallest subtree-root depth first, ties broken by
+    /// smallest subtree index. Guarantees completion within `D + c` rounds.
+    #[default]
+    BlockRootDepth,
+    /// Ablation: ignore the root depth and order by subtree index only.
+    IndexOnly,
+    /// Ablation: *deepest* subtree root first — the reverse of the Lemma 2
+    /// rule, used to demonstrate that the priority matters.
+    ReverseDepth,
+}
+
+impl RoutingPriority {
+    fn key(self, spec: &SubtreeSpec, index: usize) -> (i64, usize) {
+        match self {
+            RoutingPriority::BlockRootDepth => (i64::from(spec.root_depth), index),
+            RoutingPriority::IndexOnly => (0, index),
+            RoutingPriority::ReverseDepth => (-i64::from(spec.root_depth), index),
+        }
+    }
+}
+
+/// Result of simulating the Lemma 2 convergecast schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingSchedule {
+    /// Number of rounds until every subtree's root has received the
+    /// aggregate of its subtree.
+    pub rounds: u64,
+    /// The largest number of subtrees sharing a single tree edge (the `c` of
+    /// Lemma 2).
+    pub max_edge_load: usize,
+    /// Total number of point-to-point message deliveries performed.
+    pub deliveries: u64,
+}
+
+/// Simulates a convergecast on every subtree of the family in parallel and
+/// returns the exact round count of the deterministic schedule.
+///
+/// In each round, every node picks — among the subtrees for which it has
+/// already heard from all of its children and not yet forwarded — the one
+/// with the highest priority and forwards a single (aggregated) message over
+/// its tree parent edge. The broadcast direction is symmetric, so the same
+/// count applies to broadcasts (Lemma 2 states both).
+///
+/// # Panics
+///
+/// Panics if a subtree is not actually a subtree of `tree` (a non-root node
+/// whose parent is outside the node set).
+pub fn convergecast_rounds(
+    tree: &RootedTree,
+    subtrees: &[SubtreeSpec],
+    priority: RoutingPriority,
+) -> RoutingSchedule {
+    if subtrees.is_empty() {
+        return RoutingSchedule { rounds: 0, max_edge_load: 0, deliveries: 0 };
+    }
+
+    // Per subtree: the number of in-subtree children of every node, and the
+    // set of nodes that still have to forward (every non-root node forwards
+    // exactly once).
+    //
+    // pending[(subtree, node)] = number of children not yet heard from.
+    let mut pending: HashMap<(usize, NodeId), usize> = HashMap::new();
+    // not_sent[(subtree, node)] = node still has to forward for subtree.
+    let mut remaining_senders: Vec<Vec<NodeId>> = vec![Vec::new(); subtrees.len()];
+    // Edge load: how many subtrees contain each node's parent edge.
+    let mut edge_load: HashMap<NodeId, usize> = HashMap::new();
+
+    for (s_idx, spec) in subtrees.iter().enumerate() {
+        for &v in &spec.nodes {
+            if v == spec.root {
+                continue;
+            }
+            let parent = tree
+                .parent(v)
+                .expect("non-root subtree nodes have tree parents");
+            assert!(
+                spec.contains(parent),
+                "node {v} of subtree {s_idx} has its tree parent outside the subtree"
+            );
+            let children_in_subtree = tree
+                .children(v)
+                .iter()
+                .filter(|c| spec.contains(**c))
+                .count();
+            pending.insert((s_idx, v), children_in_subtree);
+            remaining_senders[s_idx].push(v);
+            *edge_load.entry(v).or_insert(0) += 1;
+        }
+        // The root also waits for its children but never forwards.
+        let root_children = tree
+            .children(spec.root)
+            .iter()
+            .filter(|c| spec.contains(**c))
+            .count();
+        pending.insert((s_idx, spec.root), root_children);
+    }
+
+    let max_edge_load = edge_load.values().copied().max().unwrap_or(0);
+    let mut deliveries: u64 = 0;
+    let mut rounds: u64 = 0;
+    let total_to_send: usize = remaining_senders.iter().map(Vec::len).sum();
+    let mut sent = 0usize;
+
+    // Map node -> list of (priority key, subtree index) still to be sent by
+    // that node, kept implicitly; we recompute readiness each round, which
+    // is fast enough at experiment scale.
+    while sent < total_to_send {
+        rounds += 1;
+        // Collect this round's sends based on start-of-round state.
+        let mut sends: Vec<(usize, NodeId)> = Vec::new();
+        let mut chosen_for_node: HashMap<NodeId, ((i64, usize), usize)> = HashMap::new();
+        for (s_idx, spec) in subtrees.iter().enumerate() {
+            for &v in &remaining_senders[s_idx] {
+                if pending[&(s_idx, v)] != 0 {
+                    continue;
+                }
+                let key = priority.key(spec, s_idx);
+                match chosen_for_node.get(&v) {
+                    Some((best, _)) if *best <= key => {}
+                    _ => {
+                        chosen_for_node.insert(v, (key, s_idx));
+                    }
+                }
+            }
+        }
+        for (v, (_, s_idx)) in &chosen_for_node {
+            sends.push((*s_idx, *v));
+        }
+        if sends.is_empty() {
+            // No node can make progress: the family was malformed. The
+            // subtree assertion above should prevent this.
+            panic!("routing schedule stalled before completion");
+        }
+        // Apply the sends simultaneously.
+        for (s_idx, v) in sends {
+            let parent = tree.parent(v).expect("senders are non-root nodes");
+            *pending.get_mut(&(s_idx, parent)).expect("parent is in the subtree") -= 1;
+            remaining_senders[s_idx].retain(|&u| u != v);
+            deliveries += 1;
+            sent += 1;
+        }
+    }
+
+    RoutingSchedule { rounds, max_edge_load, deliveries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_graph::generators;
+
+    /// Whole-tree convergecast: a single subtree covering T finishes in
+    /// depth(T) rounds.
+    #[test]
+    fn single_subtree_takes_depth_rounds() {
+        let g = generators::grid(5, 5);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        let spec = SubtreeSpec::new(&t, g.nodes().collect());
+        let schedule = convergecast_rounds(&t, &[spec], RoutingPriority::BlockRootDepth);
+        assert_eq!(schedule.rounds, u64::from(t.depth_of_tree()));
+        assert_eq!(schedule.max_edge_load, 1);
+        assert_eq!(schedule.deliveries, (g.node_count() - 1) as u64);
+    }
+
+    /// c identical copies of a path subtree: the Lemma 2 bound D + c holds
+    /// and is essentially tight.
+    #[test]
+    fn overlapping_copies_respect_depth_plus_congestion() {
+        let g = generators::path(30);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        let all: Vec<NodeId> = g.nodes().collect();
+        for c in [1usize, 2, 5, 10] {
+            let family: Vec<SubtreeSpec> =
+                (0..c).map(|_| SubtreeSpec::new(&t, all.clone())).collect();
+            let schedule = convergecast_rounds(&t, &family, RoutingPriority::BlockRootDepth);
+            assert_eq!(schedule.max_edge_load, c);
+            let d = u64::from(t.depth_of_tree());
+            assert!(schedule.rounds <= d + c as u64, "c={c}: {} > D + c", schedule.rounds);
+            assert!(schedule.rounds >= d);
+        }
+    }
+
+    /// Disjoint subtrees route completely in parallel.
+    #[test]
+    fn disjoint_subtrees_run_in_parallel() {
+        let g = generators::grid(6, 8);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        // One subtree per tree child of the root (each child's full subtree).
+        let mut family = Vec::new();
+        for &child in t.children(t.root()) {
+            let mut nodes = vec![child];
+            // Collect the child's descendants.
+            let mut stack = vec![child];
+            while let Some(v) = stack.pop() {
+                for &c in t.children(v) {
+                    nodes.push(c);
+                    stack.push(c);
+                }
+            }
+            family.push(SubtreeSpec::new(&t, nodes));
+        }
+        let schedule = convergecast_rounds(&t, &family, RoutingPriority::BlockRootDepth);
+        assert_eq!(schedule.max_edge_load, 1);
+        assert!(schedule.rounds <= u64::from(t.depth_of_tree()));
+    }
+
+    /// The Lemma 2 bound D + c holds for the canonical priority on nested
+    /// subtree families, and the measured schedule never beats the trivial
+    /// lower bound of the deepest subtree height.
+    #[test]
+    fn nested_subtrees_within_bound() {
+        let g = generators::path(40);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        // Subtree k = suffix of the path starting at node 5k (rooted there).
+        let family: Vec<SubtreeSpec> = (0..8)
+            .map(|k| SubtreeSpec::new(&t, (5 * k..40).map(NodeId::new).collect()))
+            .collect();
+        let schedule = convergecast_rounds(&t, &family, RoutingPriority::BlockRootDepth);
+        let c = schedule.max_edge_load as u64;
+        assert_eq!(c, 8);
+        assert!(schedule.rounds <= u64::from(t.depth_of_tree()) + c);
+    }
+
+    /// The reverse priority can only be worse (or equal), demonstrating that
+    /// the priority rule carries real weight.
+    #[test]
+    fn reverse_priority_is_never_better() {
+        let g = generators::path(40);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        let family: Vec<SubtreeSpec> = (0..8)
+            .map(|k| SubtreeSpec::new(&t, (5 * k..40).map(NodeId::new).collect()))
+            .collect();
+        let good = convergecast_rounds(&t, &family, RoutingPriority::BlockRootDepth);
+        let bad = convergecast_rounds(&t, &family, RoutingPriority::ReverseDepth);
+        assert!(bad.rounds >= good.rounds);
+    }
+
+    #[test]
+    fn empty_family_costs_nothing() {
+        let g = generators::path(3);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        let schedule = convergecast_rounds(&t, &[], RoutingPriority::BlockRootDepth);
+        assert_eq!(schedule.rounds, 0);
+        assert_eq!(schedule.deliveries, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the subtree")]
+    fn malformed_subtree_is_rejected() {
+        let g = generators::path(5);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        // Nodes 0 and 3: node 3's parent (2) is missing.
+        let spec = SubtreeSpec::new(&t, vec![NodeId::new(0), NodeId::new(3)]);
+        let _ = convergecast_rounds(&t, &[spec], RoutingPriority::BlockRootDepth);
+    }
+
+    #[test]
+    fn singleton_subtrees_cost_zero_rounds() {
+        let g = generators::grid(3, 3);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        let family: Vec<SubtreeSpec> =
+            g.nodes().map(|v| SubtreeSpec::new(&t, vec![v])).collect();
+        let schedule = convergecast_rounds(&t, &family, RoutingPriority::BlockRootDepth);
+        // A singleton subtree has nothing to forward.
+        assert_eq!(schedule.rounds, 0);
+        assert_eq!(schedule.max_edge_load, 0);
+    }
+}

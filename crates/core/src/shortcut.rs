@@ -1,0 +1,168 @@
+//! General low-congestion shortcuts (Definition 1 of the paper).
+
+use lcs_graph::{EdgeId, Graph, NodeId, PartId, Partition};
+
+use crate::quality;
+
+/// A general shortcut: one extra edge set `H_i ⊆ E(G)` per part `P_i`
+/// (Definition 1). Part `P_i` is allowed to communicate over
+/// `G[P_i] + H_i`.
+///
+/// Quality is measured by *congestion* (the largest number of subgraphs
+/// `G[P_i] + H_i` any single edge participates in) and *dilation* (the
+/// largest diameter of any `G[P_i] + H_i`); the routines on
+/// [`ShortcutQuality`] compute both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shortcut {
+    /// `edges_of[i]` is the edge set `H_i` (sorted, deduplicated).
+    edges_of: Vec<Vec<EdgeId>>,
+}
+
+impl Shortcut {
+    /// Creates the empty shortcut (`H_i = ∅` for every part): every part is
+    /// left to communicate over `G[P_i]` alone.
+    pub fn empty(part_count: usize) -> Self {
+        Shortcut { edges_of: vec![Vec::new(); part_count] }
+    }
+
+    /// Creates a shortcut from explicit per-part edge sets. The sets are
+    /// sorted and deduplicated.
+    pub fn from_edge_sets(mut edges_of: Vec<Vec<EdgeId>>) -> Self {
+        for set in &mut edges_of {
+            set.sort();
+            set.dedup();
+        }
+        Shortcut { edges_of }
+    }
+
+    /// Number of parts the shortcut is defined for.
+    pub fn part_count(&self) -> usize {
+        self.edges_of.len()
+    }
+
+    /// The edge set `H_i` of part `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn edges_of(&self, p: PartId) -> &[EdgeId] {
+        &self.edges_of[p.index()]
+    }
+
+    /// Adds `edge` to `H_p` (keeping the set sorted and deduplicated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn assign(&mut self, p: PartId, edge: EdgeId) {
+        let set = &mut self.edges_of[p.index()];
+        if let Err(pos) = set.binary_search(&edge) {
+            set.insert(pos, edge);
+        }
+    }
+
+    /// Returns `true` if `edge ∈ H_p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn contains(&self, p: PartId, edge: EdgeId) -> bool {
+        self.edges_of[p.index()].binary_search(&edge).is_ok()
+    }
+
+    /// Total number of `(part, edge)` assignments.
+    pub fn assignment_count(&self) -> usize {
+        self.edges_of.iter().map(Vec::len).sum()
+    }
+
+    /// The congestion of the shortcut with respect to `partition`
+    /// (Definition 1(i)): the maximum over edges `e` of the number of
+    /// subgraphs `G[P_i] + H_i` containing `e`.
+    pub fn congestion(&self, graph: &Graph, partition: &Partition) -> usize {
+        quality::congestion(graph, partition, |p| self.edges_of(p).to_vec())
+    }
+
+    /// The dilation of the shortcut (Definition 1(ii)): the maximum over
+    /// parts of the diameter of `G[P_i] + H_i`.
+    pub fn dilation(&self, graph: &Graph, partition: &Partition) -> u32 {
+        quality::dilation(graph, partition, |p| self.edges_of(p).to_vec())
+    }
+
+    /// Nodes spanned by `G[P_p] + H_p`: the part members plus every endpoint
+    /// of an edge of `H_p`.
+    pub fn subgraph_nodes(&self, graph: &Graph, partition: &Partition, p: PartId) -> Vec<NodeId> {
+        quality::subgraph_nodes(graph, partition, p, self.edges_of(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_graph::generators;
+
+    #[test]
+    fn empty_shortcut_has_induced_congestion_only() {
+        // Grid columns: every edge inside a column is used by exactly one
+        // part, every cross-column edge by none.
+        let g = generators::grid(4, 4);
+        let p = generators::partitions::grid_columns(4, 4);
+        let s = Shortcut::empty(p.part_count());
+        assert_eq!(s.congestion(&g, &p), 1);
+        // Column diameter is 3.
+        assert_eq!(s.dilation(&g, &p), 3);
+        assert_eq!(s.assignment_count(), 0);
+    }
+
+    #[test]
+    fn assign_and_contains_round_trip() {
+        let mut s = Shortcut::empty(2);
+        s.assign(PartId::new(0), EdgeId::new(5));
+        s.assign(PartId::new(0), EdgeId::new(2));
+        s.assign(PartId::new(0), EdgeId::new(5));
+        assert_eq!(s.edges_of(PartId::new(0)), &[EdgeId::new(2), EdgeId::new(5)]);
+        assert!(s.contains(PartId::new(0), EdgeId::new(5)));
+        assert!(!s.contains(PartId::new(1), EdgeId::new(5)));
+        assert_eq!(s.assignment_count(), 2);
+    }
+
+    #[test]
+    fn from_edge_sets_normalizes() {
+        let s = Shortcut::from_edge_sets(vec![vec![EdgeId::new(3), EdgeId::new(1), EdgeId::new(3)]]);
+        assert_eq!(s.edges_of(PartId::new(0)), &[EdgeId::new(1), EdgeId::new(3)]);
+    }
+
+    #[test]
+    fn hub_shortcut_on_wheel_reduces_dilation_to_constant() {
+        // Arcs of the wheel rim have long induced diameter; adding the hub's
+        // spoke edges to each arc's shortcut drops the diameter to <= 2 at
+        // congestion 1 (each spoke serves exactly one arc, and rim edges are
+        // used only by their own arc).
+        let n = 33;
+        let g = generators::wheel(n);
+        let partition = generators::partitions::wheel_arcs(n, 4);
+        let mut s = Shortcut::empty(partition.part_count());
+        for part in partition.parts() {
+            for &v in partition.members(part) {
+                let spoke = g.edge_between(NodeId::new(0), v).expect("hub is adjacent to rim");
+                s.assign(part, spoke);
+            }
+        }
+        let empty = Shortcut::empty(partition.part_count());
+        assert!(empty.dilation(&g, &partition) >= 7);
+        assert_eq!(s.dilation(&g, &partition), 2);
+        assert_eq!(s.congestion(&g, &partition), 1);
+    }
+
+    #[test]
+    fn overlapping_assignments_increase_congestion() {
+        let g = generators::grid(3, 3);
+        let p = generators::partitions::grid_columns(3, 3);
+        let mut s = Shortcut::empty(p.part_count());
+        // Assign the same edge to every part.
+        let e = EdgeId::new(0);
+        for part in p.parts() {
+            s.assign(part, e);
+        }
+        assert!(s.congestion(&g, &p) >= p.part_count());
+    }
+}

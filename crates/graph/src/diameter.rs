@@ -1,0 +1,102 @@
+//! Diameter and eccentricity computations.
+//!
+//! The paper's round bounds are stated in terms of the network diameter `D`
+//! (equivalently the depth of a BFS tree, up to a factor 2). The experiment
+//! harness needs exact diameters for the synthetic families, and a cheap
+//! lower bound for large instances.
+
+use crate::traversal::bfs_distances;
+use crate::{Graph, NodeId};
+
+/// Eccentricity of `v`: the largest hop distance from `v` to any reachable
+/// node.
+///
+/// # Panics
+///
+/// Panics if `v` is out of range.
+pub fn eccentricity(graph: &Graph, v: NodeId) -> u32 {
+    bfs_distances(graph, v).max_distance()
+}
+
+/// Exact diameter via all-pairs BFS (`O(n · m)`).
+///
+/// Only intended for the moderate instance sizes used in tests and
+/// experiments. Returns 0 for graphs with fewer than two nodes. Unreachable
+/// pairs are ignored (the diameter of the largest component is returned).
+pub fn diameter_exact(graph: &Graph) -> u32 {
+    graph.nodes().map(|v| eccentricity(graph, v)).max().unwrap_or(0)
+}
+
+/// Double-sweep lower bound on the diameter: BFS from `start`, then BFS from
+/// the farthest node found. Exact on trees, a lower bound in general, and
+/// much cheaper than [`diameter_exact`].
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+pub fn diameter_lower_bound_double_sweep(graph: &Graph, start: NodeId) -> u32 {
+    if graph.node_count() == 0 {
+        return 0;
+    }
+    let first = bfs_distances(graph, start);
+    let farthest = first
+        .order
+        .last()
+        .copied()
+        .unwrap_or(start);
+    bfs_distances(graph, farthest).max_distance()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_diameter() {
+        let g = generators::path(10);
+        assert_eq!(diameter_exact(&g), 9);
+        assert_eq!(diameter_lower_bound_double_sweep(&g, NodeId::new(4)), 9);
+        assert_eq!(eccentricity(&g, NodeId::new(0)), 9);
+        assert_eq!(eccentricity(&g, NodeId::new(5)), 5);
+    }
+
+    #[test]
+    fn cycle_diameter_is_half_length() {
+        let g = generators::cycle(12);
+        assert_eq!(diameter_exact(&g), 6);
+        let g = generators::cycle(13);
+        assert_eq!(diameter_exact(&g), 6);
+    }
+
+    #[test]
+    fn grid_diameter_is_manhattan_extent() {
+        let g = generators::grid(4, 7);
+        assert_eq!(diameter_exact(&g), 3 + 6);
+    }
+
+    #[test]
+    fn wheel_diameter_is_two() {
+        let g = generators::wheel(20);
+        assert_eq!(diameter_exact(&g), 2);
+    }
+
+    #[test]
+    fn double_sweep_is_a_lower_bound() {
+        let g = generators::grid(5, 5);
+        let exact = diameter_exact(&g);
+        let lb = diameter_lower_bound_double_sweep(&g, NodeId::new(12));
+        assert!(lb <= exact);
+        // On a grid the double sweep from the center actually finds the true
+        // diameter because a corner is the farthest node.
+        assert_eq!(lb, exact);
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let g = crate::Graph::from_edges(1, &[]).unwrap();
+        assert_eq!(diameter_exact(&g), 0);
+        let g = crate::Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(diameter_exact(&g), 0);
+    }
+}

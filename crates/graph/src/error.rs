@@ -1,0 +1,119 @@
+//! Error type shared by graph construction and validation routines.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{NodeId, PartId};
+
+/// Errors produced while building or validating graphs and partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referred to a node that does not exist.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A self-loop was supplied; the CONGEST model works on simple graphs.
+    SelfLoop {
+        /// The node that was connected to itself.
+        node: NodeId,
+    },
+    /// The same undirected edge was supplied twice.
+    DuplicateEdge {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// The graph is not connected but the operation requires connectivity.
+    NotConnected,
+    /// A partition part induced a disconnected subgraph.
+    PartNotConnected {
+        /// The offending part.
+        part: PartId,
+    },
+    /// A node was assigned to two different parts.
+    OverlappingParts {
+        /// The node assigned twice.
+        node: NodeId,
+        /// The part it already belonged to.
+        first: PartId,
+        /// The part it was also assigned to.
+        second: PartId,
+    },
+    /// A partition references a part id with no members.
+    EmptyPart {
+        /// The empty part.
+        part: PartId,
+    },
+    /// Edge weights were supplied for a different number of edges.
+    WeightCountMismatch {
+        /// Number of weights supplied.
+        weights: usize,
+        /// Number of edges in the graph.
+        edges: usize,
+    },
+    /// A generator was asked for a degenerate size (for example a 0×k grid).
+    InvalidGeneratorArgument {
+        /// Human readable description of the violated requirement.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge {{{u}, {v}}}"),
+            GraphError::NotConnected => write!(f, "graph is not connected"),
+            GraphError::PartNotConnected { part } => {
+                write!(f, "part {part} induces a disconnected subgraph")
+            }
+            GraphError::OverlappingParts { node, first, second } => {
+                write!(f, "node {node} assigned to both part {first} and part {second}")
+            }
+            GraphError::EmptyPart { part } => write!(f, "part {part} has no members"),
+            GraphError::WeightCountMismatch { weights, edges } => {
+                write!(f, "{weights} edge weights supplied for a graph with {edges} edges")
+            }
+            GraphError::InvalidGeneratorArgument { reason } => {
+                write!(f, "invalid generator argument: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = GraphError::SelfLoop { node: NodeId::new(3) };
+        assert_eq!(err.to_string(), "self-loop at node v3");
+
+        let err = GraphError::WeightCountMismatch { weights: 2, edges: 5 };
+        assert!(err.to_string().contains("2 edge weights"));
+
+        let err = GraphError::OverlappingParts {
+            node: NodeId::new(1),
+            first: PartId::new(0),
+            second: PartId::new(2),
+        };
+        assert!(err.to_string().contains("both part P0 and part P2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<GraphError>();
+    }
+}

@@ -1,0 +1,222 @@
+//! Small structured families: paths, cycles, stars, wheels, trees.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// The path on `n` nodes (`n - 1` edges, diameter `n - 1`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 1, "path needs at least one node");
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 1..n {
+        b.add_edge(NodeId::new(i - 1), NodeId::new(i)).expect("consecutive nodes differ");
+    }
+    b.build()
+}
+
+/// The cycle on `n` nodes (diameter `⌊n/2⌋`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least three nodes");
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 0..n {
+        b.add_edge(NodeId::new(i), NodeId::new((i + 1) % n)).expect("distinct nodes");
+    }
+    b.build()
+}
+
+/// The star with one hub (node 0) and `n - 1` leaves.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "star needs at least two nodes");
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 1..n {
+        b.add_edge(NodeId::new(0), NodeId::new(i)).expect("hub differs from leaf");
+    }
+    b.build()
+}
+
+/// The wheel on `n` nodes: a hub (node 0) connected to every node of an
+/// `(n - 1)`-cycle (nodes `1..n`). Planar, diameter 2, and the canonical
+/// "shortcuts help enormously" instance: a contiguous arc of the rim has
+/// induced diameter proportional to its length, yet a perfect `T`-restricted
+/// shortcut with congestion 1 and block parameter 1 exists through the hub.
+///
+/// # Panics
+///
+/// Panics if `n < 5` (smaller wheels degenerate into multi-edges).
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 5, "wheel needs at least five nodes");
+    let rim = n - 1;
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 0..rim {
+        let a = NodeId::new(1 + i);
+        let c = NodeId::new(1 + (i + 1) % rim);
+        b.add_edge(a, c).expect("rim nodes differ");
+        b.add_edge(NodeId::new(0), a).expect("hub differs from rim");
+    }
+    b.build()
+}
+
+/// The complete graph on `n` nodes.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete(n: usize) -> Graph {
+    assert!(n >= 1, "complete graph needs at least one node");
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(NodeId::new(i), NodeId::new(j)).expect("i != j");
+        }
+    }
+    b.build()
+}
+
+/// A caterpillar: a spine path of `spine` nodes, each with `legs` pendant
+/// leaves. Nodes `0..spine` form the spine; the legs of spine node `i` are
+/// numbered `spine + i * legs ..`.
+///
+/// # Panics
+///
+/// Panics if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine >= 1, "caterpillar needs a nonempty spine");
+    let mut b = GraphBuilder::with_nodes(spine + spine * legs);
+    for i in 1..spine {
+        b.add_edge(NodeId::new(i - 1), NodeId::new(i)).expect("spine nodes differ");
+    }
+    for i in 0..spine {
+        for l in 0..legs {
+            b.add_edge(NodeId::new(i), NodeId::new(spine + i * legs + l))
+                .expect("spine and leg differ");
+        }
+    }
+    b.build()
+}
+
+/// The complete binary tree with `depth` levels of edges (so `2^(depth+1) - 1`
+/// nodes). Node 0 is the root; node `i` has children `2i + 1` and `2i + 2`.
+///
+/// # Panics
+///
+/// Panics if `depth > 20` (the instance would not fit in memory budgets used
+/// here).
+pub fn binary_tree(depth: usize) -> Graph {
+    assert!(depth <= 20, "binary tree depth {depth} too large");
+    let n = (1usize << (depth + 1)) - 1;
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 0..n {
+        for child in [2 * i + 1, 2 * i + 2] {
+            if child < n {
+                b.add_edge(NodeId::new(i), NodeId::new(child)).expect("parent differs from child");
+            }
+        }
+    }
+    b.build()
+}
+
+/// The lollipop graph: a clique on `clique` nodes with a path of `tail`
+/// extra nodes attached to clique node 0. A classic "small diameter core,
+/// long appendix" stress test.
+///
+/// # Panics
+///
+/// Panics if `clique < 2`.
+pub fn lollipop(clique: usize, tail: usize) -> Graph {
+    assert!(clique >= 2, "lollipop needs a clique of at least two nodes");
+    let mut b = GraphBuilder::with_nodes(clique + tail);
+    for i in 0..clique {
+        for j in (i + 1)..clique {
+            b.add_edge(NodeId::new(i), NodeId::new(j)).expect("i != j");
+        }
+    }
+    for t in 0..tail {
+        let prev = if t == 0 { NodeId::new(0) } else { NodeId::new(clique + t - 1) };
+        b.add_edge(prev, NodeId::new(clique + t)).expect("tail nodes differ");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{diameter_exact, is_connected};
+
+    #[test]
+    fn path_and_cycle_shapes() {
+        let p = path(7);
+        assert_eq!(p.edge_count(), 6);
+        assert_eq!(diameter_exact(&p), 6);
+        let c = cycle(7);
+        assert_eq!(c.edge_count(), 7);
+        assert_eq!(diameter_exact(&c), 3);
+        assert_eq!(c.max_degree(), 2);
+    }
+
+    #[test]
+    fn star_and_wheel_shapes() {
+        let s = star(9);
+        assert_eq!(s.edge_count(), 8);
+        assert_eq!(s.degree(NodeId::new(0)), 8);
+        assert_eq!(diameter_exact(&s), 2);
+
+        let w = wheel(9);
+        assert_eq!(w.node_count(), 9);
+        assert_eq!(w.edge_count(), 8 + 8);
+        assert_eq!(w.degree(NodeId::new(0)), 8);
+        assert_eq!(diameter_exact(&w), 2);
+        assert!(is_connected(&w));
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let k = complete(6);
+        assert_eq!(k.edge_count(), 15);
+        assert_eq!(diameter_exact(&k), 1);
+        assert_eq!(complete(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let c = caterpillar(4, 3);
+        assert_eq!(c.node_count(), 4 + 12);
+        assert_eq!(c.edge_count(), 3 + 12);
+        assert!(is_connected(&c));
+        // Leaf-to-leaf across the spine.
+        assert_eq!(diameter_exact(&c), 2 + 3);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let t = binary_tree(3);
+        assert_eq!(t.node_count(), 15);
+        assert_eq!(t.edge_count(), 14);
+        assert_eq!(diameter_exact(&t), 6);
+        assert_eq!(binary_tree(0).node_count(), 1);
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let l = lollipop(5, 4);
+        assert_eq!(l.node_count(), 9);
+        assert_eq!(l.edge_count(), 10 + 4);
+        assert!(is_connected(&l));
+        assert_eq!(diameter_exact(&l), 1 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least five")]
+    fn tiny_wheel_rejected() {
+        wheel(4);
+    }
+}

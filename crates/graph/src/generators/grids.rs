@@ -1,0 +1,197 @@
+//! Grid-like families: planar grids, tori and genus-bounded handle graphs.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Node id of grid cell `(row, col)` in the row-major numbering used by all
+/// grid generators.
+///
+/// # Panics
+///
+/// Panics if the cell lies outside the `rows × cols` grid.
+pub fn grid_node(rows: usize, cols: usize, row: usize, col: usize) -> NodeId {
+    assert!(row < rows && col < cols, "cell ({row}, {col}) outside {rows}x{cols} grid");
+    NodeId::new(row * cols + col)
+}
+
+fn grid_builder(rows: usize, cols: usize) -> GraphBuilder {
+    assert!(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+    let mut b = GraphBuilder::with_nodes(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = grid_node(rows, cols, r, c);
+            if c + 1 < cols {
+                b.add_edge(v, grid_node(rows, cols, r, c + 1)).expect("distinct cells");
+            }
+            if r + 1 < rows {
+                b.add_edge(v, grid_node(rows, cols, r + 1, c)).expect("distinct cells");
+            }
+        }
+    }
+    b
+}
+
+/// The `rows × cols` planar grid (genus 0). Node `(r, c)` has id
+/// `r * cols + c`; diameter is `(rows - 1) + (cols - 1)`.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    grid_builder(rows, cols).build()
+}
+
+/// The `rows × cols` grid with one diagonal added in every unit cell.
+/// Still planar; roughly doubles the edge count, which stresses the
+/// congestion accounting without changing the diameter.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn triangulated_grid(rows: usize, cols: usize) -> Graph {
+    let mut b = grid_builder(rows, cols);
+    for r in 0..rows.saturating_sub(1) {
+        for c in 0..cols.saturating_sub(1) {
+            b.add_edge(grid_node(rows, cols, r, c), grid_node(rows, cols, r + 1, c + 1))
+                .expect("distinct cells");
+        }
+    }
+    b.build()
+}
+
+/// The `rows × cols` torus: the grid plus wrap-around edges in both
+/// dimensions. Genus 1; diameter `⌊rows/2⌋ + ⌊cols/2⌋`.
+///
+/// # Panics
+///
+/// Panics if either dimension is smaller than 3 (smaller tori would create
+/// duplicate or self-loop wrap edges).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus dimensions must be at least 3");
+    let mut b = grid_builder(rows, cols);
+    for r in 0..rows {
+        b.add_edge(grid_node(rows, cols, r, cols - 1), grid_node(rows, cols, r, 0))
+            .expect("distinct cells");
+    }
+    for c in 0..cols {
+        b.add_edge(grid_node(rows, cols, rows - 1, c), grid_node(rows, cols, 0, c))
+            .expect("distinct cells");
+    }
+    b.build()
+}
+
+/// A genus-≤`g` family: the `rows × cols` planar grid with `g` extra
+/// "handle" edges connecting spread-out cells of the top and bottom rows.
+/// Adding an edge to a graph increases its genus by at most one, so the
+/// result has genus at most `g` (and exactly 0 when `g = 0`).
+///
+/// # Panics
+///
+/// Panics if either dimension is zero, or if `g >= cols` (there would not be
+/// enough distinct columns to attach the handles to).
+pub fn genus_handles(rows: usize, cols: usize, g: usize) -> Graph {
+    assert!(g < cols, "need g < cols to place {g} handles on {cols} columns");
+    let mut b = grid_builder(rows, cols);
+    for k in 0..g {
+        // Spread the handle endpoints over the columns; connect the top row
+        // to the bottom row in "crossed" fashion so each handle is a
+        // long-range edge that the planar embedding cannot accommodate.
+        let top_col = (k * cols) / g.max(1);
+        let bottom_col = cols - 1 - top_col;
+        let top = grid_node(rows, cols, 0, top_col);
+        let bottom = grid_node(rows, cols, rows - 1, bottom_col);
+        if top != bottom && !b.has_edge(top, bottom) {
+            b.add_edge(top, bottom).expect("checked distinct");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{diameter_exact, is_connected};
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(4, 6);
+        assert_eq!(g.node_count(), 24);
+        // Horizontal edges: 4 * 5, vertical edges: 3 * 6.
+        assert_eq!(g.edge_count(), 20 + 18);
+        assert!(is_connected(&g));
+        assert_eq!(diameter_exact(&g), 3 + 5);
+    }
+
+    #[test]
+    fn grid_node_indexing_is_row_major() {
+        assert_eq!(grid_node(4, 6, 0, 0), NodeId::new(0));
+        assert_eq!(grid_node(4, 6, 1, 0), NodeId::new(6));
+        assert_eq!(grid_node(4, 6, 3, 5), NodeId::new(23));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn grid_node_bounds_checked() {
+        grid_node(2, 2, 2, 0);
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        let g = grid(1, 1);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        let g = grid(1, 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(diameter_exact(&g), 4);
+    }
+
+    #[test]
+    fn triangulated_grid_adds_one_diagonal_per_cell() {
+        let plain = grid(4, 5);
+        let tri = triangulated_grid(4, 5);
+        assert_eq!(tri.node_count(), plain.node_count());
+        assert_eq!(tri.edge_count(), plain.edge_count() + 3 * 4);
+        assert!(is_connected(&tri));
+        // Diagonals cannot increase the diameter.
+        assert!(diameter_exact(&tri) <= diameter_exact(&plain));
+    }
+
+    #[test]
+    fn torus_counts_and_diameter() {
+        let t = torus(5, 8);
+        assert_eq!(t.node_count(), 40);
+        // Every node has degree 4 on a torus.
+        assert_eq!(t.edge_count(), 2 * 40);
+        assert_eq!(t.max_degree(), 4);
+        assert_eq!(diameter_exact(&t), 2 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_torus_rejected() {
+        torus(2, 5);
+    }
+
+    #[test]
+    fn genus_handles_adds_at_most_g_edges() {
+        let base = grid(6, 10);
+        for g_param in [0usize, 1, 2, 4, 8] {
+            let h = genus_handles(6, 10, g_param);
+            assert_eq!(h.node_count(), base.node_count());
+            assert!(h.edge_count() <= base.edge_count() + g_param);
+            assert!(h.edge_count() >= base.edge_count());
+            assert!(is_connected(&h));
+        }
+    }
+
+    #[test]
+    fn genus_zero_handles_is_the_plain_grid() {
+        assert_eq!(genus_handles(4, 4, 0), grid(4, 4));
+    }
+
+    #[test]
+    fn handles_shrink_the_diameter() {
+        let plain = grid(12, 12);
+        let handled = genus_handles(12, 12, 6);
+        assert!(diameter_exact(&handled) <= diameter_exact(&plain));
+    }
+}

@@ -1,0 +1,152 @@
+//! The classic `Ω̃(√n + D)` lower-bound instance.
+//!
+//! The construction (Peleg–Rubinovich / Das Sarma et al. style) consists of
+//! `p` long node-disjoint paths plus a shallow "highway": one connector node
+//! per column that is attached to every path at that column, with the
+//! connectors linked by a balanced binary-tree overlay. The resulting graph
+//! has diameter `O(log n)` while each path — the natural part of the
+//! motivating partition — has diameter equal to its length.
+//!
+//! In the shortcut language: this is a family on which *no* shortcut with
+//! `congestion + dilation = o(√n)` exists, so it serves as the negative
+//! control for the experiments (the framework is expected *not* to help
+//! here, matching the paper's discussion of the general-graph lower bound).
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Node-numbering metadata for [`lower_bound_graph`].
+///
+/// Path node `(i, j)` (path `i`, column `j`) has id `i * path_len + j`;
+/// connector `j` has id `num_paths * path_len + j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowerBoundLayout {
+    /// Number of disjoint paths `p`.
+    pub num_paths: usize,
+    /// Length (number of nodes) of each path.
+    pub path_len: usize,
+}
+
+impl LowerBoundLayout {
+    /// Node id of the `j`-th node on path `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn path_node(&self, path: usize, column: usize) -> NodeId {
+        assert!(path < self.num_paths && column < self.path_len, "path coordinate out of range");
+        NodeId::new(path * self.path_len + column)
+    }
+
+    /// Node id of the highway connector above column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column` is out of range.
+    pub fn connector(&self, column: usize) -> NodeId {
+        assert!(column < self.path_len, "column out of range");
+        NodeId::new(self.num_paths * self.path_len + column)
+    }
+
+    /// Total number of nodes in the instance.
+    pub fn node_count(&self) -> usize {
+        self.num_paths * self.path_len + self.path_len
+    }
+}
+
+/// Builds the lower-bound instance and returns it with its layout.
+///
+/// The graph contains:
+/// * `num_paths` horizontal paths of `path_len` nodes each,
+/// * `path_len` connector nodes, connector `j` adjacent to node `j` of every
+///   path,
+/// * a balanced binary-tree overlay on the connectors (connector `j` is
+///   adjacent to connector `(j - 1) / 2`), giving the connectors mutual
+///   distance `O(log path_len)`.
+///
+/// # Panics
+///
+/// Panics if `num_paths == 0` or `path_len == 0`.
+pub fn lower_bound_graph(num_paths: usize, path_len: usize) -> (Graph, LowerBoundLayout) {
+    assert!(num_paths >= 1, "need at least one path");
+    assert!(path_len >= 1, "paths need at least one node");
+    let layout = LowerBoundLayout { num_paths, path_len };
+    let mut b = GraphBuilder::with_nodes(layout.node_count());
+
+    // The paths themselves.
+    for i in 0..num_paths {
+        for j in 1..path_len {
+            b.add_edge(layout.path_node(i, j - 1), layout.path_node(i, j))
+                .expect("consecutive path nodes differ");
+        }
+    }
+    // Vertical attachment of every path node to its column connector.
+    for i in 0..num_paths {
+        for j in 0..path_len {
+            b.add_edge(layout.path_node(i, j), layout.connector(j))
+                .expect("path node differs from connector");
+        }
+    }
+    // Binary-tree overlay on connectors (heap numbering).
+    for j in 1..path_len {
+        b.add_edge(layout.connector(j), layout.connector((j - 1) / 2))
+            .expect("distinct connectors");
+    }
+
+    (b.build(), layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{diameter_exact, is_connected};
+
+    #[test]
+    fn counts_match_layout() {
+        let (g, layout) = lower_bound_graph(6, 16);
+        assert_eq!(g.node_count(), layout.node_count());
+        assert_eq!(g.node_count(), 6 * 16 + 16);
+        // Edges: paths 6*15, vertical 6*16, tree 15.
+        assert_eq!(g.edge_count(), 90 + 96 + 15);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn diameter_is_logarithmic_in_path_length() {
+        let (g, _) = lower_bound_graph(8, 64);
+        let d = diameter_exact(&g);
+        // Any two nodes: ≤ 1 hop to a connector, ≤ 2 log2(64) hops through
+        // the connector tree, 1 hop back down.
+        assert!(d <= 2 + 2 * 6, "diameter {d} should be logarithmic");
+        assert!(d >= 3);
+    }
+
+    #[test]
+    fn paths_have_linear_induced_diameter() {
+        let (g, layout) = lower_bound_graph(4, 32);
+        let partition = crate::generators::partitions::lower_bound_paths(&layout);
+        partition.validate(&g).unwrap();
+        assert_eq!(partition.part_count(), 4);
+        assert_eq!(partition.max_part_diameter(&g), 31);
+    }
+
+    #[test]
+    fn layout_accessors_are_consistent_with_adjacency() {
+        let (g, layout) = lower_bound_graph(3, 8);
+        // Path edges exist.
+        assert!(g.has_edge(layout.path_node(1, 3), layout.path_node(1, 4)));
+        // Vertical edges exist.
+        assert!(g.has_edge(layout.path_node(2, 5), layout.connector(5)));
+        // Connector tree edges exist.
+        assert!(g.has_edge(layout.connector(5), layout.connector(2)));
+        // Paths are disjoint: no edge between different paths directly.
+        assert!(!g.has_edge(layout.path_node(0, 3), layout.path_node(1, 3)));
+    }
+
+    #[test]
+    fn degenerate_single_column() {
+        let (g, layout) = lower_bound_graph(3, 1);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(layout.connector(0), NodeId::new(3));
+    }
+}

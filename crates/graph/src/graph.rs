@@ -1,0 +1,273 @@
+//! The core undirected graph representation.
+
+use std::collections::HashSet;
+
+use crate::{EdgeId, GraphError, NodeId, Result};
+
+/// An undirected edge between two nodes.
+///
+/// Edges are stored with `u <= v` normalization applied by [`Graph`]
+/// construction; the original insertion order determines the [`EdgeId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// First endpoint (the smaller node id).
+    pub u: NodeId,
+    /// Second endpoint (the larger node id).
+    pub v: NodeId,
+}
+
+impl Edge {
+    /// Creates a normalized edge with `u <= v`.
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        if a <= b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// Returns the endpoint different from `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not an endpoint of the edge.
+    pub fn other(&self, from: NodeId) -> NodeId {
+        if from == self.u {
+            self.v
+        } else if from == self.v {
+            self.u
+        } else {
+            panic!("node {from} is not an endpoint of edge {{{}, {}}}", self.u, self.v)
+        }
+    }
+
+    /// Returns `true` if `node` is one of the two endpoints.
+    pub fn is_incident_to(&self, node: NodeId) -> bool {
+        self.u == node || self.v == node
+    }
+}
+
+/// A finite, undirected, simple graph.
+///
+/// The representation is adjacency-list based and immutable after
+/// construction (build graphs with [`crate::GraphBuilder`] or the
+/// [`crate::generators`]). Node ids are `0..node_count()` and edge ids are
+/// `0..edge_count()`, which lets callers use plain `Vec`s as node- or
+/// edge-indexed maps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    edges: Vec<Edge>,
+    /// adjacency[v] = list of (neighbor, edge id connecting v to neighbor)
+    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Graph {
+    /// Creates a graph with `node_count` nodes and the given undirected
+    /// edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is out of range, an edge is a
+    /// self-loop, or the same undirected edge appears twice.
+    pub fn from_edges(node_count: usize, edge_list: &[(NodeId, NodeId)]) -> Result<Self> {
+        let mut edges = Vec::with_capacity(edge_list.len());
+        let mut adjacency = vec![Vec::new(); node_count];
+        let mut seen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(edge_list.len());
+
+        for &(a, b) in edge_list {
+            for node in [a, b] {
+                if node.index() >= node_count {
+                    return Err(GraphError::NodeOutOfRange { node, node_count });
+                }
+            }
+            if a == b {
+                return Err(GraphError::SelfLoop { node: a });
+            }
+            let edge = Edge::new(a, b);
+            if !seen.insert((edge.u, edge.v)) {
+                return Err(GraphError::DuplicateEdge { u: edge.u, v: edge.v });
+            }
+            let id = EdgeId::new(edges.len());
+            adjacency[edge.u.index()].push((edge.v, id));
+            adjacency[edge.v.index()].push((edge.u, id));
+            edges.push(edge);
+        }
+
+        Ok(Graph { edges, adjacency })
+    }
+
+    /// Number of nodes in the graph.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node ids, in increasing order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// Iterator over all edge ids, in increasing order.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edge_count()).map(EdgeId::new)
+    }
+
+    /// Iterator over `(EdgeId, Edge)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, Edge)> + '_ {
+        self.edges.iter().enumerate().map(|(i, &e)| (EdgeId::new(i), e))
+    }
+
+    /// Returns the endpoints of the given edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge id is out of range.
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id.index()]
+    }
+
+    /// Degree of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.index()].len()
+    }
+
+    /// Iterator over `(neighbor, edge id)` pairs incident to `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        self.adjacency[node.index()].iter().copied()
+    }
+
+    /// Looks up the edge id connecting `a` and `b`, if any.
+    pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
+        if a.index() >= self.node_count() || b.index() >= self.node_count() {
+            return None;
+        }
+        // Scan the smaller adjacency list.
+        let (from, to) = if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
+        self.adjacency[from.index()]
+            .iter()
+            .find(|(n, _)| *n == to)
+            .map(|&(_, e)| e)
+    }
+
+    /// Returns `true` if nodes `a` and `b` are adjacent.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.edge_between(a, b).is_some()
+    }
+
+    /// Maximum degree over all nodes (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(
+            3,
+            &[
+                (NodeId::new(0), NodeId::new(1)),
+                (NodeId::new(1), NodeId::new(2)),
+                (NodeId::new(2), NodeId::new(0)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn edge_normalizes_endpoints() {
+        let e = Edge::new(NodeId::new(5), NodeId::new(2));
+        assert_eq!(e.u, NodeId::new(2));
+        assert_eq!(e.v, NodeId::new(5));
+        assert_eq!(e.other(NodeId::new(2)), NodeId::new(5));
+        assert_eq!(e.other(NodeId::new(5)), NodeId::new(2));
+        assert!(e.is_incident_to(NodeId::new(2)));
+        assert!(!e.is_incident_to(NodeId::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_for_non_endpoint() {
+        Edge::new(NodeId::new(0), NodeId::new(1)).other(NodeId::new(2));
+    }
+
+    #[test]
+    fn triangle_counts_and_adjacency() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(0)));
+        let neighbors: Vec<NodeId> = g.neighbors(NodeId::new(1)).map(|(n, _)| n).collect();
+        assert_eq!(neighbors.len(), 2);
+        assert!(neighbors.contains(&NodeId::new(0)));
+        assert!(neighbors.contains(&NodeId::new(2)));
+    }
+
+    #[test]
+    fn edge_between_returns_consistent_id() {
+        let g = triangle();
+        let id = g.edge_between(NodeId::new(2), NodeId::new(1)).unwrap();
+        let e = g.edge(id);
+        assert_eq!(e, Edge::new(NodeId::new(1), NodeId::new(2)));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let err = Graph::from_edges(2, &[(NodeId::new(1), NodeId::new(1))]).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: NodeId::new(1) });
+    }
+
+    #[test]
+    fn rejects_duplicate_edge_in_either_orientation() {
+        let err = Graph::from_edges(
+            3,
+            &[
+                (NodeId::new(0), NodeId::new(1)),
+                (NodeId::new(1), NodeId::new(0)),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, GraphError::DuplicateEdge { u: NodeId::new(0), v: NodeId::new(1) });
+    }
+
+    #[test]
+    fn rejects_out_of_range_endpoint() {
+        let err = Graph::from_edges(2, &[(NodeId::new(0), NodeId::new(2))]).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: NodeId::new(2), node_count: 2 });
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn edges_iterator_yields_ids_in_insertion_order() {
+        let g = triangle();
+        let collected: Vec<(EdgeId, Edge)> = g.edges().collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[0].0, EdgeId::new(0));
+        assert_eq!(collected[2].0, EdgeId::new(2));
+    }
+}

@@ -1,0 +1,123 @@
+//! Strongly typed identifiers for nodes, edges and parts.
+//!
+//! Using newtypes (rather than bare `usize`) prevents the classic mistake of
+//! indexing an edge-indexed array with a node id and vice versa, which the
+//! shortcut construction code is particularly prone to because it constantly
+//! moves between the three index spaces.
+
+use std::fmt;
+
+/// Identifier of a node (vertex) of a [`crate::Graph`].
+///
+/// Node ids are dense: a graph with `n` nodes uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+/// Identifier of an undirected edge of a [`crate::Graph`].
+///
+/// Edge ids are dense: a graph with `m` edges uses ids `0..m`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(u32);
+
+/// Identifier of a part of a [`crate::Partition`].
+///
+/// Part ids are dense within a partition: a partition with `N` parts uses ids
+/// `0..N`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PartId(u32);
+
+macro_rules! impl_id {
+    ($name:ident, $letter:expr) => {
+        impl $name {
+            /// Creates an identifier from a dense index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in 32 bits.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                assert!(
+                    index <= u32::MAX as usize,
+                    concat!(stringify!($name), " index out of range: {}"),
+                    index
+                );
+                Self(index as u32)
+            }
+
+            /// Returns the dense index backing this identifier.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self::new(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $letter, self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $letter, self.0)
+            }
+        }
+    };
+}
+
+impl_id!(NodeId, "v");
+impl_id!(EdgeId, "e");
+impl_id!(PartId, "P");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trip() {
+        let id = NodeId::new(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(usize::from(id), 17);
+        assert_eq!(NodeId::from(17usize), id);
+    }
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{}", NodeId::new(3)), "v3");
+        assert_eq!(format!("{}", EdgeId::new(4)), "e4");
+        assert_eq!(format!("{}", PartId::new(5)), "P5");
+        assert_eq!(format!("{:?}", NodeId::new(3)), "v3");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(EdgeId::new(0) < EdgeId::new(10));
+        assert!(PartId::new(3) > PartId::new(1));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(NodeId::default().index(), 0);
+        assert_eq!(EdgeId::default().index(), 0);
+        assert_eq!(PartId::default().index(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn node_id_overflow_panics() {
+        let _ = NodeId::new(u32::MAX as usize + 1);
+    }
+}

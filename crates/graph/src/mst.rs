@@ -1,0 +1,135 @@
+//! Centralized minimum spanning tree reference algorithms.
+//!
+//! Kruskal and Prim implementations used as ground truth when validating the
+//! distributed Boruvka-with-shortcuts MST of `lcs-mst`.
+
+use std::collections::BinaryHeap;
+
+use crate::{EdgeId, EdgeWeights, Graph, NodeId, UnionFind};
+
+/// Computes a minimum spanning forest with Kruskal's algorithm.
+///
+/// Returns the chosen edge ids sorted by edge id. If the graph is connected
+/// the result is a spanning tree with `n - 1` edges. Ties between equal
+/// weights are broken by edge id, which makes the output deterministic.
+pub fn kruskal_mst(graph: &Graph, weights: &EdgeWeights) -> Vec<EdgeId> {
+    let mut order: Vec<EdgeId> = graph.edge_ids().collect();
+    order.sort_by_key(|&e| (weights.weight(e), e));
+    let mut uf = UnionFind::new(graph.node_count());
+    let mut chosen = Vec::with_capacity(graph.node_count().saturating_sub(1));
+    for e in order {
+        let edge = graph.edge(e);
+        if uf.union(edge.u.index(), edge.v.index()) {
+            chosen.push(e);
+        }
+    }
+    chosen.sort();
+    chosen
+}
+
+/// Computes a minimum spanning tree with Prim's algorithm starting from
+/// `start`. Returns the chosen edge ids sorted by edge id; only the
+/// component containing `start` is spanned.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+pub fn prim_mst(graph: &Graph, weights: &EdgeWeights, start: NodeId) -> Vec<EdgeId> {
+    let n = graph.node_count();
+    assert!(start.index() < n, "start {start} out of range");
+    let mut in_tree = vec![false; n];
+    let mut chosen = Vec::new();
+    // Max-heap of Reverse((weight, edge, node)) == min-heap.
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, EdgeId, NodeId)>> = BinaryHeap::new();
+
+    in_tree[start.index()] = true;
+    for (v, e) in graph.neighbors(start) {
+        heap.push(std::cmp::Reverse((weights.weight(e), e, v)));
+    }
+    while let Some(std::cmp::Reverse((_, e, v))) = heap.pop() {
+        if in_tree[v.index()] {
+            continue;
+        }
+        in_tree[v.index()] = true;
+        chosen.push(e);
+        for (u, f) in graph.neighbors(v) {
+            if !in_tree[u.index()] {
+                heap.push(std::cmp::Reverse((weights.weight(f), f, u)));
+            }
+        }
+    }
+    chosen.sort();
+    chosen
+}
+
+/// Total weight of the minimum spanning forest.
+pub fn mst_weight(graph: &Graph, weights: &EdgeWeights) -> u64 {
+    weights.total(kruskal_mst(graph, weights))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn mst_of_tree_is_the_tree_itself() {
+        let g = generators::path(6);
+        let w = EdgeWeights::random_permutation(&g, 1);
+        let mst = kruskal_mst(&g, &w);
+        assert_eq!(mst.len(), 5);
+        assert_eq!(mst, g.edge_ids().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kruskal_and_prim_agree_on_unique_weights() {
+        for seed in 0..5 {
+            let g = generators::grid(6, 7);
+            let w = EdgeWeights::random_permutation(&g, seed);
+            let k = kruskal_mst(&g, &w);
+            let p = prim_mst(&g, &w, NodeId::new(0));
+            assert_eq!(k, p, "seed {seed}");
+            assert_eq!(k.len(), g.node_count() - 1);
+        }
+    }
+
+    #[test]
+    fn mst_picks_cheap_edges_on_cycle() {
+        // Cycle of 4: weights 10, 1, 2, 3 -> drop the weight-10 edge.
+        let g = generators::cycle(4);
+        let w = EdgeWeights::from_vec(&g, vec![10, 1, 2, 3]).unwrap();
+        let mst = kruskal_mst(&g, &w);
+        assert_eq!(mst.len(), 3);
+        assert!(!mst.contains(&EdgeId::new(0)));
+        assert_eq!(mst_weight(&g, &w), 6);
+    }
+
+    #[test]
+    fn mst_weight_of_uniform_grid_is_node_count_minus_one() {
+        let g = generators::grid(5, 5);
+        let w = EdgeWeights::uniform(&g);
+        assert_eq!(mst_weight(&g, &w), 24);
+    }
+
+    #[test]
+    fn kruskal_on_disconnected_graph_returns_forest() {
+        let g = Graph::from_edges(
+            4,
+            &[(NodeId::new(0), NodeId::new(1)), (NodeId::new(2), NodeId::new(3))],
+        )
+        .unwrap();
+        let w = EdgeWeights::uniform(&g);
+        assert_eq!(kruskal_mst(&g, &w).len(), 2);
+    }
+
+    #[test]
+    fn prim_spans_only_start_component() {
+        let g = Graph::from_edges(
+            4,
+            &[(NodeId::new(0), NodeId::new(1)), (NodeId::new(2), NodeId::new(3))],
+        )
+        .unwrap();
+        let w = EdgeWeights::uniform(&g);
+        assert_eq!(prim_mst(&g, &w, NodeId::new(0)).len(), 1);
+    }
+}

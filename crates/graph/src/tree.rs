@@ -1,0 +1,344 @@
+//! Rooted spanning trees.
+//!
+//! The shortcut framework fixes a rooted spanning tree `T ⊆ G` (in practice a
+//! BFS tree, whose depth is at most the diameter `D` of `G`) and restricts
+//! every shortcut subgraph to edges of `T`. [`RootedTree`] is the
+//! representation used everywhere downstream: it knows, for every node, its
+//! parent, parent edge, depth and children, and can enumerate nodes bottom-up
+//! (deepest first), which is the schedule both `CoreSlow` and `CoreFast`
+//! follow.
+
+use crate::traversal::bfs_distances;
+use crate::{EdgeId, Graph, GraphError, NodeId, Result};
+
+/// A rooted spanning tree of a connected graph.
+#[derive(Debug, Clone)]
+pub struct RootedTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    parent_edge: Vec<Option<EdgeId>>,
+    depth: Vec<u32>,
+    children: Vec<Vec<NodeId>>,
+    /// Nodes ordered by nonincreasing depth (deepest first). Processing nodes
+    /// in this order guarantees children are handled before their parents.
+    bottom_up: Vec<NodeId>,
+    /// Marker: `is_tree_edge[e]` for every edge id of the original graph.
+    is_tree_edge: Vec<bool>,
+    depth_of_tree: u32,
+}
+
+impl RootedTree {
+    /// Builds a BFS spanning tree of `graph` rooted at `root`.
+    ///
+    /// The BFS tree has the asymptotically smallest possible depth among
+    /// spanning trees rooted at `root` (its depth equals the eccentricity of
+    /// `root`, which is at most the diameter `D`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range or if the graph is not connected.
+    pub fn bfs(graph: &Graph, root: NodeId) -> Self {
+        Self::try_bfs(graph, root).expect("graph must be connected to admit a spanning tree")
+    }
+
+    /// Fallible variant of [`RootedTree::bfs`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotConnected`] if some node is unreachable from
+    /// `root`.
+    pub fn try_bfs(graph: &Graph, root: NodeId) -> Result<Self> {
+        let result = bfs_distances(graph, root);
+        if result.reachable_count() != graph.node_count() {
+            return Err(GraphError::NotConnected);
+        }
+        let n = graph.node_count();
+        let mut parent_edge = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+        let mut is_tree_edge = vec![false; graph.edge_count()];
+        for v in graph.nodes() {
+            if let Some(p) = result.parent[v.index()] {
+                let e = graph
+                    .edge_between(p, v)
+                    .expect("BFS parent must be adjacent");
+                parent_edge[v.index()] = Some(e);
+                is_tree_edge[e.index()] = true;
+                children[p.index()].push(v);
+            }
+        }
+        let depth: Vec<u32> = result
+            .dist
+            .iter()
+            .map(|d| d.expect("connectivity checked above"))
+            .collect();
+        let mut bottom_up: Vec<NodeId> = graph.nodes().collect();
+        bottom_up.sort_by_key(|v| std::cmp::Reverse(depth[v.index()]));
+        let depth_of_tree = depth.iter().copied().max().unwrap_or(0);
+
+        Ok(RootedTree {
+            root,
+            parent: result.parent,
+            parent_edge,
+            depth,
+            children,
+            bottom_up,
+            is_tree_edge,
+            depth_of_tree,
+        })
+    }
+
+    /// The root node of the tree.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes spanned by the tree.
+    pub fn node_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Depth of the tree: the maximum node depth (root has depth zero).
+    ///
+    /// For a BFS tree this equals the eccentricity of the root and is
+    /// therefore at most the graph diameter `D`; the paper denotes both by
+    /// `D`.
+    pub fn depth_of_tree(&self) -> u32 {
+        self.depth_of_tree
+    }
+
+    /// Parent of `v`, or `None` for the root.
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// The graph edge connecting `v` to its parent, or `None` for the root.
+    pub fn parent_edge(&self, v: NodeId) -> Option<EdgeId> {
+        self.parent_edge[v.index()]
+    }
+
+    /// Depth of node `v` (root has depth zero).
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v.index()]
+    }
+
+    /// Children of `v` in the tree.
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.index()]
+    }
+
+    /// Returns `true` if the given graph edge is one of the `n - 1` tree
+    /// edges.
+    pub fn is_tree_edge(&self, e: EdgeId) -> bool {
+        self.is_tree_edge[e.index()]
+    }
+
+    /// Iterator over all tree edge ids.
+    pub fn tree_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.is_tree_edge
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t)
+            .map(|(i, _)| EdgeId::new(i))
+    }
+
+    /// Number of tree edges (`node_count() - 1` for nonempty trees).
+    pub fn tree_edge_count(&self) -> usize {
+        self.node_count().saturating_sub(1)
+    }
+
+    /// Nodes ordered deepest-first. Children always appear before their
+    /// parents, which is the processing schedule of the bottom-up core
+    /// subroutines (Algorithms 1 and 2 of the paper).
+    pub fn nodes_bottom_up(&self) -> &[NodeId] {
+        &self.bottom_up
+    }
+
+    /// Nodes ordered shallowest-first (parents before children).
+    pub fn nodes_top_down(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.bottom_up.iter().rev().copied()
+    }
+
+    /// Iterator over the ancestors of `v` starting with `v` itself and
+    /// ending at the root.
+    pub fn path_to_root(&self, v: NodeId) -> PathToRoot<'_> {
+        PathToRoot { tree: self, current: Some(v) }
+    }
+
+    /// The child endpoint (lower endpoint) of a tree edge: the endpoint whose
+    /// parent edge is `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not a tree edge.
+    pub fn lower_endpoint(&self, graph: &Graph, e: EdgeId) -> NodeId {
+        assert!(self.is_tree_edge(e), "edge {e} is not a tree edge");
+        let edge = graph.edge(e);
+        if self.parent_edge(edge.u) == Some(e) {
+            edge.u
+        } else {
+            edge.v
+        }
+    }
+
+    /// Height of each node: distance to the deepest leaf in its subtree.
+    /// Leaves have height zero. Used by the Lemma 2 routing analysis and by
+    /// tests.
+    pub fn heights(&self) -> Vec<u32> {
+        let mut height = vec![0u32; self.node_count()];
+        for &v in &self.bottom_up {
+            if let Some(p) = self.parent(v) {
+                height[p.index()] = height[p.index()].max(height[v.index()] + 1);
+            }
+        }
+        height
+    }
+
+    /// Size of the subtree rooted at each node (including the node itself).
+    pub fn subtree_sizes(&self) -> Vec<usize> {
+        let mut size = vec![1usize; self.node_count()];
+        for &v in &self.bottom_up {
+            if let Some(p) = self.parent(v) {
+                size[p.index()] += size[v.index()];
+            }
+        }
+        size
+    }
+}
+
+/// Iterator over the tree path from a node up to the root.
+///
+/// Produced by [`RootedTree::path_to_root`].
+#[derive(Debug, Clone)]
+pub struct PathToRoot<'a> {
+    tree: &'a RootedTree,
+    current: Option<NodeId>,
+}
+
+impl Iterator for PathToRoot<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let v = self.current?;
+        self.current = self.tree.parent(v);
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_tree_of_path_is_the_path() {
+        let g = generators::path(6);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        assert_eq!(t.root(), NodeId::new(0));
+        assert_eq!(t.depth_of_tree(), 5);
+        assert_eq!(t.tree_edge_count(), 5);
+        assert_eq!(t.depth(NodeId::new(3)), 3);
+        assert_eq!(t.parent(NodeId::new(3)), Some(NodeId::new(2)));
+        assert_eq!(t.children(NodeId::new(2)), &[NodeId::new(3)]);
+        assert_eq!(t.parent(NodeId::new(0)), None);
+        assert!(t.parent_edge(NodeId::new(0)).is_none());
+    }
+
+    #[test]
+    fn bfs_tree_depth_is_root_eccentricity() {
+        let g = generators::grid(5, 9);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        // Root is a corner of the grid, so its eccentricity is (5-1)+(9-1).
+        assert_eq!(t.depth_of_tree(), 12);
+        // Every non-root node's depth is parent depth + 1.
+        for v in g.nodes() {
+            match t.parent(v) {
+                Some(p) => assert_eq!(t.depth(v), t.depth(p) + 1),
+                None => assert_eq!(v, t.root()),
+            }
+        }
+    }
+
+    #[test]
+    fn tree_edges_count_and_membership() {
+        let g = generators::grid(4, 4);
+        let t = RootedTree::bfs(&g, NodeId::new(5));
+        let tree_edges: Vec<EdgeId> = t.tree_edges().collect();
+        assert_eq!(tree_edges.len(), g.node_count() - 1);
+        for e in &tree_edges {
+            assert!(t.is_tree_edge(*e));
+        }
+        let non_tree = g.edge_ids().filter(|e| !t.is_tree_edge(*e)).count();
+        assert_eq!(non_tree, g.edge_count() - (g.node_count() - 1));
+    }
+
+    #[test]
+    fn bottom_up_order_processes_children_before_parents() {
+        let g = generators::grid(6, 6);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        let mut seen = vec![false; g.node_count()];
+        for &v in t.nodes_bottom_up() {
+            for &c in t.children(v) {
+                assert!(seen[c.index()], "child {c} must be processed before parent {v}");
+            }
+            seen[v.index()] = true;
+        }
+    }
+
+    #[test]
+    fn path_to_root_walks_up() {
+        let g = generators::path(4);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        let path: Vec<NodeId> = t.path_to_root(NodeId::new(3)).collect();
+        assert_eq!(
+            path,
+            vec![NodeId::new(3), NodeId::new(2), NodeId::new(1), NodeId::new(0)]
+        );
+    }
+
+    #[test]
+    fn lower_endpoint_is_the_deeper_endpoint() {
+        let g = generators::grid(3, 3);
+        let t = RootedTree::bfs(&g, NodeId::new(4));
+        for e in t.tree_edges() {
+            let lower = t.lower_endpoint(&g, e);
+            let upper = g.edge(e).other(lower);
+            assert_eq!(t.depth(lower), t.depth(upper) + 1);
+            assert_eq!(t.parent(lower), Some(upper));
+        }
+    }
+
+    #[test]
+    fn heights_and_subtree_sizes_are_consistent() {
+        let g = generators::grid(4, 5);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        let heights = t.heights();
+        let sizes = t.subtree_sizes();
+        assert_eq!(sizes[t.root().index()], g.node_count());
+        assert_eq!(heights[t.root().index()], t.depth_of_tree());
+        // A leaf has height 0 and size 1.
+        let leaf = g
+            .nodes()
+            .find(|v| t.children(*v).is_empty())
+            .expect("finite trees have leaves");
+        assert_eq!(heights[leaf.index()], 0);
+        assert_eq!(sizes[leaf.index()], 1);
+    }
+
+    #[test]
+    fn disconnected_graph_yields_error() {
+        let g = Graph::from_edges(3, &[(NodeId::new(0), NodeId::new(1))]).unwrap();
+        assert!(matches!(
+            RootedTree::try_bfs(&g, NodeId::new(0)),
+            Err(GraphError::NotConnected)
+        ));
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        assert_eq!(t.depth_of_tree(), 0);
+        assert_eq!(t.tree_edge_count(), 0);
+        assert_eq!(t.nodes_bottom_up(), &[NodeId::new(0)]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+
+use lcs_graph::{
+    bfs_distances, connected_components, diameter_exact, diameter_lower_bound_double_sweep,
+    generators, is_connected, kruskal_mst, mst_weight, prim_mst, EdgeWeights, NodeId, Partition,
+    RootedTree, UnionFind,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BFS trees of connected random graphs are spanning and depth-consistent.
+    #[test]
+    fn bfs_tree_spans_random_connected_graphs(
+        n in 2usize..60,
+        extra in 0usize..40,
+        seed in 0u64..1_000,
+        root_choice in 0usize..1_000,
+    ) {
+        let g = generators::random_connected(n, extra, seed);
+        let root = NodeId::new(root_choice % n);
+        let t = RootedTree::bfs(&g, root);
+        prop_assert_eq!(t.tree_edges().count(), n - 1);
+        prop_assert_eq!(t.root(), root);
+        // Depth equals BFS distance from the root.
+        let bfs = bfs_distances(&g, root);
+        for v in g.nodes() {
+            prop_assert_eq!(Some(t.depth(v)), bfs.dist[v.index()]);
+        }
+        // Tree depth is at most the diameter of the graph.
+        prop_assert!(t.depth_of_tree() <= diameter_exact(&g));
+    }
+
+    /// The double-sweep bound never exceeds the exact diameter.
+    #[test]
+    fn double_sweep_is_a_lower_bound(
+        n in 2usize..50,
+        extra in 0usize..30,
+        seed in 0u64..1_000,
+    ) {
+        let g = generators::random_connected(n, extra, seed);
+        let exact = diameter_exact(&g);
+        let lb = diameter_lower_bound_double_sweep(&g, NodeId::new(0));
+        prop_assert!(lb <= exact);
+        // On trees the double sweep is exact.
+        let t = generators::random_tree(n, seed);
+        prop_assert_eq!(
+            diameter_lower_bound_double_sweep(&t, NodeId::new(0)),
+            diameter_exact(&t)
+        );
+    }
+
+    /// Kruskal and Prim agree whenever edge weights are distinct, and the
+    /// MST weight never exceeds the weight of any spanning tree we can
+    /// easily exhibit (the BFS tree).
+    #[test]
+    fn mst_reference_algorithms_agree(
+        n in 2usize..40,
+        extra in 0usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let g = generators::random_connected(n, extra, seed);
+        let w = EdgeWeights::random_permutation(&g, seed ^ 0xabcd);
+        let k = kruskal_mst(&g, &w);
+        let p = prim_mst(&g, &w, NodeId::new(0));
+        prop_assert_eq!(&k, &p);
+        prop_assert_eq!(k.len(), n - 1);
+
+        let bfs_tree = RootedTree::bfs(&g, NodeId::new(0));
+        let bfs_weight: u64 = bfs_tree.tree_edges().map(|e| w.weight(e)).sum();
+        prop_assert!(mst_weight(&g, &w) <= bfs_weight);
+    }
+
+    /// Multi-source BFS partitions always produce connected parts covering
+    /// the whole graph.
+    #[test]
+    fn bfs_ball_partitions_are_valid(
+        n in 4usize..60,
+        extra in 0usize..30,
+        parts in 1usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let g = generators::random_connected(n, extra, seed);
+        let parts = parts.min(n);
+        let p = generators::partitions::random_bfs_balls(&g, parts, seed);
+        prop_assert_eq!(p.part_count(), parts);
+        prop_assert_eq!(p.assigned_count(), n);
+        prop_assert!(p.validate(&g).is_ok());
+        // Part diameters never exceed the number of nodes.
+        prop_assert!(p.max_part_diameter(&g) < n as u32);
+    }
+
+    /// Union-find connectivity matches the graph's connected components.
+    #[test]
+    fn union_find_matches_components(
+        n in 1usize..50,
+        edges in proptest::collection::vec((0usize..50, 0usize..50), 0..80),
+    ) {
+        let edge_list: Vec<(NodeId, NodeId)> = edges
+            .into_iter()
+            .filter(|(a, b)| a != b && *a < n && *b < n)
+            .map(|(a, b)| (NodeId::new(a), NodeId::new(b)))
+            .collect();
+        // Deduplicate so Graph::from_edges accepts the list.
+        let mut seen = std::collections::HashSet::new();
+        let edge_list: Vec<_> = edge_list
+            .into_iter()
+            .filter(|&(a, b)| seen.insert(if a < b { (a, b) } else { (b, a) }))
+            .collect();
+        let g = lcs_graph::Graph::from_edges(n, &edge_list).unwrap();
+
+        let mut uf = UnionFind::new(n);
+        for (_, e) in g.edges() {
+            uf.union(e.u.index(), e.v.index());
+        }
+        let (comp, count) = connected_components(&g);
+        prop_assert_eq!(uf.set_count(), count);
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(uf.connected(a, b), comp[a] == comp[b]);
+            }
+        }
+        prop_assert_eq!(is_connected(&g), count <= 1);
+    }
+
+    /// The singleton partition is always valid and has max part size one.
+    #[test]
+    fn singleton_partition_always_valid(
+        n in 1usize..60,
+        extra in 0usize..30,
+        seed in 0u64..1_000,
+    ) {
+        let g = generators::random_connected(n, extra, seed);
+        let p = Partition::singletons(&g);
+        prop_assert!(p.validate(&g).is_ok());
+        prop_assert_eq!(p.part_count(), n);
+        prop_assert_eq!(p.max_part_size(), 1);
+        prop_assert_eq!(p.max_part_diameter(&g), 0);
+    }
+
+    /// Generator invariants for grid-family graphs.
+    #[test]
+    fn grid_family_invariants(rows in 1usize..12, cols in 1usize..12, g_param in 0usize..6) {
+        let grid = generators::grid(rows, cols);
+        prop_assert_eq!(grid.node_count(), rows * cols);
+        prop_assert!(is_connected(&grid));
+        prop_assert_eq!(diameter_exact(&grid) as usize, rows - 1 + cols - 1);
+
+        if g_param < cols {
+            let handled = generators::genus_handles(rows, cols, g_param);
+            prop_assert!(is_connected(&handled));
+            prop_assert!(handled.edge_count() <= grid.edge_count() + g_param);
+        }
+        if rows >= 3 && cols >= 3 {
+            let torus = generators::torus(rows, cols);
+            prop_assert_eq!(torus.edge_count(), 2 * rows * cols);
+            prop_assert_eq!(diameter_exact(&torus) as usize, rows / 2 + cols / 2);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Distributed optimization applications built on low-congestion shortcuts.
+//!
+//! The paper's motivation for shortcuts is that distributed optimization
+//! algorithms repeatedly need every part of a partition to compute a simple
+//! function of its own data — and that doing so over `G[P_i]` alone costs
+//! the *part* diameter, which can vastly exceed the *network* diameter `D`.
+//! This crate contains the applications that exercise the framework:
+//!
+//! * [`boruvka_mst`] — Boruvka's minimum-spanning-tree algorithm (Lemma 4 of
+//!   the paper): `O(log n)` phases, each phase computing every part's
+//!   minimum-weight outgoing edge through the shortcut routing primitives
+//!   and merging parts in randomized star shapes,
+//! * [`ShortcutStrategy`] — how each phase obtains its shortcut: the paper's
+//!   `FindShortcut`, the Appendix A doubling search, the *no-shortcut*
+//!   baseline (communication restricted to `G[P_i]`, the slow algorithm the
+//!   introduction argues against), or the *whole-tree* baseline (every part
+//!   uses all of `T`, demonstrating why congestion must be controlled),
+//! * [`part_aggregate`] / [`part_broadcast`] — the generic part-wise
+//!   aggregation primitives other applications (connectivity, partwise
+//!   statistics) are built from,
+//! * [`verify`] — cross-checks of the distributed outputs against the
+//!   centralized references from `lcs-graph`.
+//!
+//! # Example
+//!
+//! ```
+//! use lcs_mst::{boruvka_mst, BoruvkaConfig, ShortcutStrategy};
+//! use lcs_graph::{generators, kruskal_mst, EdgeWeights};
+//!
+//! let graph = generators::grid(6, 6);
+//! let weights = EdgeWeights::random_permutation(&graph, 7);
+//! let outcome = boruvka_mst(
+//!     &graph,
+//!     &weights,
+//!     &BoruvkaConfig::new(ShortcutStrategy::Doubling),
+//! )
+//! .unwrap();
+//! let reference = kruskal_mst(&graph, &weights);
+//! assert_eq!(outcome.edges, reference);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod boruvka;
+pub mod verify;
+
+pub use aggregate::{part_aggregate, part_broadcast, PartAggregateOutcome};
+pub use boruvka::{boruvka_mst, BoruvkaConfig, MstOutcome, ShortcutStrategy};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, lcs_core::CoreError>;

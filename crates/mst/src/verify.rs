@@ -1,0 +1,80 @@
+//! Cross-checks of distributed outputs against centralized references.
+
+use lcs_graph::{EdgeId, EdgeWeights, Graph, UnionFind};
+
+/// Returns `true` if `edges` forms a spanning tree of `graph`: exactly
+/// `n - 1` edges, no cycles, and all nodes connected.
+pub fn is_spanning_tree(graph: &Graph, edges: &[EdgeId]) -> bool {
+    if graph.node_count() == 0 {
+        return edges.is_empty();
+    }
+    if edges.len() != graph.node_count() - 1 {
+        return false;
+    }
+    let mut uf = UnionFind::new(graph.node_count());
+    for &e in edges {
+        let edge = graph.edge(e);
+        if !uf.union(edge.u.index(), edge.v.index()) {
+            return false;
+        }
+    }
+    uf.set_count() == 1
+}
+
+/// Returns `true` if `edges` is a minimum spanning tree of `graph` under
+/// `weights`: it must be a spanning tree whose total weight equals the
+/// weight of the centralized Kruskal reference.
+pub fn is_minimum_spanning_tree(graph: &Graph, weights: &EdgeWeights, edges: &[EdgeId]) -> bool {
+    if !is_spanning_tree(graph, edges) {
+        return false;
+    }
+    weights.total(edges.iter().copied()) == lcs_graph::mst_weight(graph, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_graph::{generators, kruskal_mst, NodeId};
+
+    #[test]
+    fn kruskal_output_is_a_spanning_tree() {
+        let g = generators::grid(5, 6);
+        let w = EdgeWeights::random_permutation(&g, 4);
+        let mst = kruskal_mst(&g, &w);
+        assert!(is_spanning_tree(&g, &mst));
+        assert!(is_minimum_spanning_tree(&g, &w, &mst));
+    }
+
+    #[test]
+    fn wrong_edge_counts_and_cycles_are_rejected() {
+        let g = generators::cycle(4);
+        let w = EdgeWeights::uniform(&g);
+        // All 4 edges: cycle, not a tree.
+        let all: Vec<EdgeId> = g.edge_ids().collect();
+        assert!(!is_spanning_tree(&g, &all));
+        // 3 edges forming a path: a tree.
+        assert!(is_spanning_tree(&g, &all[..3]));
+        assert!(is_minimum_spanning_tree(&g, &w, &all[..3]));
+        // Too few edges.
+        assert!(!is_spanning_tree(&g, &all[..2]));
+    }
+
+    #[test]
+    fn suboptimal_spanning_tree_is_not_minimum() {
+        let g = generators::cycle(4);
+        let w = EdgeWeights::from_vec(&g, vec![10, 1, 2, 3]).unwrap();
+        // Spanning tree containing the weight-10 edge is not minimum.
+        let edges = vec![EdgeId::new(0), EdgeId::new(1), EdgeId::new(2)];
+        assert!(is_spanning_tree(&g, &edges));
+        assert!(!is_minimum_spanning_tree(&g, &w, &edges));
+    }
+
+    #[test]
+    fn empty_graph_conventions() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert!(is_spanning_tree(&g, &[]));
+        let single = Graph::from_edges(1, &[]).unwrap();
+        assert!(is_spanning_tree(&single, &[]));
+        let _ = NodeId::new(0);
+    }
+}

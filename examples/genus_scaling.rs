@@ -1,0 +1,39 @@
+//! Corollary 1 in practice: shortcut quality as the genus grows.
+//!
+//! The paper proves that genus-`g` graphs admit tree-restricted shortcuts of
+//! congestion `O(gD log D)` and block parameter `O(log D)`, and that the
+//! construction finds shortcuts at most an `O(log N)` factor worse. This
+//! example sweeps the number of handles added to a planar grid and reports
+//! the measured quality and construction cost of the parameter-free doubling
+//! construction.
+//!
+//! Run with: `cargo run --release --example genus_scaling`
+
+use low_congestion_shortcuts::core::construction::{doubling_search, DoublingConfig};
+use low_congestion_shortcuts::graph::{diameter_exact, generators, NodeId, RootedTree};
+
+fn main() {
+    let (rows, cols) = (16usize, 16usize);
+    println!(
+        "{:>6} {:>6} {:>8} {:>12} {:>8} {:>10} {:>12}",
+        "genus", "D", "depth(T)", "congestion", "block", "dilation", "rounds"
+    );
+    for g in [0usize, 1, 2, 4, 8] {
+        let graph = generators::genus_handles(rows, cols, g);
+        let partition = generators::partitions::grid_columns(rows, cols);
+        let tree = RootedTree::bfs(&graph, NodeId::new(0));
+        let result = doubling_search(&graph, &tree, &partition, DoublingConfig::new())
+            .expect("handle graphs admit good shortcuts");
+        let quality = result.shortcut.quality(&graph, &partition);
+        println!(
+            "{:>6} {:>6} {:>8} {:>12} {:>8} {:>10} {:>12}",
+            g,
+            diameter_exact(&graph),
+            tree.depth_of_tree(),
+            quality.congestion,
+            quality.block_parameter,
+            quality.dilation,
+            result.total_rounds()
+        );
+    }
+}

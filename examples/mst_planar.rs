@@ -1,0 +1,41 @@
+//! Distributed MST on planar networks: shortcuts versus the baselines.
+//!
+//! The wheel graph is the paper's motivation in miniature: the network
+//! diameter is 2, but as Boruvka merges parts the parts become long arcs of
+//! the rim, so the no-shortcut algorithm pays the arc length every phase
+//! while the shortcut-based algorithm keeps every phase polylogarithmic.
+//!
+//! Run with: `cargo run --release --example mst_planar`
+
+use low_congestion_shortcuts::graph::{generators, kruskal_mst, EdgeWeights, Graph};
+use low_congestion_shortcuts::mst::{boruvka_mst, BoruvkaConfig, ShortcutStrategy};
+
+fn run(name: &str, graph: &Graph, seed: u64) {
+    let weights = EdgeWeights::random_permutation(graph, seed);
+    let reference = kruskal_mst(graph, &weights);
+
+    println!("== {name}: n = {}, m = {} ==", graph.node_count(), graph.edge_count());
+    println!("{:<28} {:>8} {:>10} {:>12}", "strategy", "phases", "rounds", "correct");
+    for (label, strategy) in [
+        ("doubling shortcuts", ShortcutStrategy::Doubling),
+        ("no shortcuts (baseline)", ShortcutStrategy::NoShortcut),
+        ("whole-tree shortcut", ShortcutStrategy::WholeTree),
+    ] {
+        let outcome = boruvka_mst(graph, &weights, &BoruvkaConfig::new(strategy).with_seed(seed))
+            .expect("MST computation succeeds");
+        println!(
+            "{:<28} {:>8} {:>10} {:>12}",
+            label,
+            outcome.phases,
+            outcome.total_rounds(),
+            outcome.edges == reference
+        );
+    }
+    println!();
+}
+
+fn main() {
+    run("wheel W_257 (planar, D = 2)", &generators::wheel(257), 11);
+    run("grid 16x16 (planar)", &generators::grid(16, 16), 12);
+    run("torus 12x12 (genus 1)", &generators::torus(12, 12), 13);
+}

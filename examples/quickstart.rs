@@ -1,0 +1,76 @@
+//! Quickstart: construct a tree-restricted shortcut on a planar grid and
+//! inspect it.
+//!
+//! This example reproduces the situation of Figure 1 of the paper: a part of
+//! a partitioned graph, its shortcut subgraph restricted to a BFS tree, and
+//! the decomposition of that subgraph into block components.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use low_congestion_shortcuts::core::construction::{doubling_search, DoublingConfig};
+use low_congestion_shortcuts::graph::{generators, NodeId, PartId, RootedTree};
+
+fn main() {
+    // A 16x16 planar grid partitioned into its 16 columns.
+    let (rows, cols) = (16usize, 16usize);
+    let graph = generators::grid(rows, cols);
+    let partition = generators::partitions::grid_columns(rows, cols);
+    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+
+    println!("graph: {rows}x{cols} grid, n = {}, m = {}", graph.node_count(), graph.edge_count());
+    println!(
+        "partition: {} parts (columns), max part diameter {}",
+        partition.part_count(),
+        partition.max_part_diameter(&graph)
+    );
+    println!("BFS tree depth D = {}", tree.depth_of_tree());
+    println!();
+
+    // Construct a shortcut without knowing the canonical parameters
+    // (Appendix A doubling search over the Theorem 3 construction).
+    let result = doubling_search(&graph, &tree, &partition, DoublingConfig::new())
+        .expect("the grid admits good tree-restricted shortcuts");
+    let quality = result.shortcut.quality(&graph, &partition);
+
+    println!(
+        "doubling search succeeded at guesses (c = {}, b = {})",
+        result.congestion_guess, result.block_guess
+    );
+    println!(
+        "construction cost: {} CONGEST rounds over {} attempt(s)",
+        result.total_rounds(),
+        result.attempts.len()
+    );
+    println!(
+        "measured quality: congestion = {}, block parameter = {}, dilation = {}",
+        quality.congestion, quality.block_parameter, quality.dilation
+    );
+    println!(
+        "Lemma 1 check (dilation <= b(2D+1)): {}",
+        quality.satisfies_lemma1(tree.depth_of_tree())
+    );
+    println!();
+
+    // Figure 1: the block decomposition of one part's shortcut subgraph.
+    let part = PartId::new(cols / 2);
+    let blocks = result.shortcut.block_components(&graph, &tree, &partition, part);
+    println!(
+        "part {part} (column {}) uses {} tree edges, decomposed into {} block component(s):",
+        cols / 2,
+        result.shortcut.edges_of(part).len(),
+        blocks.len()
+    );
+    for (i, block) in blocks.iter().enumerate() {
+        println!(
+            "  block {i}: root {} at depth {}, {} nodes ({} of them part members)",
+            block.root,
+            block.root_depth,
+            block.nodes.len(),
+            block
+                .nodes
+                .iter()
+                .filter(|v| partition.part_of(**v) == Some(part))
+                .count()
+        );
+    }
+}

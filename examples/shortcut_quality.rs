@@ -1,0 +1,50 @@
+//! CoreSlow versus CoreFast: rounds and output quality (Lemmas 5 and 7).
+//!
+//! Both core subroutines compute a tentative shortcut with bounded
+//! congestion in which at least half the parts are already good; the
+//! difference is the price: `O(D·c)` rounds for the deterministic version
+//! versus `O(D log n + c)` for the sampled one. This example measures both
+//! on grids partitioned into random BFS balls, for growing congestion
+//! parameters.
+//!
+//! Run with: `cargo run --release --example shortcut_quality`
+
+use low_congestion_shortcuts::core::construction::{core_fast, core_slow, CoreFastConfig};
+use low_congestion_shortcuts::graph::{generators, NodeId, RootedTree};
+
+fn main() {
+    let (rows, cols) = (20usize, 20usize);
+    let graph = generators::grid(rows, cols);
+    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    println!("grid {rows}x{cols}, depth(T) = {}", tree.depth_of_tree());
+    println!(
+        "{:>6} {:>6} {:>12} {:>12} {:>14} {:>14}",
+        "parts", "c", "slow rounds", "fast rounds", "slow good/N", "fast good/N"
+    );
+    for &parts in &[8usize, 20, 50, 100] {
+        let partition = generators::partitions::random_bfs_balls(&graph, parts, 1);
+        let active = vec![true; partition.part_count()];
+        let c = parts.max(4) / 2;
+        let b = 4usize;
+
+        let slow = core_slow(&graph, &tree, &partition, c, &active);
+        let fast =
+            core_fast(&graph, &tree, &partition, &CoreFastConfig::new(c).with_seed(1), &active);
+
+        let good = |counts: &[usize]| counts.iter().filter(|&&k| k <= 3 * b).count();
+        let slow_counts = slow.shortcut.block_counts(&graph, &partition);
+        let fast_counts = fast.shortcut.block_counts(&graph, &partition);
+
+        println!(
+            "{:>6} {:>6} {:>12} {:>12} {:>11}/{:<3} {:>11}/{:<3}",
+            parts,
+            c,
+            slow.rounds,
+            fast.rounds,
+            good(&slow_counts),
+            parts,
+            good(&fast_counts),
+            parts
+        );
+    }
+}

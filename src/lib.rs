@@ -1,0 +1,37 @@
+//! Umbrella crate for the *Low-Congestion Shortcuts without Embedding*
+//! reproduction (Haeupler, Izumi, Zuzic — PODC 2016).
+//!
+//! This crate simply re-exports the workspace members under one roof so the
+//! examples and integration tests can depend on a single package:
+//!
+//! * [`graph`] — graph substrate: structures, generators, spanning trees,
+//!   partitions, centralized reference algorithms,
+//! * [`congest`] — the synchronous CONGEST-model simulator,
+//! * [`core`] — tree-restricted shortcuts: definitions, routing,
+//!   construction (`CoreSlow`, `CoreFast`, `FindShortcut`, doubling),
+//! * [`mst`] — applications: distributed Boruvka MST, part-wise aggregation,
+//!   and the baselines used by the experiments.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the reproduced quantitative claims.
+//!
+//! # Quick start
+//!
+//! ```
+//! use low_congestion_shortcuts::core::construction::{doubling_search, DoublingConfig};
+//! use low_congestion_shortcuts::graph::{generators, NodeId, RootedTree};
+//!
+//! let graph = generators::wheel(33);
+//! let tree = RootedTree::bfs(&graph, NodeId::new(0));
+//! let partition = generators::partitions::wheel_arcs(33, 4);
+//! let result = doubling_search(&graph, &tree, &partition, DoublingConfig::new()).unwrap();
+//! assert_eq!(result.shortcut.quality(&graph, &partition).block_parameter, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lcs_congest as congest;
+pub use lcs_core as core;
+pub use lcs_graph as graph;
+pub use lcs_mst as mst;

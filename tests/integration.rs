@@ -1,0 +1,172 @@
+//! Cross-crate integration tests: the full pipeline from graph generation
+//! through shortcut construction and routing to the MST application,
+//! validated against centralized references.
+
+use low_congestion_shortcuts::core::construction::{
+    doubling_search, DoublingConfig, FindShortcut, FindShortcutConfig,
+};
+use low_congestion_shortcuts::core::existential::reference_parameters;
+use low_congestion_shortcuts::core::routing::PartRouter;
+use low_congestion_shortcuts::graph::{
+    diameter_exact, generators, kruskal_mst, EdgeWeights, NodeId, RootedTree,
+};
+use low_congestion_shortcuts::mst::{
+    boruvka_mst, part_aggregate, verify, BoruvkaConfig, ShortcutStrategy,
+};
+
+/// End-to-end pipeline on a planar grid: generate, construct shortcuts with
+/// the doubling search, route, and solve MST — everything must agree with
+/// the centralized references.
+#[test]
+fn full_pipeline_on_planar_grid() {
+    let graph = generators::grid(10, 10);
+    let partition = generators::partitions::grid_columns(10, 10);
+    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+
+    // Shortcut construction without knowing (c, b).
+    let constructed = doubling_search(&graph, &tree, &partition, DoublingConfig::new()).unwrap();
+    let quality = constructed.shortcut.quality(&graph, &partition);
+    assert!(quality.block_parameter <= 3 * constructed.block_guess);
+    assert!(quality.satisfies_lemma1(tree.depth_of_tree()));
+
+    // Routing on the constructed shortcut: per-part member counts.
+    let router = PartRouter::new(&graph, &tree, &partition, &constructed.shortcut);
+    assert!(router.supergraphs_connected());
+    let ones: Vec<Option<u64>> = graph.nodes().map(|v| partition.part_of(v).map(|_| 1)).collect();
+    let sums = router.aggregate_to_leaders(&ones, |a, b| a + b);
+    for p in partition.parts() {
+        assert_eq!(sums.values[p.index()], Some(partition.members(p).len() as u64));
+    }
+
+    // Distributed MST matches Kruskal.
+    let weights = EdgeWeights::random_permutation(&graph, 99);
+    let outcome =
+        boruvka_mst(&graph, &weights, &BoruvkaConfig::new(ShortcutStrategy::Doubling)).unwrap();
+    assert_eq!(outcome.edges, kruskal_mst(&graph, &weights));
+    assert!(verify::is_minimum_spanning_tree(&graph, &weights, &outcome.edges));
+}
+
+/// The headline separation: on a wheel (network diameter 2, long rim arcs)
+/// the shortcut-based MST routing beats the part-internal baseline, and both
+/// compute the same (correct) tree.
+#[test]
+fn shortcut_mst_beats_baseline_routing_on_low_diameter_planar_graphs() {
+    let graph = generators::wheel(257);
+    assert_eq!(diameter_exact(&graph), 2);
+    let weights = EdgeWeights::random_permutation(&graph, 5);
+
+    let with_shortcuts = boruvka_mst(
+        &graph,
+        &weights,
+        &BoruvkaConfig::new(ShortcutStrategy::FindShortcut { congestion: 2, block: 2 }),
+    )
+    .unwrap();
+    let baseline =
+        boruvka_mst(&graph, &weights, &BoruvkaConfig::new(ShortcutStrategy::NoShortcut)).unwrap();
+
+    assert_eq!(with_shortcuts.edges, baseline.edges);
+    assert_eq!(with_shortcuts.edges, kruskal_mst(&graph, &weights));
+
+    let routing = |outcome: &low_congestion_shortcuts::mst::MstOutcome| -> u64 {
+        outcome
+            .cost
+            .entries()
+            .iter()
+            .filter(|(label, _)| label.contains("min-outgoing-edge"))
+            .map(|(_, rounds)| rounds)
+            .sum()
+    };
+    assert!(
+        routing(&with_shortcuts) < routing(&baseline),
+        "shortcut routing ({}) must beat the baseline ({})",
+        routing(&with_shortcuts),
+        routing(&baseline)
+    );
+}
+
+/// Theorem 3 guarantee, cross-checked through the public API only, on a
+/// genus-1 (toroidal) instance.
+#[test]
+fn theorem3_on_torus_with_reference_parameters() {
+    let graph = generators::torus(10, 10);
+    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    let partition = generators::partitions::random_bfs_balls(&graph, 10, 1);
+    let (_, reference) = reference_parameters(&graph, &tree, &partition);
+
+    let result = FindShortcut::new(FindShortcutConfig::new(
+        reference.congestion.max(1),
+        reference.block_parameter.max(1),
+    ))
+    .run(&graph, &tree, &partition)
+    .unwrap();
+
+    assert!(result.all_parts_good);
+    let quality = result.shortcut.quality(&graph, &partition);
+    assert!(quality.block_parameter <= 3 * reference.block_parameter.max(1));
+    assert!(quality.congestion <= 8 * reference.congestion.max(1) * result.iterations + 1);
+}
+
+/// The lower-bound instance: the framework does not (and should not) help,
+/// but everything still runs and produces correct results.
+#[test]
+fn lower_bound_instance_still_computes_correct_mst() {
+    let (graph, _layout) = generators::lower_bound_graph(6, 24);
+    let weights = EdgeWeights::random_permutation(&graph, 13);
+    let outcome =
+        boruvka_mst(&graph, &weights, &BoruvkaConfig::new(ShortcutStrategy::Doubling)).unwrap();
+    assert_eq!(outcome.edges, kruskal_mst(&graph, &weights));
+}
+
+/// Part-wise aggregation through the umbrella API on a genus-g handle graph.
+#[test]
+fn part_aggregate_on_genus_graph() {
+    let graph = generators::genus_handles(10, 10, 3);
+    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    let partition = generators::partitions::grid_columns(10, 10);
+    let constructed = doubling_search(&graph, &tree, &partition, DoublingConfig::new()).unwrap();
+
+    // Every member contributes its degree; the per-part sums must match a
+    // direct computation.
+    let degrees: Vec<Option<u64>> = graph
+        .nodes()
+        .map(|v| partition.part_of(v).map(|_| graph.degree(v) as u64))
+        .collect();
+    let outcome = part_aggregate(
+        &graph,
+        &tree,
+        &partition,
+        &constructed.shortcut,
+        &degrees,
+        |a, b| a + b,
+    );
+    for p in partition.parts() {
+        let expected: u64 = partition.members(p).iter().map(|&v| graph.degree(v) as u64).sum();
+        assert_eq!(outcome.values[p.index()], Some(expected));
+    }
+    assert!(outcome.rounds > 0);
+}
+
+/// Round counts reported by the construction are internally consistent: the
+/// per-iteration breakdown sums to the total, and more parts cannot make the
+/// empty-work case cheaper than the real one.
+#[test]
+fn round_accounting_is_consistent() {
+    let graph = generators::grid(12, 12);
+    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    let partition = generators::partitions::grid_columns(12, 12);
+    let (_, reference) = reference_parameters(&graph, &tree, &partition);
+    let result = FindShortcut::new(FindShortcutConfig::new(
+        reference.congestion.max(1),
+        reference.block_parameter.max(1),
+    ))
+    .run(&graph, &tree, &partition)
+    .unwrap();
+
+    let breakdown_sum: u64 = result.cost.entries().iter().map(|(_, r)| r).sum();
+    assert_eq!(breakdown_sum, result.total_rounds());
+    assert!(result.cost.total_for_prefix("iteration-1/") > 0);
+    // Every executed iteration appears in the breakdown.
+    for i in 1..=result.iterations {
+        assert!(result.cost.total_for_prefix(&format!("iteration-{i}/")) > 0);
+    }
+}
