@@ -14,9 +14,7 @@ fn bench_e1(c: &mut Criterion) {
         let tree = RootedTree::bfs(&graph, NodeId::new(0));
         let partition = generators::partitions::grid_columns(side, side);
         group.bench_with_input(BenchmarkId::new("grid_doubling", side), &side, |b, _| {
-            b.iter(|| {
-                doubling_search(&graph, &tree, &partition, DoublingConfig::new()).unwrap()
-            })
+            b.iter(|| doubling_search(&graph, &tree, &partition, DoublingConfig::new()).unwrap())
         });
     }
     for genus in [1usize, 4] {
@@ -24,9 +22,7 @@ fn bench_e1(c: &mut Criterion) {
         let tree = RootedTree::bfs(&graph, NodeId::new(0));
         let partition = generators::partitions::grid_columns(12, 12);
         group.bench_with_input(BenchmarkId::new("genus_doubling", genus), &genus, |b, _| {
-            b.iter(|| {
-                doubling_search(&graph, &tree, &partition, DoublingConfig::new()).unwrap()
-            })
+            b.iter(|| doubling_search(&graph, &tree, &partition, DoublingConfig::new()).unwrap())
         });
     }
     group.finish();

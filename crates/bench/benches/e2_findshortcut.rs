@@ -19,7 +19,11 @@ fn bench_e2(c: &mut Criterion) {
             reference.block_parameter.max(1),
         );
         group.bench_with_input(BenchmarkId::new("grid_columns", side), &side, |b, _| {
-            b.iter(|| FindShortcut::new(config).run(&graph, &tree, &partition).unwrap())
+            b.iter(|| {
+                FindShortcut::new(config)
+                    .run(&graph, &tree, &partition)
+                    .unwrap()
+            })
         });
     }
     group.finish();

@@ -12,8 +12,9 @@ fn bench_e3(c: &mut Criterion) {
     let tree = RootedTree::bfs(&graph, NodeId::new(0));
     let all: Vec<NodeId> = graph.nodes().collect();
     for load in [2usize, 8, 32] {
-        let family: Vec<SubtreeSpec> =
-            (0..load).map(|_| SubtreeSpec::new(&tree, all.clone())).collect();
+        let family: Vec<SubtreeSpec> = (0..load)
+            .map(|_| SubtreeSpec::new(&tree, all.clone()))
+            .collect();
         group.bench_with_input(BenchmarkId::new("overlapping_path", load), &load, |b, _| {
             b.iter(|| convergecast_rounds(&tree, &family, RoutingPriority::BlockRootDepth))
         });

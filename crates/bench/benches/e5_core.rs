@@ -18,7 +18,13 @@ fn bench_e5(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("core_fast", parts), &parts, |b, _| {
             b.iter(|| {
-                core_fast(&graph, &tree, &partition, &CoreFastConfig::new(congestion), &active)
+                core_fast(
+                    &graph,
+                    &tree,
+                    &partition,
+                    &CoreFastConfig::new(congestion),
+                    &active,
+                )
             })
         });
     }

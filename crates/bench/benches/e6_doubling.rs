@@ -1,9 +1,7 @@
 //! E6 benchmark: the Appendix A doubling search vs known parameters.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lcs_core::construction::{
-    doubling_search, DoublingConfig, FindShortcut, FindShortcutConfig,
-};
+use lcs_core::construction::{doubling_search, DoublingConfig, FindShortcut, FindShortcutConfig};
 use lcs_core::existential::reference_parameters;
 use lcs_graph::{generators, NodeId, RootedTree};
 
@@ -20,12 +18,14 @@ fn bench_e6(c: &mut Criterion) {
             reference.block_parameter.max(1),
         );
         group.bench_with_input(BenchmarkId::new("known_parameters", side), &side, |b, _| {
-            b.iter(|| FindShortcut::new(config).run(&graph, &tree, &partition).unwrap())
+            b.iter(|| {
+                FindShortcut::new(config)
+                    .run(&graph, &tree, &partition)
+                    .unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("doubling", side), &side, |b, _| {
-            b.iter(|| {
-                doubling_search(&graph, &tree, &partition, DoublingConfig::new()).unwrap()
-            })
+            b.iter(|| doubling_search(&graph, &tree, &partition, DoublingConfig::new()).unwrap())
         });
     }
     group.finish();

@@ -9,9 +9,11 @@ use lcs_bench::{
     e6_doubling_table, e7_guarantees_table, render_table, Table,
 };
 
+type TableBuilder = fn() -> Table;
+
 fn main() {
     let requested: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
-    let all: Vec<(&str, fn() -> Table)> = vec![
+    let all: Vec<(&str, TableBuilder)> = vec![
         ("e1", e1_quality_table),
         ("e2", e2_findshortcut_table),
         ("e3", e3_routing_table),

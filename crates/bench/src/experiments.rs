@@ -86,7 +86,11 @@ pub fn e1_quality_table() -> Table {
     for genus in [1usize, 2, 4, 8] {
         let graph = generators::genus_handles(16, 16, genus);
         let partition = generators::partitions::grid_columns(16, 16);
-        push_row(format!("16x16 + {genus} handles (genus <= {genus})"), &graph, &partition);
+        push_row(
+            format!("16x16 + {genus} handles (genus <= {genus})"),
+            &graph,
+            &partition,
+        );
     }
     {
         let graph = generators::torus(16, 16);
@@ -102,10 +106,19 @@ pub fn e1_quality_table() -> Table {
     Table {
         title: "E1: shortcut quality on planar / genus-g families (doubling construction)"
             .to_string(),
-        headers: ["family", "n", "D", "N", "congestion", "block", "dilation", "rounds"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        headers: [
+            "family",
+            "n",
+            "D",
+            "N",
+            "congestion",
+            "block",
+            "dilation",
+            "rounds",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows,
     }
 }
@@ -122,7 +135,9 @@ pub fn e2_findshortcut_table() -> Table {
             reference.block_parameter.max(1),
         )
         .with_seed(1);
-        let result = FindShortcut::new(config).run(&graph, &tree, &partition).unwrap();
+        let result = FindShortcut::new(config)
+            .run(&graph, &tree, &partition)
+            .unwrap();
         let q = result.shortcut.quality(&graph, &partition);
         rows.push(vec![
             format!("grid {side}x{side}, columns"),
@@ -149,7 +164,9 @@ pub fn e2_findshortcut_table() -> Table {
             reference.block_parameter.max(1),
         )
         .with_seed(2);
-        let result = FindShortcut::new(config).run(&graph, &tree, &partition).unwrap();
+        let result = FindShortcut::new(config)
+            .run(&graph, &tree, &partition)
+            .unwrap();
         let q = result.shortcut.quality(&graph, &partition);
         rows.push(vec![
             format!("grid {side}x{side}, {parts} BFS balls"),
@@ -167,8 +184,16 @@ pub fn e2_findshortcut_table() -> Table {
     Table {
         title: "E2: FindShortcut (Theorem 3) scaling — rounds vs n, D and N".to_string(),
         headers: [
-            "instance", "n", "depth(T)", "N", "(c, b) ref", "iterations", "rounds",
-            "out congestion", "out block", "all good",
+            "instance",
+            "n",
+            "depth(T)",
+            "N",
+            "(c, b) ref",
+            "iterations",
+            "rounds",
+            "out congestion",
+            "out block",
+            "all good",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -185,8 +210,9 @@ pub fn e3_routing_table() -> Table {
     let tree = RootedTree::bfs(&graph, NodeId::new(0));
     let all: Vec<NodeId> = graph.nodes().collect();
     for c in [1usize, 2, 4, 8, 16, 32] {
-        let family: Vec<SubtreeSpec> =
-            (0..c).map(|_| SubtreeSpec::new(&tree, all.clone())).collect();
+        let family: Vec<SubtreeSpec> = (0..c)
+            .map(|_| SubtreeSpec::new(&tree, all.clone()))
+            .collect();
         let lemma2 = convergecast_rounds(&tree, &family, RoutingPriority::BlockRootDepth);
         let reverse = convergecast_rounds(&tree, &family, RoutingPriority::ReverseDepth);
         rows.push(vec![
@@ -203,9 +229,7 @@ pub fn e3_routing_table() -> Table {
     let tree = RootedTree::bfs(&graph, NodeId::new(0));
     for c in [8usize, 16, 32] {
         let family: Vec<SubtreeSpec> = (0..c)
-            .map(|k| {
-                SubtreeSpec::new(&tree, (k * (240 / c)..240).map(NodeId::new).collect())
-            })
+            .map(|k| SubtreeSpec::new(&tree, (k * (240 / c)..240).map(NodeId::new).collect()))
             .collect();
         let lemma2 = convergecast_rounds(&tree, &family, RoutingPriority::BlockRootDepth);
         let reverse = convergecast_rounds(&tree, &family, RoutingPriority::ReverseDepth);
@@ -261,10 +285,16 @@ pub fn e4_mst_table() -> Table {
             ShortcutStrategy::NoShortcut,
             ShortcutStrategy::WholeTree,
         ] {
-            let outcome =
-                boruvka_mst(graph, &weights, &BoruvkaConfig::new(strategy).with_seed(seed))
-                    .expect("MST succeeds");
-            assert_eq!(outcome.edges, reference, "distributed MST must match Kruskal");
+            let outcome = boruvka_mst(
+                graph,
+                &weights,
+                &BoruvkaConfig::new(strategy).with_seed(seed),
+            )
+            .expect("MST succeeds");
+            assert_eq!(
+                outcome.edges, reference,
+                "distributed MST must match Kruskal"
+            );
             cells.push(outcome.total_rounds().to_string());
             if matches!(strategy, ShortcutStrategy::Doubling) {
                 cells.push(outcome.phases.to_string());
@@ -314,8 +344,13 @@ pub fn e5_core_table() -> Table {
         let c = reference.congestion.max(1);
         let b = reference.block_parameter.max(1);
         let slow = core_slow(&graph, &tree, &partition, c, &active);
-        let fast =
-            core_fast(&graph, &tree, &partition, &CoreFastConfig::new(c).with_seed(5), &active);
+        let fast = core_fast(
+            &graph,
+            &tree,
+            &partition,
+            &CoreFastConfig::new(c).with_seed(5),
+            &active,
+        );
         let good = |shortcut: &lcs_core::TreeShortcut| {
             shortcut
                 .block_counts(&graph, &partition)
@@ -342,10 +377,18 @@ pub fn e5_core_table() -> Table {
         ]);
     }
     Table {
-        title: "E5: CoreSlow (Lemma 7) vs CoreFast (Lemma 5) — rounds, good parts, max edge assignment".to_string(),
+        title:
+            "E5: CoreSlow (Lemma 7) vs CoreFast (Lemma 5) — rounds, good parts, max edge assignment"
+                .to_string(),
         headers: [
-            "instance", "(c, b) ref", "slow rounds", "fast rounds", "slow good", "fast good",
-            "slow max/edge", "fast max/edge",
+            "instance",
+            "(c, b) ref",
+            "slow rounds",
+            "fast rounds",
+            "slow good",
+            "fast good",
+            "slow max/edge",
+            "fast max/edge",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -362,13 +405,21 @@ pub fn e6_doubling_table() -> Table {
         let (graph, tree, partition) = grid_instance(side);
         let (_, reference) = reference_parameters(&graph, &tree, &partition);
         let known = FindShortcut::new(
-            FindShortcutConfig::new(reference.congestion.max(1), reference.block_parameter.max(1))
-                .with_seed(3),
+            FindShortcutConfig::new(
+                reference.congestion.max(1),
+                reference.block_parameter.max(1),
+            )
+            .with_seed(3),
         )
         .run(&graph, &tree, &partition)
         .unwrap();
-        let unknown =
-            doubling_search(&graph, &tree, &partition, DoublingConfig::new().with_seed(3)).unwrap();
+        let unknown = doubling_search(
+            &graph,
+            &tree,
+            &partition,
+            DoublingConfig::new().with_seed(3),
+        )
+        .unwrap();
         rows.push(vec![
             format!("grid {side}x{side}, columns"),
             format!("({}, {})", reference.congestion, reference.block_parameter),
@@ -376,14 +427,22 @@ pub fn e6_doubling_table() -> Table {
             format!("({}, {})", unknown.congestion_guess, unknown.block_guess),
             unknown.attempts.len().to_string(),
             unknown.total_rounds().to_string(),
-            format!("{:.2}", unknown.total_rounds() as f64 / known.total_rounds().max(1) as f64),
+            format!(
+                "{:.2}",
+                unknown.total_rounds() as f64 / known.total_rounds().max(1) as f64
+            ),
         ]);
     }
     Table {
         title: "E6: Appendix A doubling search vs known parameters".to_string(),
         headers: [
-            "instance", "(c, b) known", "rounds (known)", "(c, b) found", "attempts",
-            "rounds (doubling)", "overhead",
+            "instance",
+            "(c, b) known",
+            "rounds (known)",
+            "(c, b) found",
+            "attempts",
+            "rounds (doubling)",
+            "overhead",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -396,33 +455,36 @@ pub fn e6_doubling_table() -> Table {
 /// block ≤ 3b, dilation ≤ b(2D+1).
 pub fn e7_guarantees_table() -> Table {
     let mut rows = Vec::new();
-    let mut check = |family: &str,
-                     graph: &lcs_graph::Graph,
-                     tree: &RootedTree,
-                     partition: &Partition| {
-        let (_, reference) = reference_parameters(graph, tree, partition);
-        let c = reference.congestion.max(1);
-        let b = reference.block_parameter.max(1);
-        let result = FindShortcut::new(FindShortcutConfig::new(c, b).with_seed(9))
-            .run(graph, tree, partition)
-            .unwrap();
-        let q = result.shortcut.quality(graph, partition);
-        let congestion_bound = 8 * c * result.iterations.max(1) + 1;
-        rows.push(vec![
-            family.to_string(),
-            format!("({c}, {b})"),
-            result.all_parts_good.to_string(),
-            format!("{} <= {}", q.block_parameter, 3 * b),
-            (q.block_parameter <= 3 * b).to_string(),
-            format!("{} <= {}", q.congestion, congestion_bound),
-            (q.congestion <= congestion_bound).to_string(),
-            q.satisfies_lemma1(tree.depth_of_tree()).to_string(),
-        ]);
-    };
+    let mut check =
+        |family: &str, graph: &lcs_graph::Graph, tree: &RootedTree, partition: &Partition| {
+            let (_, reference) = reference_parameters(graph, tree, partition);
+            let c = reference.congestion.max(1);
+            let b = reference.block_parameter.max(1);
+            let result = FindShortcut::new(FindShortcutConfig::new(c, b).with_seed(9))
+                .run(graph, tree, partition)
+                .unwrap();
+            let q = result.shortcut.quality(graph, partition);
+            let congestion_bound = 8 * c * result.iterations.max(1) + 1;
+            rows.push(vec![
+                family.to_string(),
+                format!("({c}, {b})"),
+                result.all_parts_good.to_string(),
+                format!("{} <= {}", q.block_parameter, 3 * b),
+                (q.block_parameter <= 3 * b).to_string(),
+                format!("{} <= {}", q.congestion, congestion_bound),
+                (q.congestion <= congestion_bound).to_string(),
+                q.satisfies_lemma1(tree.depth_of_tree()).to_string(),
+            ]);
+        };
 
     for side in [8usize, 16] {
         let (graph, tree, partition) = grid_instance(side);
-        check(&format!("grid {side}x{side}, columns"), &graph, &tree, &partition);
+        check(
+            &format!("grid {side}x{side}, columns"),
+            &graph,
+            &tree,
+            &partition,
+        );
     }
     {
         let graph = generators::torus(12, 12);
@@ -452,8 +514,14 @@ pub fn e7_guarantees_table() -> Table {
     Table {
         title: "E7: Theorem 3 / Lemma 1 guarantee validation across families".to_string(),
         headers: [
-            "family", "(c, b) ref", "all good", "block <= 3b", "ok", "congestion <= 8c*iter",
-            "ok", "Lemma 1",
+            "family",
+            "(c, b) ref",
+            "all good",
+            "block <= 3b",
+            "ok",
+            "congestion <= 8c*iter",
+            "ok",
+            "Lemma 1",
         ]
         .iter()
         .map(|s| s.to_string())

@@ -25,7 +25,10 @@ impl NodeContext {
 
     /// Returns the edge towards `neighbor`, if adjacent.
     pub fn edge_to(&self, neighbor: NodeId) -> Option<EdgeId> {
-        self.neighbors.iter().find(|(v, _)| *v == neighbor).map(|&(_, e)| e)
+        self.neighbors
+            .iter()
+            .find(|(v, _)| *v == neighbor)
+            .map(|&(_, e)| e)
     }
 }
 
@@ -90,7 +93,10 @@ mod tests {
     fn node_context_lookup() {
         let ctx = NodeContext {
             node: NodeId::new(3),
-            neighbors: vec![(NodeId::new(1), EdgeId::new(0)), (NodeId::new(5), EdgeId::new(7))],
+            neighbors: vec![
+                (NodeId::new(1), EdgeId::new(0)),
+                (NodeId::new(5), EdgeId::new(7)),
+            ],
             node_count_bound: 10,
         };
         assert_eq!(ctx.degree(), 2);

@@ -61,7 +61,12 @@ impl DistributedBfs {
             depths.push(depth);
             parents.push(node.parent);
         }
-        Ok(BfsOutcome { root, depths, parents, stats: outcome.stats })
+        Ok(BfsOutcome {
+            root,
+            depths,
+            parents,
+            stats: outcome.stats,
+        })
     }
 
     /// Convenience wrapper: build a simulator with the default configuration
@@ -82,13 +87,21 @@ impl NodeProtocol for DistributedBfs {
     fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<u32>> {
         if ctx.node == self.root {
             self.must_announce = false;
-            ctx.neighbors.iter().map(|&(v, _)| Outgoing::new(v, 0)).collect()
+            ctx.neighbors
+                .iter()
+                .map(|&(v, _)| Outgoing::new(v, 0))
+                .collect()
         } else {
             Vec::new()
         }
     }
 
-    fn on_round(&mut self, ctx: &NodeContext, _round: u64, incoming: &[Incoming<u32>]) -> Vec<Outgoing<u32>> {
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext,
+        _round: u64,
+        incoming: &[Incoming<u32>],
+    ) -> Vec<Outgoing<u32>> {
         if self.depth.is_none() {
             // Adopt the first (and therefore smallest-level) announcement;
             // ties are broken by the smallest sender id for determinism.
@@ -157,7 +170,10 @@ mod tests {
         // exactly eccentricity(root) rounds.
         assert_eq!(outcome.stats.rounds, 39);
         let tree = RootedTree::bfs(&g, NodeId::new(0));
-        assert_eq!(outcome.depths.iter().copied().max().unwrap(), tree.depth_of_tree());
+        assert_eq!(
+            outcome.depths.iter().copied().max().unwrap(),
+            tree.depth_of_tree()
+        );
     }
 
     #[test]

@@ -51,7 +51,12 @@ impl NodeProtocol for ConvergecastNode {
         self.maybe_send()
     }
 
-    fn on_round(&mut self, _ctx: &NodeContext, _round: u64, incoming: &[Incoming<u64>]) -> Vec<Outgoing<u64>> {
+    fn on_round(
+        &mut self,
+        _ctx: &NodeContext,
+        _round: u64,
+        incoming: &[Incoming<u64>],
+    ) -> Vec<Outgoing<u64>> {
         for msg in incoming {
             self.accumulator = self.op.combine(self.accumulator, msg.msg);
             self.pending_children -= 1;
@@ -102,7 +107,11 @@ pub fn tree_aggregate(
     values: &[u64],
     op: AggregateOp,
 ) -> crate::Result<TreeAggregateOutcome> {
-    assert_eq!(values.len(), graph.node_count(), "one value per node is required");
+    assert_eq!(
+        values.len(),
+        graph.node_count(),
+        "one value per node is required"
+    );
     let sim = Simulator::new(graph, SimConfig::for_graph(graph));
     let outcome = sim.run(|ctx| ConvergecastNode {
         parent: tree.parent(ctx.node),
@@ -112,7 +121,10 @@ pub fn tree_aggregate(
         sent: false,
     })?;
     let value = outcome.nodes[tree.root().index()].accumulator;
-    Ok(TreeAggregateOutcome { value, stats: outcome.stats })
+    Ok(TreeAggregateOutcome {
+        value,
+        stats: outcome.stats,
+    })
 }
 
 /// Per-node state of the broadcast protocol.
@@ -130,7 +142,12 @@ impl NodeProtocol for BroadcastNode {
         self.maybe_forward()
     }
 
-    fn on_round(&mut self, _ctx: &NodeContext, _round: u64, incoming: &[Incoming<u64>]) -> Vec<Outgoing<u64>> {
+    fn on_round(
+        &mut self,
+        _ctx: &NodeContext,
+        _round: u64,
+        incoming: &[Incoming<u64>],
+    ) -> Vec<Outgoing<u64>> {
         if let Some(first) = incoming.first() {
             self.received.get_or_insert(first.msg);
         }
@@ -147,7 +164,10 @@ impl BroadcastNode {
         match (self.received, self.forwarded) {
             (Some(value), false) => {
                 self.forwarded = true;
-                self.children.iter().map(|&c| Outgoing::new(c, value)).collect()
+                self.children
+                    .iter()
+                    .map(|&c| Outgoing::new(c, value))
+                    .collect()
             }
             _ => Vec::new(),
         }
@@ -177,11 +197,22 @@ pub fn tree_broadcast(
     let sim = Simulator::new(graph, SimConfig::for_graph(graph));
     let outcome = sim.run(|ctx| BroadcastNode {
         children: tree.children(ctx.node).to_vec(),
-        received: if ctx.node == tree.root() { Some(value) } else { None },
+        received: if ctx.node == tree.root() {
+            Some(value)
+        } else {
+            None
+        },
         forwarded: false,
     })?;
-    let received = outcome.nodes.iter().map(|n| n.received.unwrap_or(0)).collect();
-    Ok(TreeBroadcastOutcome { received, stats: outcome.stats })
+    let received = outcome
+        .nodes
+        .iter()
+        .map(|n| n.received.unwrap_or(0))
+        .collect();
+    Ok(TreeBroadcastOutcome {
+        received,
+        stats: outcome.stats,
+    })
 }
 
 #[cfg(test)]
@@ -209,8 +240,18 @@ mod tests {
     fn min_and_max_aggregation() {
         let (g, t) = setup(4, 9);
         let values: Vec<u64> = (0..g.node_count() as u64).map(|v| 1000 - v).collect();
-        assert_eq!(tree_aggregate(&g, &t, &values, AggregateOp::Min).unwrap().value, 1000 - 35);
-        assert_eq!(tree_aggregate(&g, &t, &values, AggregateOp::Max).unwrap().value, 1000);
+        assert_eq!(
+            tree_aggregate(&g, &t, &values, AggregateOp::Min)
+                .unwrap()
+                .value,
+            1000 - 35
+        );
+        assert_eq!(
+            tree_aggregate(&g, &t, &values, AggregateOp::Max)
+                .unwrap()
+                .value,
+            1000
+        );
     }
 
     #[test]

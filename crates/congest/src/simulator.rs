@@ -131,7 +131,9 @@ impl<'g> Simulator<'g> {
                 break;
             }
             if round >= self.config.max_rounds {
-                return Err(SimError::RoundLimitExceeded { limit: self.config.max_rounds });
+                return Err(SimError::RoundLimitExceeded {
+                    limit: self.config.max_rounds,
+                });
             }
             round += 1;
 
@@ -160,11 +162,16 @@ impl<'g> Simulator<'g> {
     ) -> crate::Result<()> {
         let mut sent_to = Vec::with_capacity(outgoing.len());
         for out in outgoing {
-            let edge = ctx
-                .edge_to(out.to)
-                .ok_or(SimError::NotANeighbor { from: ctx.node, to: out.to })?;
+            let edge = ctx.edge_to(out.to).ok_or(SimError::NotANeighbor {
+                from: ctx.node,
+                to: out.to,
+            })?;
             if sent_to.contains(&out.to) {
-                return Err(SimError::DuplicateSend { from: ctx.node, to: out.to, round });
+                return Err(SimError::DuplicateSend {
+                    from: ctx.node,
+                    to: out.to,
+                    round,
+                });
             }
             sent_to.push(out.to);
             let bits = out.msg.size_bits();
@@ -179,7 +186,11 @@ impl<'g> Simulator<'g> {
             stats.messages += 1;
             stats.total_bits += bits as u64;
             stats.max_message_bits = stats.max_message_bits.max(bits);
-            inboxes[out.to.index()].push(Incoming { from: ctx.node, edge, msg: out.msg });
+            inboxes[out.to.index()].push(Incoming {
+                from: ctx.node,
+                edge,
+                msg: out.msg,
+            });
         }
         Ok(())
     }
@@ -203,10 +214,18 @@ mod tests {
 
         fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<()>> {
             self.started = true;
-            ctx.neighbors.iter().map(|&(v, _)| Outgoing::new(v, ())).collect()
+            ctx.neighbors
+                .iter()
+                .map(|&(v, _)| Outgoing::new(v, ()))
+                .collect()
         }
 
-        fn on_round(&mut self, _ctx: &NodeContext, _round: u64, incoming: &[Incoming<()>]) -> Vec<Outgoing<()>> {
+        fn on_round(
+            &mut self,
+            _ctx: &NodeContext,
+            _round: u64,
+            incoming: &[Incoming<()>],
+        ) -> Vec<Outgoing<()>> {
             self.received += incoming.len();
             Vec::new()
         }
@@ -220,7 +239,12 @@ mod tests {
     fn flood_once_delivers_one_message_per_edge_direction() {
         let g = generators::cycle(8);
         let sim = Simulator::new(&g, SimConfig::for_graph(&g));
-        let outcome = sim.run(|_| FloodOnce { received: 0, started: false }).unwrap();
+        let outcome = sim
+            .run(|_| FloodOnce {
+                received: 0,
+                started: false,
+            })
+            .unwrap();
         assert_eq!(outcome.stats.rounds, 1);
         assert_eq!(outcome.stats.messages, 2 * g.edge_count() as u64);
         for node in &outcome.nodes {
@@ -259,7 +283,13 @@ mod tests {
         let g = generators::path(4);
         let sim = Simulator::new(&g, SimConfig::for_graph(&g));
         let err = sim.run(|_| BadSender).unwrap_err();
-        assert_eq!(err, SimError::NotANeighbor { from: NodeId::new(0), to: NodeId::new(3) });
+        assert_eq!(
+            err,
+            SimError::NotANeighbor {
+                from: NodeId::new(0),
+                to: NodeId::new(3)
+            }
+        );
     }
 
     /// A protocol that sends one oversized message.
@@ -296,7 +326,13 @@ mod tests {
         let g = generators::path(3);
         let sim = Simulator::new(&g, SimConfig::for_graph(&g).with_bandwidth_bits(32));
         let err = sim.run(|_| BigTalker).unwrap_err();
-        assert!(matches!(err, SimError::BandwidthExceeded { message_bits: 128, .. }));
+        assert!(matches!(
+            err,
+            SimError::BandwidthExceeded {
+                message_bits: 128,
+                ..
+            }
+        ));
     }
 
     /// A protocol that never terminates (always has pending work).
@@ -335,12 +371,20 @@ mod tests {
             type Message = ();
             fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<()>> {
                 if ctx.node == NodeId::new(0) {
-                    vec![Outgoing::new(NodeId::new(1), ()), Outgoing::new(NodeId::new(1), ())]
+                    vec![
+                        Outgoing::new(NodeId::new(1), ()),
+                        Outgoing::new(NodeId::new(1), ()),
+                    ]
                 } else {
                     Vec::new()
                 }
             }
-            fn on_round(&mut self, _: &NodeContext, _: u64, _: &[Incoming<()>]) -> Vec<Outgoing<()>> {
+            fn on_round(
+                &mut self,
+                _: &NodeContext,
+                _: u64,
+                _: &[Incoming<()>],
+            ) -> Vec<Outgoing<()>> {
                 Vec::new()
             }
             fn is_done(&self) -> bool {

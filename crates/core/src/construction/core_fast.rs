@@ -39,7 +39,11 @@ pub struct CoreFastConfig {
 impl CoreFastConfig {
     /// Creates a configuration with the default `γ = 2` and seed 0.
     pub fn new(congestion_bound: usize) -> Self {
-        CoreFastConfig { congestion_bound, gamma: 2.0, seed: 0 }
+        CoreFastConfig {
+            congestion_bound,
+            gamma: 2.0,
+            seed: 0,
+        }
     }
 
     /// Overrides the sampling constant.
@@ -87,8 +91,16 @@ pub fn core_fast(
     config: &CoreFastConfig,
     active: &[bool],
 ) -> CoreOutcome {
-    assert_eq!(active.len(), partition.part_count(), "one active flag per part is required");
-    assert_eq!(tree.node_count(), graph.node_count(), "tree must span the graph");
+    assert_eq!(
+        active.len(),
+        partition.part_count(),
+        "one active flag per part is required"
+    );
+    assert_eq!(
+        tree.node_count(),
+        graph.node_count(),
+        "tree must span the graph"
+    );
 
     let n = graph.node_count();
     let p_sample = config.sampling_probability(n);
@@ -160,7 +172,9 @@ pub fn core_fast(
         // Collect the sends of this round based on start-of-round state.
         let mut sends: Vec<(usize, usize, PartId)> = Vec::new(); // (from, to, id)
         for v in graph.nodes() {
-            let Some(parent_edge) = tree.parent_edge(v) else { continue };
+            let Some(parent_edge) = tree.parent_edge(v) else {
+                continue;
+            };
             if unusable[parent_edge.index()] {
                 continue;
             }
@@ -169,7 +183,9 @@ pub fn core_fast(
                 .find(|id| !forwarded[v.index()].contains(*id))
                 .copied();
             if let Some(id) = next {
-                let parent = tree.parent(v).expect("nodes with parent edges have parents");
+                let parent = tree
+                    .parent(v)
+                    .expect("nodes with parent edges have parents");
                 sends.push((v.index(), parent.index(), id));
             }
         }
@@ -187,7 +203,9 @@ pub fn core_fast(
     // unless that edge is unusable.
     let mut shortcut = TreeShortcut::empty(graph, partition);
     for v in graph.nodes() {
-        let Some(parent_edge) = tree.parent_edge(v) else { continue };
+        let Some(parent_edge) = tree.parent_edge(v) else {
+            continue;
+        };
         if unusable[parent_edge.index()] {
             continue;
         }
@@ -234,7 +252,13 @@ mod tests {
     #[test]
     fn output_is_a_valid_tree_restricted_shortcut() {
         let (g, t, p) = setup_grid(8, 8);
-        let outcome = core_fast(&g, &t, &p, &CoreFastConfig::new(4).with_seed(7), &all_active(&p));
+        let outcome = core_fast(
+            &g,
+            &t,
+            &p,
+            &CoreFastConfig::new(4).with_seed(7),
+            &all_active(&p),
+        );
         outcome.shortcut.validate(&t, &p).unwrap();
         // Unusable edges carry no assignment.
         for e in outcome.unusable_edges() {
@@ -249,7 +273,13 @@ mod tests {
         // part gets all of its members' ancestor edges.
         let (g, t, p) = setup_grid(6, 6);
         let slow = core_slow(&g, &t, &p, 50, &all_active(&p));
-        let fast = core_fast(&g, &t, &p, &CoreFastConfig::new(50).with_seed(3), &all_active(&p));
+        let fast = core_fast(
+            &g,
+            &t,
+            &p,
+            &CoreFastConfig::new(50).with_seed(3),
+            &all_active(&p),
+        );
         assert!(slow.unusable_edges().is_empty());
         assert!(fast.unusable_edges().is_empty());
         for part in p.parts() {
@@ -264,11 +294,19 @@ mod tests {
         let c = reference.congestion.max(1);
         let b = reference.block_parameter.max(1);
         for seed in 0..5 {
-            let outcome =
-                core_fast(&g, &t, &p, &CoreFastConfig::new(c).with_seed(seed), &all_active(&p));
+            let outcome = core_fast(
+                &g,
+                &t,
+                &p,
+                &CoreFastConfig::new(c).with_seed(seed),
+                &all_active(&p),
+            );
             let counts = outcome.shortcut.block_counts(&g, &p);
             let good = counts.iter().filter(|&&k| k <= 3 * b).count();
-            assert!(good * 2 >= p.part_count(), "seed {seed}: only {good} good parts");
+            assert!(
+                good * 2 >= p.part_count(),
+                "seed {seed}: only {good} good parts"
+            );
         }
     }
 
@@ -281,7 +319,13 @@ mod tests {
         let p = generators::partitions::random_bfs_balls(&g, 36, 1);
         let c = 36;
         let slow = core_slow(&g, &t, &p, c, &all_active(&p));
-        let fast = core_fast(&g, &t, &p, &CoreFastConfig::new(c).with_seed(1), &all_active(&p));
+        let fast = core_fast(
+            &g,
+            &t,
+            &p,
+            &CoreFastConfig::new(c).with_seed(1),
+            &all_active(&p),
+        );
         assert!(
             fast.rounds <= slow.rounds,
             "CoreFast ({}) should not exceed CoreSlow ({}) at large c",
@@ -302,8 +346,20 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let (g, t, p) = setup_grid(6, 6);
-        let a = core_fast(&g, &t, &p, &CoreFastConfig::new(3).with_seed(11), &all_active(&p));
-        let b = core_fast(&g, &t, &p, &CoreFastConfig::new(3).with_seed(11), &all_active(&p));
+        let a = core_fast(
+            &g,
+            &t,
+            &p,
+            &CoreFastConfig::new(3).with_seed(11),
+            &all_active(&p),
+        );
+        let b = core_fast(
+            &g,
+            &t,
+            &p,
+            &CoreFastConfig::new(3).with_seed(11),
+            &all_active(&p),
+        );
         assert_eq!(a.shortcut, b.shortcut);
         assert_eq!(a.rounds, b.rounds);
     }

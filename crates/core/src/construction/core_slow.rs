@@ -34,8 +34,16 @@ pub fn core_slow(
     congestion_bound: usize,
     active: &[bool],
 ) -> CoreOutcome {
-    assert_eq!(active.len(), partition.part_count(), "one active flag per part is required");
-    assert_eq!(tree.node_count(), graph.node_count(), "tree must span the graph");
+    assert_eq!(
+        active.len(),
+        partition.part_count(),
+        "one active flag per part is required"
+    );
+    assert_eq!(
+        tree.node_count(),
+        graph.node_count(),
+        "tree must span the graph"
+    );
     let cap = 2 * congestion_bound.max(1);
 
     let mut shortcut = TreeShortcut::empty(graph, partition);
@@ -54,9 +62,7 @@ pub fn core_slow(
             }
         }
         for &child in tree.children(v) {
-            let child_edge = tree
-                .parent_edge(child)
-                .expect("children have parent edges");
+            let child_edge = tree.parent_edge(child).expect("children have parent edges");
             if unusable[child_edge.index()] {
                 continue;
             }
@@ -85,7 +91,11 @@ pub fn core_slow(
 
     // Level 0 (the root) never sends.
     let rounds: u64 = level_cost.iter().skip(1).sum();
-    CoreOutcome { shortcut, unusable, rounds }
+    CoreOutcome {
+        shortcut,
+        unusable,
+        rounds,
+    }
 }
 
 /// Returns, for every node, the complete list of active parts its parent
@@ -177,7 +187,11 @@ mod tests {
         let outcome = core_slow(&g, &t, &p, c, &all_active(&p));
         let counts = outcome.shortcut.block_counts(&g, &p);
         let good = counts.iter().filter(|&&k| k <= 3 * b).count();
-        assert!(good * 2 >= p.part_count(), "only {good} of {} parts are good", p.part_count());
+        assert!(
+            good * 2 >= p.part_count(),
+            "only {good} of {} parts are good",
+            p.part_count()
+        );
     }
 
     #[test]

@@ -204,13 +204,7 @@ mod tests {
         let g = generators::grid(8, 8);
         let t = RootedTree::bfs(&g, NodeId::new(0));
         let p = generators::partitions::grid_combs(8, 8);
-        let result = doubling_search(
-            &g,
-            &t,
-            &p,
-            DoublingConfig::new().with_seed(3),
-        )
-        .unwrap();
+        let result = doubling_search(&g, &t, &p, DoublingConfig::new().with_seed(3)).unwrap();
         assert!(result.attempts.iter().any(|a| !a.succeeded) || result.attempts.len() == 1);
         // Cost covers every attempt.
         assert_eq!(result.cost.entries().len(), result.attempts.len());
@@ -226,7 +220,10 @@ mod tests {
         let (g, layout) = generators::lower_bound_graph(8, 16);
         let t = RootedTree::bfs(&g, layout.connector(0));
         let p = generators::partitions::lower_bound_paths(&layout);
-        let config = DoublingConfig { max_doublings: 0, ..DoublingConfig::new() };
+        let config = DoublingConfig {
+            max_doublings: 0,
+            ..DoublingConfig::new()
+        };
         let err = doubling_search(&g, &t, &p, config).unwrap_err();
         assert!(matches!(err, CoreError::IterationBudgetExhausted { .. }));
         let _ = NodeId::new(0);

@@ -77,9 +77,8 @@ impl FindShortcutConfig {
     }
 
     fn iteration_budget(&self, part_count: usize) -> usize {
-        self.max_iterations.unwrap_or_else(|| {
-            2 * (usize::BITS - part_count.max(2).leading_zeros()) as usize + 8
-        })
+        self.max_iterations
+            .unwrap_or_else(|| 2 * (usize::BITS - part_count.max(2).leading_zeros()) as usize + 8)
     }
 }
 
@@ -188,14 +187,17 @@ impl FindShortcut {
                 block_threshold,
                 &remaining,
             );
-            cost.charge(format!("iteration-{iterations}/verification"), verified.rounds);
+            cost.charge(
+                format!("iteration-{iterations}/verification"),
+                verified.rounds,
+            );
 
             // Fix the subgraphs of the newly good parts and deactivate them.
-            for p_idx in 0..part_count {
-                if remaining[p_idx] && verified.good[p_idx] {
+            for (p_idx, still_remaining) in remaining.iter_mut().enumerate() {
+                if *still_remaining && verified.good[p_idx] {
                     let part = PartId::new(p_idx);
                     final_shortcut.set_part_edges(tree, part, core.shortcut.edges_of(part))?;
-                    remaining[p_idx] = false;
+                    *still_remaining = false;
                     remaining_count -= 1;
                 }
             }
@@ -277,7 +279,11 @@ mod tests {
         assert!(result.all_parts_good);
         // 10 columns: the log N bound allows ~2*4+8; in practice one or two
         // iterations suffice on this benign instance.
-        assert!(result.iterations <= 4, "took {} iterations", result.iterations);
+        assert!(
+            result.iterations <= 4,
+            "took {} iterations",
+            result.iterations
+        );
         // The cumulative good counts are nondecreasing and end at N.
         let counts = &result.good_after_iteration;
         assert!(counts.windows(2).all(|w| w[0] <= w[1]));
@@ -293,11 +299,9 @@ mod tests {
         let (g, layout) = generators::lower_bound_graph(8, 16);
         let t = RootedTree::bfs(&g, layout.connector(0));
         let p = generators::partitions::lower_bound_paths(&layout);
-        let result = FindShortcut::new(
-            FindShortcutConfig::new(1, 1).with_max_iterations(4),
-        )
-        .run(&g, &t, &p)
-        .unwrap();
+        let result = FindShortcut::new(FindShortcutConfig::new(1, 1).with_max_iterations(4))
+            .run(&g, &t, &p)
+            .unwrap();
         assert_eq!(result.iterations, 4);
         assert!(!result.all_parts_good);
     }

@@ -46,7 +46,11 @@ pub fn verification(
     threshold: usize,
     active: &[bool],
 ) -> VerificationOutcome {
-    assert_eq!(active.len(), partition.part_count(), "one active flag per part is required");
+    assert_eq!(
+        active.len(),
+        partition.part_count(),
+        "one active flag per part is required"
+    );
 
     let mut good = vec![false; partition.part_count()];
     let mut block_counts = vec![0usize; partition.part_count()];
@@ -67,10 +71,13 @@ pub fn verification(
         RoutingPriority::BlockRootDepth,
     );
     let superstep = 2 * schedule.rounds;
-    let rounds =
-        (threshold as u64 + 2) * superstep + u64::from(tree.depth_of_tree());
+    let rounds = (threshold as u64 + 2) * superstep + u64::from(tree.depth_of_tree());
 
-    VerificationOutcome { good, block_counts, rounds }
+    VerificationOutcome {
+        good,
+        block_counts,
+        rounds,
+    }
 }
 
 #[cfg(test)]

@@ -69,7 +69,9 @@ impl Error for CoreError {}
 
 impl From<lcs_congest::SimError> for CoreError {
     fn from(err: lcs_congest::SimError) -> Self {
-        CoreError::Simulation { reason: err.to_string() }
+        CoreError::Simulation {
+            reason: err.to_string(),
+        }
     }
 }
 
@@ -79,10 +81,16 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let err = CoreError::NotATreeEdge { edge: EdgeId::new(7), part: PartId::new(2) };
+        let err = CoreError::NotATreeEdge {
+            edge: EdgeId::new(7),
+            part: PartId::new(2),
+        };
         assert!(err.to_string().contains("e7"));
         assert!(err.to_string().contains("P2"));
-        let err = CoreError::IterationBudgetExhausted { iterations: 5, remaining_bad: 3 };
+        let err = CoreError::IterationBudgetExhausted {
+            iterations: 5,
+            remaining_bad: 3,
+        };
         assert!(err.to_string().contains("5 iterations"));
     }
 

@@ -141,7 +141,11 @@ mod tests {
         let t = RootedTree::bfs(&g, layout.connector(0));
         let p = generators::partitions::lower_bound_paths(&layout);
         let (_s, q) = reference_parameters(&g, &t, &p);
-        assert!(q.congestion >= 8, "expected congestion >= 8, got {}", q.congestion);
+        assert!(
+            q.congestion >= 8,
+            "expected congestion >= 8, got {}",
+            q.congestion
+        );
         assert_eq!(q.block_parameter, 1);
     }
 }

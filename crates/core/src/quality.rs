@@ -42,8 +42,7 @@ impl ShortcutQuality {
         if self.block_parameter == 0 {
             return true;
         }
-        u64::from(self.dilation)
-            <= self.block_parameter as u64 * (2 * u64::from(tree_depth) + 1)
+        u64::from(self.dilation) <= self.block_parameter as u64 * (2 * u64::from(tree_depth) + 1)
     }
 }
 
@@ -137,7 +136,8 @@ pub(crate) fn part_subgraph_diameter(
         queue.push_back(source);
         while let Some(u) = queue.pop_front() {
             for (v, e) in graph.neighbors(u) {
-                if allowed_edge[e.index()] && allowed_node[v.index()] && dist[v.index()] == u32::MAX {
+                if allowed_edge[e.index()] && allowed_node[v.index()] && dist[v.index()] == u32::MAX
+                {
                     dist[v.index()] = dist[u.index()] + 1;
                     queue.push_back(v);
                 }
@@ -215,7 +215,10 @@ mod tests {
         b.add_part(vec![NodeId::new(0)]).unwrap();
         let p = b.build();
         let all_edges: Vec<EdgeId> = g.edge_ids().collect();
-        assert_eq!(part_subgraph_diameter(&g, &p, PartId::new(0), &all_edges), 4);
+        assert_eq!(
+            part_subgraph_diameter(&g, &p, PartId::new(0), &all_edges),
+            4
+        );
         assert_eq!(part_subgraph_diameter(&g, &p, PartId::new(0), &[]), 0);
     }
 

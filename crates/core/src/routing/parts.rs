@@ -146,7 +146,10 @@ impl<'a> PartRouter<'a> {
                 .expect("parts are nonempty");
             leaders.push(leader);
         }
-        PartRouterOutcome { values: leaders, rounds: b * self.superstep_rounds() }
+        PartRouterOutcome {
+            values: leaders,
+            rounds: b * self.superstep_rounds(),
+        }
     }
 
     /// Theorem 2(ii): convergecasts one value per part member to the part's
@@ -183,7 +186,10 @@ impl<'a> PartRouter<'a> {
         // A BFS over the supergraph from the leader block takes at most `b`
         // supersteps; values travel with it.
         let b = self.block_parameter() as u64;
-        PartRouterOutcome { values: per_part, rounds: b * self.superstep_rounds() }
+        PartRouterOutcome {
+            values: per_part,
+            rounds: b * self.superstep_rounds(),
+        }
     }
 
     /// Theorem 2(iii): broadcasts one value per part from the part's leader
@@ -205,7 +211,10 @@ impl<'a> PartRouter<'a> {
             }
         }
         let b = self.block_parameter() as u64;
-        PartRouterOutcome { values: per_node, rounds: b * self.superstep_rounds() }
+        PartRouterOutcome {
+            values: per_node,
+            rounds: b * self.superstep_rounds(),
+        }
     }
 
     /// Lemma 3: finds all parts whose shortcut subgraph has at most
@@ -215,7 +224,10 @@ impl<'a> PartRouter<'a> {
     pub fn parts_with_at_most_blocks(&self, threshold: usize) -> PartRouterOutcome<Vec<bool>> {
         let good: Vec<bool> = self.blocks.iter().map(|bs| bs.len() <= threshold).collect();
         let rounds = (threshold as u64 + 2) * self.superstep_rounds();
-        PartRouterOutcome { values: good, rounds }
+        PartRouterOutcome {
+            values: good,
+            rounds,
+        }
     }
 
     /// Returns `true` if every part's supergraph is connected — a structural
@@ -257,7 +269,10 @@ impl<'a> PartRouter<'a> {
     /// Summarizes the router state as a [`RoundCost`] entry for reporting.
     pub fn describe(&self, cost: &mut RoundCost, label: &str) {
         cost.charge(
-            format!("{label}/superstep (b={}, D+c schedule)", self.block_parameter()),
+            format!(
+                "{label}/superstep (b={}, D+c schedule)",
+                self.block_parameter()
+            ),
             self.superstep_rounds(),
         );
     }
@@ -356,8 +371,9 @@ mod tests {
         assert_eq!(router.block_parameter(), 1);
         assert!(router.supergraphs_connected());
         // The exchange cost of a Boruvka phase is positive and bounded by
-        // 2 * b * 2 * (D + c).
-        let bound = 2 * 1 * 2 * (u64::from(t.depth_of_tree()) + router.max_edge_load() as u64);
+        // 2 * b * 2 * (D + c), with b = 1 on this instance.
+        let b = 1;
+        let bound = 2 * b * 2 * (u64::from(t.depth_of_tree()) + router.max_edge_load() as u64);
         assert!(router.exchange_rounds() <= bound);
     }
 

@@ -41,7 +41,11 @@ impl SubtreeSpec {
             .iter()
             .min_by_key(|v| (tree.depth(**v), **v))
             .expect("nonempty");
-        SubtreeSpec { root, root_depth: tree.depth(root), nodes }
+        SubtreeSpec {
+            root,
+            root_depth: tree.depth(root),
+            nodes,
+        }
     }
 
     /// Returns `true` if `node` belongs to the subtree.
@@ -55,7 +59,11 @@ impl SubtreeSpec {
 pub fn subtree_specs_from_blocks(blocks: &[BlockComponent]) -> Vec<SubtreeSpec> {
     blocks
         .iter()
-        .map(|b| SubtreeSpec { root: b.root, root_depth: b.root_depth, nodes: b.nodes.clone() })
+        .map(|b| SubtreeSpec {
+            root: b.root,
+            root_depth: b.root_depth,
+            nodes: b.nodes.clone(),
+        })
         .collect()
 }
 
@@ -116,7 +124,11 @@ pub fn convergecast_rounds(
     priority: RoutingPriority,
 ) -> RoutingSchedule {
     if subtrees.is_empty() {
-        return RoutingSchedule { rounds: 0, max_edge_load: 0, deliveries: 0 };
+        return RoutingSchedule {
+            rounds: 0,
+            max_edge_load: 0,
+            deliveries: 0,
+        };
     }
 
     // Per subtree: the number of in-subtree children of every node, and the
@@ -199,14 +211,20 @@ pub fn convergecast_rounds(
         // Apply the sends simultaneously.
         for (s_idx, v) in sends {
             let parent = tree.parent(v).expect("senders are non-root nodes");
-            *pending.get_mut(&(s_idx, parent)).expect("parent is in the subtree") -= 1;
+            *pending
+                .get_mut(&(s_idx, parent))
+                .expect("parent is in the subtree") -= 1;
             remaining_senders[s_idx].retain(|&u| u != v);
             deliveries += 1;
             sent += 1;
         }
     }
 
-    RoutingSchedule { rounds, max_edge_load, deliveries }
+    RoutingSchedule {
+        rounds,
+        max_edge_load,
+        deliveries,
+    }
 }
 
 #[cfg(test)]
@@ -240,7 +258,11 @@ mod tests {
             let schedule = convergecast_rounds(&t, &family, RoutingPriority::BlockRootDepth);
             assert_eq!(schedule.max_edge_load, c);
             let d = u64::from(t.depth_of_tree());
-            assert!(schedule.rounds <= d + c as u64, "c={c}: {} > D + c", schedule.rounds);
+            assert!(
+                schedule.rounds <= d + c as u64,
+                "c={c}: {} > D + c",
+                schedule.rounds
+            );
             assert!(schedule.rounds >= d);
         }
     }
@@ -323,8 +345,7 @@ mod tests {
     fn singleton_subtrees_cost_zero_rounds() {
         let g = generators::grid(3, 3);
         let t = RootedTree::bfs(&g, NodeId::new(0));
-        let family: Vec<SubtreeSpec> =
-            g.nodes().map(|v| SubtreeSpec::new(&t, vec![v])).collect();
+        let family: Vec<SubtreeSpec> = g.nodes().map(|v| SubtreeSpec::new(&t, vec![v])).collect();
         let schedule = convergecast_rounds(&t, &family, RoutingPriority::BlockRootDepth);
         // A singleton subtree has nothing to forward.
         assert_eq!(schedule.rounds, 0);

@@ -11,7 +11,7 @@ use crate::quality;
 /// Quality is measured by *congestion* (the largest number of subgraphs
 /// `G[P_i] + H_i` any single edge participates in) and *dilation* (the
 /// largest diameter of any `G[P_i] + H_i`); the routines on
-/// [`ShortcutQuality`] compute both.
+/// [`ShortcutQuality`](crate::ShortcutQuality) compute both.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Shortcut {
     /// `edges_of[i]` is the edge set `H_i` (sorted, deduplicated).
@@ -22,7 +22,9 @@ impl Shortcut {
     /// Creates the empty shortcut (`H_i = ∅` for every part): every part is
     /// left to communicate over `G[P_i]` alone.
     pub fn empty(part_count: usize) -> Self {
-        Shortcut { edges_of: vec![Vec::new(); part_count] }
+        Shortcut {
+            edges_of: vec![Vec::new(); part_count],
+        }
     }
 
     /// Creates a shortcut from explicit per-part edge sets. The sets are
@@ -119,7 +121,10 @@ mod tests {
         s.assign(PartId::new(0), EdgeId::new(5));
         s.assign(PartId::new(0), EdgeId::new(2));
         s.assign(PartId::new(0), EdgeId::new(5));
-        assert_eq!(s.edges_of(PartId::new(0)), &[EdgeId::new(2), EdgeId::new(5)]);
+        assert_eq!(
+            s.edges_of(PartId::new(0)),
+            &[EdgeId::new(2), EdgeId::new(5)]
+        );
         assert!(s.contains(PartId::new(0), EdgeId::new(5)));
         assert!(!s.contains(PartId::new(1), EdgeId::new(5)));
         assert_eq!(s.assignment_count(), 2);
@@ -127,8 +132,12 @@ mod tests {
 
     #[test]
     fn from_edge_sets_normalizes() {
-        let s = Shortcut::from_edge_sets(vec![vec![EdgeId::new(3), EdgeId::new(1), EdgeId::new(3)]]);
-        assert_eq!(s.edges_of(PartId::new(0)), &[EdgeId::new(1), EdgeId::new(3)]);
+        let s =
+            Shortcut::from_edge_sets(vec![vec![EdgeId::new(3), EdgeId::new(1), EdgeId::new(3)]]);
+        assert_eq!(
+            s.edges_of(PartId::new(0)),
+            &[EdgeId::new(1), EdgeId::new(3)]
+        );
     }
 
     #[test]
@@ -143,7 +152,9 @@ mod tests {
         let mut s = Shortcut::empty(partition.part_count());
         for part in partition.parts() {
             for &v in partition.members(part) {
-                let spoke = g.edge_between(NodeId::new(0), v).expect("hub is adjacent to rim");
+                let spoke = g
+                    .edge_between(NodeId::new(0), v)
+                    .expect("hub is adjacent to rim");
                 s.assign(part, spoke);
             }
         }

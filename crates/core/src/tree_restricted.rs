@@ -87,7 +87,10 @@ impl TreeShortcut {
             return Err(CoreError::NotATreeEdge { edge, part });
         }
         if part.index() >= self.part_count {
-            return Err(CoreError::PartOutOfRange { part, part_count: self.part_count });
+            return Err(CoreError::PartOutOfRange {
+                part,
+                part_count: self.part_count,
+            });
         }
         if let Err(pos) = self.parts_on_edge[edge.index()].binary_search(&part) {
             self.parts_on_edge[edge.index()].insert(pos, part);
@@ -136,7 +139,11 @@ impl TreeShortcut {
     /// Panics if the two shortcuts disagree on the number of parts or edges.
     pub fn merge(&mut self, other: &TreeShortcut) {
         assert_eq!(self.part_count, other.part_count, "part counts must match");
-        assert_eq!(self.parts_on_edge.len(), other.parts_on_edge.len(), "edge counts must match");
+        assert_eq!(
+            self.parts_on_edge.len(),
+            other.parts_on_edge.len(),
+            "edge counts must match"
+        );
         for (p_idx, edges) in other.edges_of.iter().enumerate() {
             for &e in edges {
                 let part = PartId::new(p_idx);
@@ -186,7 +193,10 @@ impl TreeShortcut {
         for (p_idx, edges) in self.edges_of.iter().enumerate() {
             for &e in edges {
                 if !tree.is_tree_edge(e) {
-                    return Err(CoreError::NotATreeEdge { edge: e, part: PartId::new(p_idx) });
+                    return Err(CoreError::NotATreeEdge {
+                        edge: e,
+                        part: PartId::new(p_idx),
+                    });
                 }
             }
         }
@@ -207,13 +217,19 @@ impl TreeShortcut {
 
     /// Block-component counts for every part.
     pub fn block_counts(&self, graph: &Graph, partition: &Partition) -> Vec<usize> {
-        partition.parts().map(|p| self.block_count(graph, partition, p)).collect()
+        partition
+            .parts()
+            .map(|p| self.block_count(graph, partition, p))
+            .collect()
     }
 
     /// The block parameter `b`: the maximum block-component count over all
     /// parts (Definition 3).
     pub fn block_parameter(&self, graph: &Graph, partition: &Partition) -> usize {
-        self.block_counts(graph, partition).into_iter().max().unwrap_or(0)
+        self.block_counts(graph, partition)
+            .into_iter()
+            .max()
+            .unwrap_or(0)
     }
 
     /// The full block-component structure of part `p`, each block annotated
@@ -371,7 +387,10 @@ mod tests {
         }
         let before = TreeShortcut::empty(&g, &p).block_count(&g, &p, part);
         let after = s.block_count(&g, &p, part);
-        assert!(after < before, "assigning ancestor edges must merge blocks ({after} < {before})");
+        assert!(
+            after < before,
+            "assigning ancestor edges must merge blocks ({after} < {before})"
+        );
         s.validate(&t, &p).unwrap();
     }
 

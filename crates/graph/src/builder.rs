@@ -40,7 +40,11 @@ impl GraphBuilder {
 
     /// Creates a builder pre-populated with `node_count` isolated nodes.
     pub fn with_nodes(node_count: usize) -> Self {
-        GraphBuilder { node_count, edges: Vec::new(), seen: HashSet::new() }
+        GraphBuilder {
+            node_count,
+            edges: Vec::new(),
+            seen: HashSet::new(),
+        }
     }
 
     /// Adds a new isolated node and returns its id.
@@ -125,7 +129,12 @@ mod tests {
     fn self_loops_are_rejected() {
         let mut b = GraphBuilder::with_nodes(1);
         let err = b.add_edge(NodeId::new(0), NodeId::new(0)).unwrap_err();
-        assert_eq!(err, GraphError::SelfLoop { node: NodeId::new(0) });
+        assert_eq!(
+            err,
+            GraphError::SelfLoop {
+                node: NodeId::new(0)
+            }
+        );
     }
 
     #[test]

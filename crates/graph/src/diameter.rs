@@ -24,7 +24,11 @@ pub fn eccentricity(graph: &Graph, v: NodeId) -> u32 {
 /// experiments. Returns 0 for graphs with fewer than two nodes. Unreachable
 /// pairs are ignored (the diameter of the largest component is returned).
 pub fn diameter_exact(graph: &Graph) -> u32 {
-    graph.nodes().map(|v| eccentricity(graph, v)).max().unwrap_or(0)
+    graph
+        .nodes()
+        .map(|v| eccentricity(graph, v))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Double-sweep lower bound on the diameter: BFS from `start`, then BFS from
@@ -39,11 +43,7 @@ pub fn diameter_lower_bound_double_sweep(graph: &Graph, start: NodeId) -> u32 {
         return 0;
     }
     let first = bfs_distances(graph, start);
-    let farthest = first
-        .order
-        .last()
-        .copied()
-        .unwrap_or(start);
+    let farthest = first.order.last().copied().unwrap_or(start);
     bfs_distances(graph, farthest).max_distance()
 }
 

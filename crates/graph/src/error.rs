@@ -67,7 +67,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {node_count} nodes"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
             GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge {{{u}, {v}}}"),
@@ -75,12 +78,22 @@ impl fmt::Display for GraphError {
             GraphError::PartNotConnected { part } => {
                 write!(f, "part {part} induces a disconnected subgraph")
             }
-            GraphError::OverlappingParts { node, first, second } => {
-                write!(f, "node {node} assigned to both part {first} and part {second}")
+            GraphError::OverlappingParts {
+                node,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "node {node} assigned to both part {first} and part {second}"
+                )
             }
             GraphError::EmptyPart { part } => write!(f, "part {part} has no members"),
             GraphError::WeightCountMismatch { weights, edges } => {
-                write!(f, "{weights} edge weights supplied for a graph with {edges} edges")
+                write!(
+                    f,
+                    "{weights} edge weights supplied for a graph with {edges} edges"
+                )
             }
             GraphError::InvalidGeneratorArgument { reason } => {
                 write!(f, "invalid generator argument: {reason}")
@@ -97,10 +110,15 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let err = GraphError::SelfLoop { node: NodeId::new(3) };
+        let err = GraphError::SelfLoop {
+            node: NodeId::new(3),
+        };
         assert_eq!(err.to_string(), "self-loop at node v3");
 
-        let err = GraphError::WeightCountMismatch { weights: 2, edges: 5 };
+        let err = GraphError::WeightCountMismatch {
+            weights: 2,
+            edges: 5,
+        };
         assert!(err.to_string().contains("2 edge weights"));
 
         let err = GraphError::OverlappingParts {

@@ -11,7 +11,8 @@ pub fn path(n: usize) -> Graph {
     assert!(n >= 1, "path needs at least one node");
     let mut b = GraphBuilder::with_nodes(n);
     for i in 1..n {
-        b.add_edge(NodeId::new(i - 1), NodeId::new(i)).expect("consecutive nodes differ");
+        b.add_edge(NodeId::new(i - 1), NodeId::new(i))
+            .expect("consecutive nodes differ");
     }
     b.build()
 }
@@ -25,7 +26,8 @@ pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle needs at least three nodes");
     let mut b = GraphBuilder::with_nodes(n);
     for i in 0..n {
-        b.add_edge(NodeId::new(i), NodeId::new((i + 1) % n)).expect("distinct nodes");
+        b.add_edge(NodeId::new(i), NodeId::new((i + 1) % n))
+            .expect("distinct nodes");
     }
     b.build()
 }
@@ -39,7 +41,8 @@ pub fn star(n: usize) -> Graph {
     assert!(n >= 2, "star needs at least two nodes");
     let mut b = GraphBuilder::with_nodes(n);
     for i in 1..n {
-        b.add_edge(NodeId::new(0), NodeId::new(i)).expect("hub differs from leaf");
+        b.add_edge(NodeId::new(0), NodeId::new(i))
+            .expect("hub differs from leaf");
     }
     b.build()
 }
@@ -93,7 +96,8 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     assert!(spine >= 1, "caterpillar needs a nonempty spine");
     let mut b = GraphBuilder::with_nodes(spine + spine * legs);
     for i in 1..spine {
-        b.add_edge(NodeId::new(i - 1), NodeId::new(i)).expect("spine nodes differ");
+        b.add_edge(NodeId::new(i - 1), NodeId::new(i))
+            .expect("spine nodes differ");
     }
     for i in 0..spine {
         for l in 0..legs {
@@ -118,7 +122,8 @@ pub fn binary_tree(depth: usize) -> Graph {
     for i in 0..n {
         for child in [2 * i + 1, 2 * i + 2] {
             if child < n {
-                b.add_edge(NodeId::new(i), NodeId::new(child)).expect("parent differs from child");
+                b.add_edge(NodeId::new(i), NodeId::new(child))
+                    .expect("parent differs from child");
             }
         }
     }
@@ -141,8 +146,13 @@ pub fn lollipop(clique: usize, tail: usize) -> Graph {
         }
     }
     for t in 0..tail {
-        let prev = if t == 0 { NodeId::new(0) } else { NodeId::new(clique + t - 1) };
-        b.add_edge(prev, NodeId::new(clique + t)).expect("tail nodes differ");
+        let prev = if t == 0 {
+            NodeId::new(0)
+        } else {
+            NodeId::new(clique + t - 1)
+        };
+        b.add_edge(prev, NodeId::new(clique + t))
+            .expect("tail nodes differ");
     }
     b.build()
 }

@@ -9,7 +9,10 @@ use crate::{Graph, GraphBuilder, NodeId};
 ///
 /// Panics if the cell lies outside the `rows × cols` grid.
 pub fn grid_node(rows: usize, cols: usize, row: usize, col: usize) -> NodeId {
-    assert!(row < rows && col < cols, "cell ({row}, {col}) outside {rows}x{cols} grid");
+    assert!(
+        row < rows && col < cols,
+        "cell ({row}, {col}) outside {rows}x{cols} grid"
+    );
     NodeId::new(row * cols + col)
 }
 
@@ -20,10 +23,12 @@ fn grid_builder(rows: usize, cols: usize) -> GraphBuilder {
         for c in 0..cols {
             let v = grid_node(rows, cols, r, c);
             if c + 1 < cols {
-                b.add_edge(v, grid_node(rows, cols, r, c + 1)).expect("distinct cells");
+                b.add_edge(v, grid_node(rows, cols, r, c + 1))
+                    .expect("distinct cells");
             }
             if r + 1 < rows {
-                b.add_edge(v, grid_node(rows, cols, r + 1, c)).expect("distinct cells");
+                b.add_edge(v, grid_node(rows, cols, r + 1, c))
+                    .expect("distinct cells");
             }
         }
     }
@@ -51,8 +56,11 @@ pub fn triangulated_grid(rows: usize, cols: usize) -> Graph {
     let mut b = grid_builder(rows, cols);
     for r in 0..rows.saturating_sub(1) {
         for c in 0..cols.saturating_sub(1) {
-            b.add_edge(grid_node(rows, cols, r, c), grid_node(rows, cols, r + 1, c + 1))
-                .expect("distinct cells");
+            b.add_edge(
+                grid_node(rows, cols, r, c),
+                grid_node(rows, cols, r + 1, c + 1),
+            )
+            .expect("distinct cells");
         }
     }
     b.build()
@@ -66,15 +74,24 @@ pub fn triangulated_grid(rows: usize, cols: usize) -> Graph {
 /// Panics if either dimension is smaller than 3 (smaller tori would create
 /// duplicate or self-loop wrap edges).
 pub fn torus(rows: usize, cols: usize) -> Graph {
-    assert!(rows >= 3 && cols >= 3, "torus dimensions must be at least 3");
+    assert!(
+        rows >= 3 && cols >= 3,
+        "torus dimensions must be at least 3"
+    );
     let mut b = grid_builder(rows, cols);
     for r in 0..rows {
-        b.add_edge(grid_node(rows, cols, r, cols - 1), grid_node(rows, cols, r, 0))
-            .expect("distinct cells");
+        b.add_edge(
+            grid_node(rows, cols, r, cols - 1),
+            grid_node(rows, cols, r, 0),
+        )
+        .expect("distinct cells");
     }
     for c in 0..cols {
-        b.add_edge(grid_node(rows, cols, rows - 1, c), grid_node(rows, cols, 0, c))
-            .expect("distinct cells");
+        b.add_edge(
+            grid_node(rows, cols, rows - 1, c),
+            grid_node(rows, cols, 0, c),
+        )
+        .expect("distinct cells");
     }
     b.build()
 }
@@ -89,7 +106,10 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
 /// Panics if either dimension is zero, or if `g >= cols` (there would not be
 /// enough distinct columns to attach the handles to).
 pub fn genus_handles(rows: usize, cols: usize, g: usize) -> Graph {
-    assert!(g < cols, "need g < cols to place {g} handles on {cols} columns");
+    assert!(
+        g < cols,
+        "need g < cols to place {g} handles on {cols} columns"
+    );
     let mut b = grid_builder(rows, cols);
     for k in 0..g {
         // Spread the handle endpoints over the columns; connect the top row

@@ -33,7 +33,10 @@ impl LowerBoundLayout {
     ///
     /// Panics if the coordinates are out of range.
     pub fn path_node(&self, path: usize, column: usize) -> NodeId {
-        assert!(path < self.num_paths && column < self.path_len, "path coordinate out of range");
+        assert!(
+            path < self.num_paths && column < self.path_len,
+            "path coordinate out of range"
+        );
         NodeId::new(path * self.path_len + column)
     }
 
@@ -69,7 +72,10 @@ impl LowerBoundLayout {
 pub fn lower_bound_graph(num_paths: usize, path_len: usize) -> (Graph, LowerBoundLayout) {
     assert!(num_paths >= 1, "need at least one path");
     assert!(path_len >= 1, "paths need at least one node");
-    let layout = LowerBoundLayout { num_paths, path_len };
+    let layout = LowerBoundLayout {
+        num_paths,
+        path_len,
+    };
     let mut b = GraphBuilder::with_nodes(layout.node_count());
 
     // The paths themselves.

@@ -34,7 +34,8 @@ pub fn grid_columns(rows: usize, cols: usize) -> Partition {
     let mut b = PartitionBuilder::new(rows * cols);
     for c in 0..cols {
         let members = (0..rows).map(|r| grid_node(rows, cols, r, c)).collect();
-        b.add_part(members).expect("columns are disjoint and nonempty");
+        b.add_part(members)
+            .expect("columns are disjoint and nonempty");
     }
     b.build()
 }
@@ -71,15 +72,24 @@ pub fn grid_blocks(rows: usize, cols: usize, block_rows: usize, block_cols: usiz
     let mut b = PartitionBuilder::new(rows * cols);
     for br in 0..row_blocks {
         for bc in 0..col_blocks {
-            let row_end = if br + 1 == row_blocks { rows } else { (br + 1) * block_rows };
-            let col_end = if bc + 1 == col_blocks { cols } else { (bc + 1) * block_cols };
+            let row_end = if br + 1 == row_blocks {
+                rows
+            } else {
+                (br + 1) * block_rows
+            };
+            let col_end = if bc + 1 == col_blocks {
+                cols
+            } else {
+                (bc + 1) * block_cols
+            };
             let mut members = Vec::new();
             for r in br * block_rows..row_end {
                 for c in bc * block_cols..col_end {
                     members.push(grid_node(rows, cols, r, c));
                 }
             }
-            b.add_part(members).expect("blocks are disjoint and nonempty");
+            b.add_part(members)
+                .expect("blocks are disjoint and nonempty");
         }
     }
     b.build()
@@ -145,8 +155,11 @@ pub fn wheel_arcs(n: usize, num_parts: usize) -> Partition {
 pub fn lower_bound_paths(layout: &LowerBoundLayout) -> Partition {
     let mut b = PartitionBuilder::new(layout.node_count());
     for i in 0..layout.num_paths {
-        let members = (0..layout.path_len).map(|j| layout.path_node(i, j)).collect();
-        b.add_part(members).expect("paths are disjoint and nonempty");
+        let members = (0..layout.path_len)
+            .map(|j| layout.path_node(i, j))
+            .collect();
+        b.add_part(members)
+            .expect("paths are disjoint and nonempty");
     }
     b.build()
 }

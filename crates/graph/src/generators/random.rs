@@ -22,7 +22,8 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
     let mut b = GraphBuilder::with_nodes(n);
     for i in 1..n {
         let parent = rng.gen_range(0..i);
-        b.add_edge(NodeId::new(parent), NodeId::new(i)).expect("parent < i");
+        b.add_edge(NodeId::new(parent), NodeId::new(i))
+            .expect("parent < i");
     }
     b.build()
 }
@@ -40,7 +41,8 @@ pub fn random_connected(n: usize, extra_edges: usize, seed: u64) -> Graph {
     let mut b = GraphBuilder::with_nodes(n);
     for i in 1..n {
         let parent = rng.gen_range(0..i);
-        b.add_edge(NodeId::new(parent), NodeId::new(i)).expect("parent < i");
+        b.add_edge(NodeId::new(parent), NodeId::new(i))
+            .expect("parent < i");
     }
     if n >= 2 {
         for _ in 0..extra_edges {
@@ -49,7 +51,8 @@ pub fn random_connected(n: usize, extra_edges: usize, seed: u64) -> Graph {
             if a == c {
                 c = (c + 1) % n;
             }
-            b.add_edge(NodeId::new(a), NodeId::new(c)).expect("a != c by construction");
+            b.add_edge(NodeId::new(a), NodeId::new(c))
+                .expect("a != c by construction");
         }
     }
     b.build()
@@ -77,7 +80,8 @@ pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> Graph {
     // Ensure connectivity with a random recursive tree overlay.
     for i in 1..n {
         let parent = rng.gen_range(0..i);
-        b.add_edge(NodeId::new(parent), NodeId::new(i)).expect("parent < i");
+        b.add_edge(NodeId::new(parent), NodeId::new(i))
+            .expect("parent < i");
     }
     b.build()
 }

@@ -37,7 +37,10 @@ impl Edge {
         } else if from == self.v {
             self.u
         } else {
-            panic!("node {from} is not an endpoint of edge {{{}, {}}}", self.u, self.v)
+            panic!(
+                "node {from} is not an endpoint of edge {{{}, {}}}",
+                self.u, self.v
+            )
         }
     }
 
@@ -85,7 +88,10 @@ impl Graph {
             }
             let edge = Edge::new(a, b);
             if !seen.insert((edge.u, edge.v)) {
-                return Err(GraphError::DuplicateEdge { u: edge.u, v: edge.v });
+                return Err(GraphError::DuplicateEdge {
+                    u: edge.u,
+                    v: edge.v,
+                });
             }
             let id = EdgeId::new(edges.len());
             adjacency[edge.u.index()].push((edge.v, id));
@@ -118,7 +124,10 @@ impl Graph {
 
     /// Iterator over `(EdgeId, Edge)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, Edge)> + '_ {
-        self.edges.iter().enumerate().map(|(i, &e)| (EdgeId::new(i), e))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (EdgeId::new(i), e))
     }
 
     /// Returns the endpoints of the given edge.
@@ -154,7 +163,11 @@ impl Graph {
             return None;
         }
         // Scan the smaller adjacency list.
-        let (from, to) = if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
+        let (from, to) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
         self.adjacency[from.index()]
             .iter()
             .find(|(n, _)| *n == to)
@@ -231,7 +244,12 @@ mod tests {
     #[test]
     fn rejects_self_loop() {
         let err = Graph::from_edges(2, &[(NodeId::new(1), NodeId::new(1))]).unwrap_err();
-        assert_eq!(err, GraphError::SelfLoop { node: NodeId::new(1) });
+        assert_eq!(
+            err,
+            GraphError::SelfLoop {
+                node: NodeId::new(1)
+            }
+        );
     }
 
     #[test]
@@ -244,13 +262,25 @@ mod tests {
             ],
         )
         .unwrap_err();
-        assert_eq!(err, GraphError::DuplicateEdge { u: NodeId::new(0), v: NodeId::new(1) });
+        assert_eq!(
+            err,
+            GraphError::DuplicateEdge {
+                u: NodeId::new(0),
+                v: NodeId::new(1)
+            }
+        );
     }
 
     #[test]
     fn rejects_out_of_range_endpoint() {
         let err = Graph::from_edges(2, &[(NodeId::new(0), NodeId::new(2))]).unwrap_err();
-        assert_eq!(err, GraphError::NodeOutOfRange { node: NodeId::new(2), node_count: 2 });
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: NodeId::new(2),
+                node_count: 2
+            }
+        );
     }
 
     #[test]

@@ -115,7 +115,10 @@ mod tests {
     fn kruskal_on_disconnected_graph_returns_forest() {
         let g = Graph::from_edges(
             4,
-            &[(NodeId::new(0), NodeId::new(1)), (NodeId::new(2), NodeId::new(3))],
+            &[
+                (NodeId::new(0), NodeId::new(1)),
+                (NodeId::new(2), NodeId::new(3)),
+            ],
         )
         .unwrap();
         let w = EdgeWeights::uniform(&g);
@@ -126,7 +129,10 @@ mod tests {
     fn prim_spans_only_start_component() {
         let g = Graph::from_edges(
             4,
-            &[(NodeId::new(0), NodeId::new(1)), (NodeId::new(2), NodeId::new(3))],
+            &[
+                (NodeId::new(0), NodeId::new(1)),
+                (NodeId::new(2), NodeId::new(3)),
+            ],
         )
         .unwrap();
         let w = EdgeWeights::uniform(&g);

@@ -51,10 +51,15 @@ impl Partition {
         }
         for (i, m) in members.iter().enumerate() {
             if m.is_empty() {
-                return Err(GraphError::EmptyPart { part: PartId::new(i) });
+                return Err(GraphError::EmptyPart {
+                    part: PartId::new(i),
+                });
             }
         }
-        Ok(Partition { part_of: assignment, members })
+        Ok(Partition {
+            part_of: assignment,
+            members,
+        })
     }
 
     /// Builds the trivial partition in which every node is its own part
@@ -165,7 +170,10 @@ impl Partition {
 
     /// The largest part diameter over all parts.
     pub fn max_part_diameter(&self, graph: &Graph) -> u32 {
-        self.parts().map(|p| self.part_diameter(graph, p)).max().unwrap_or(0)
+        self.parts()
+            .map(|p| self.part_diameter(graph, p))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -195,7 +203,11 @@ pub struct PartitionBuilder {
 impl PartitionBuilder {
     /// Creates a builder for a graph with `node_count` nodes and no parts.
     pub fn new(node_count: usize) -> Self {
-        PartitionBuilder { node_count, assignment: vec![None; node_count], next_part: 0 }
+        PartitionBuilder {
+            node_count,
+            assignment: vec![None; node_count],
+            next_part: 0,
+        }
     }
 
     /// Adds a new part with the given members and returns its id.
@@ -213,10 +225,17 @@ impl PartitionBuilder {
         }
         for &v in &members {
             if v.index() >= self.node_count {
-                return Err(GraphError::NodeOutOfRange { node: v, node_count: self.node_count });
+                return Err(GraphError::NodeOutOfRange {
+                    node: v,
+                    node_count: self.node_count,
+                });
             }
             if let Some(first) = self.assignment[v.index()] {
-                return Err(GraphError::OverlappingParts { node: v, first, second: part });
+                return Err(GraphError::OverlappingParts {
+                    node: v,
+                    first,
+                    second: part,
+                });
             }
         }
         for &v in &members {
@@ -304,7 +323,9 @@ mod tests {
         let p = b.build();
         assert_eq!(
             p.validate(&g).unwrap_err(),
-            GraphError::PartNotConnected { part: PartId::new(0) }
+            GraphError::PartNotConnected {
+                part: PartId::new(0)
+            }
         );
     }
 
@@ -322,7 +343,7 @@ mod tests {
         // Ambient diameter of the wheel is 2; the arc's induced diameter is
         // its length.
         assert!(d0 >= 2);
-        assert_eq!(arcs.max_part_diameter(&g) >= 2, true);
+        assert!(arcs.max_part_diameter(&g) >= 2);
     }
 
     #[test]
@@ -330,7 +351,12 @@ mod tests {
         // Part 1 referenced but part 0 never used.
         let assignment = vec![Some(PartId::new(1)), None];
         let err = Partition::from_assignment(2, assignment).unwrap_err();
-        assert_eq!(err, GraphError::EmptyPart { part: PartId::new(0) });
+        assert_eq!(
+            err,
+            GraphError::EmptyPart {
+                part: PartId::new(0)
+            }
+        );
     }
 
     #[test]

@@ -79,7 +79,11 @@ where
         }
     }
 
-    BfsResult { dist, parent, order }
+    BfsResult {
+        dist,
+        parent,
+        order,
+    }
 }
 
 /// Returns the nodes of the graph in BFS order from `source`.

@@ -161,7 +161,10 @@ impl RootedTree {
     /// Iterator over the ancestors of `v` starting with `v` itself and
     /// ending at the root.
     pub fn path_to_root(&self, v: NodeId) -> PathToRoot<'_> {
-        PathToRoot { tree: self, current: Some(v) }
+        PathToRoot {
+            tree: self,
+            current: Some(v),
+        }
     }
 
     /// The child endpoint (lower endpoint) of a tree edge: the endpoint whose
@@ -278,7 +281,10 @@ mod tests {
         let mut seen = vec![false; g.node_count()];
         for &v in t.nodes_bottom_up() {
             for &c in t.children(v) {
-                assert!(seen[c.index()], "child {c} must be processed before parent {v}");
+                assert!(
+                    seen[c.index()],
+                    "child {c} must be processed before parent {v}"
+                );
             }
             seen[v.index()] = true;
         }
@@ -291,7 +297,12 @@ mod tests {
         let path: Vec<NodeId> = t.path_to_root(NodeId::new(3)).collect();
         assert_eq!(
             path,
-            vec![NodeId::new(3), NodeId::new(2), NodeId::new(1), NodeId::new(0)]
+            vec![
+                NodeId::new(3),
+                NodeId::new(2),
+                NodeId::new(1),
+                NodeId::new(0)
+            ]
         );
     }
 

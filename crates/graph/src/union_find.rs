@@ -28,7 +28,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates a union-find over `len` singleton sets.
     pub fn new(len: usize) -> Self {
-        UnionFind { parent: (0..len).collect(), rank: vec![0; len], sets: len }
+        UnionFind {
+            parent: (0..len).collect(),
+            rank: vec![0; len],
+            sets: len,
+        }
     }
 
     /// Number of elements.

@@ -37,7 +37,9 @@ impl EdgeWeights {
 
     /// Assigns every edge the same unit weight.
     pub fn uniform(graph: &Graph) -> Self {
-        EdgeWeights { weights: vec![1; graph.edge_count()] }
+        EdgeWeights {
+            weights: vec![1; graph.edge_count()],
+        }
     }
 
     /// Assigns the edges a random permutation of `1..=m`, i.e. distinct
@@ -114,7 +116,13 @@ mod tests {
         let g = generators::path(3);
         assert!(EdgeWeights::from_vec(&g, vec![1, 2]).is_ok());
         let err = EdgeWeights::from_vec(&g, vec![1]).unwrap_err();
-        assert_eq!(err, GraphError::WeightCountMismatch { weights: 1, edges: 2 });
+        assert_eq!(
+            err,
+            GraphError::WeightCountMismatch {
+                weights: 1,
+                edges: 2
+            }
+        );
     }
 
     #[test]

@@ -100,7 +100,10 @@ mod tests {
         let ones: Vec<Option<u64>> = g.nodes().map(|v| p.part_of(v).map(|_| 1)).collect();
         let outcome = part_aggregate(&g, &t, &p, &s, &ones, |a, b| a + b);
         for part in p.parts() {
-            assert_eq!(outcome.values[part.index()], Some(p.members(part).len() as u64));
+            assert_eq!(
+                outcome.values[part.index()],
+                Some(p.members(part).len() as u64)
+            );
         }
         assert!(outcome.rounds > 0);
     }
@@ -108,8 +111,10 @@ mod tests {
     #[test]
     fn partwise_max_and_leaders() {
         let (g, t, p, s) = setup();
-        let ids: Vec<Option<u64>> =
-            g.nodes().map(|v| p.part_of(v).map(|_| v.index() as u64)).collect();
+        let ids: Vec<Option<u64>> = g
+            .nodes()
+            .map(|v| p.part_of(v).map(|_| v.index() as u64))
+            .collect();
         let outcome = part_aggregate(&g, &t, &p, &s, &ids, |a, b| *a.max(b));
         for part in p.parts() {
             let expected = p.members(part).iter().map(|v| v.index() as u64).max();
@@ -128,7 +133,9 @@ mod tests {
         let outcome = part_broadcast(&g, &t, &p, &s, &per_part);
         for v in g.nodes() {
             match p.part_of(v) {
-                Some(part) => assert_eq!(outcome.values[v.index()], Some(100 + part.index() as u64)),
+                Some(part) => {
+                    assert_eq!(outcome.values[v.index()], Some(100 + part.index() as u64))
+                }
                 None => assert_eq!(outcome.values[v.index()], None),
             }
         }
@@ -138,7 +145,10 @@ mod tests {
     fn nodes_without_values_are_skipped() {
         let (g, t, p, s) = setup();
         // Only the leader of each part carries a value.
-        let leaders: Vec<NodeId> = p.parts().map(|q| *p.members(q).iter().min().unwrap()).collect();
+        let leaders: Vec<NodeId> = p
+            .parts()
+            .map(|q| *p.members(q).iter().min().unwrap())
+            .collect();
         let values: Vec<Option<u64>> = g
             .nodes()
             .map(|v| if leaders.contains(&v) { Some(7) } else { None })

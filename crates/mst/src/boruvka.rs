@@ -26,9 +26,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use lcs_congest::RoundCost;
-use lcs_core::construction::{
-    doubling_search, DoublingConfig, FindShortcut, FindShortcutConfig,
-};
+use lcs_core::construction::{doubling_search, DoublingConfig, FindShortcut, FindShortcutConfig};
 use lcs_core::routing::PartRouter;
 use lcs_core::TreeShortcut;
 use lcs_graph::{
@@ -77,7 +75,11 @@ impl BoruvkaConfig {
     /// Creates a configuration with the given strategy, seed 0 and a
     /// generous phase cap.
     pub fn new(strategy: ShortcutStrategy) -> Self {
-        BoruvkaConfig { strategy, seed: 0, max_phases: 400 }
+        BoruvkaConfig {
+            strategy,
+            seed: 0,
+            max_phases: 400,
+        }
     }
 
     /// Overrides the random seed.
@@ -184,23 +186,29 @@ pub fn boruvka_mst(
             _ => {
                 let router = PartRouter::new(graph, &tree, &partition, &shortcut);
                 let leaders = router.elect_leaders();
-                let aggregated =
-                    router.aggregate_to_leaders(&candidates, |a, b| *a.min(b));
+                let aggregated = router.aggregate_to_leaders(&candidates, |a, b| *a.min(b));
                 let broadcast_back = router.exchange_rounds();
-                (aggregated.values, leaders.rounds + aggregated.rounds + broadcast_back)
+                (
+                    aggregated.values,
+                    leaders.rounds + aggregated.rounds + broadcast_back,
+                )
             }
         };
         cost.charge(label("min-outgoing-edge"), routing_rounds);
 
         // 3. Star merges: heads and tails.
-        let heads: Vec<bool> = (0..partition.part_count()).map(|_| rng.gen_bool(0.5)).collect();
+        let heads: Vec<bool> = (0..partition.part_count())
+            .map(|_| rng.gen_bool(0.5))
+            .collect();
         let mut uf = UnionFind::new(partition.part_count());
         let mut merge_edges = Vec::new();
         for p in partition.parts() {
             if heads[p.index()] {
                 continue;
             }
-            let Some((_, edge)) = min_outgoing[p.index()] else { continue };
+            let Some((_, edge)) = min_outgoing[p.index()] else {
+                continue;
+            };
             let e = graph.edge(edge);
             // The endpoint outside p tells us which part we merge into.
             let other_part = [e.u, e.v]
@@ -228,7 +236,12 @@ pub fn boruvka_mst(
     chosen.sort();
     chosen.dedup();
     let weight = weights.total(chosen.iter().copied());
-    Ok(MstOutcome { edges: chosen, weight, phases, cost })
+    Ok(MstOutcome {
+        edges: chosen,
+        weight,
+        phases,
+        cost,
+    })
 }
 
 /// Builds the per-phase shortcut according to the strategy.
@@ -243,10 +256,9 @@ fn build_shortcut(
 ) -> Result<TreeShortcut> {
     match strategy {
         ShortcutStrategy::FindShortcut { congestion, block } => {
-            let result = FindShortcut::new(
-                FindShortcutConfig::new(congestion, block).with_seed(seed),
-            )
-            .run(graph, tree, partition)?;
+            let result =
+                FindShortcut::new(FindShortcutConfig::new(congestion, block).with_seed(seed))
+                    .run(graph, tree, partition)?;
             cost.charge(label.to_string(), result.total_rounds());
             Ok(result.shortcut)
         }
@@ -270,7 +282,9 @@ fn build_shortcut(
             let mut shortcut = TreeShortcut::empty(graph, partition);
             for p in partition.parts() {
                 for e in tree.tree_edges() {
-                    shortcut.assign(tree, p, e).expect("tree edges and valid parts");
+                    shortcut
+                        .assign(tree, p, e)
+                        .expect("tree edges and valid parts");
                 }
             }
             cost.charge(label.to_string(), u64::from(tree.depth_of_tree()));
@@ -323,7 +337,9 @@ fn merge_partition(graph: &Graph, partition: &Partition, uf: &mut UnionFind) -> 
     }
     let mut builder = PartitionBuilder::new(graph.node_count());
     for group in members {
-        builder.add_part(group).expect("merged parts are disjoint and nonempty");
+        builder
+            .add_part(group)
+            .expect("merged parts are disjoint and nonempty");
     }
     builder.build()
 }
@@ -357,7 +373,14 @@ mod tests {
         check_matches_kruskal(&g, &w, ShortcutStrategy::Doubling);
         check_matches_kruskal(&g, &w, ShortcutStrategy::NoShortcut);
         check_matches_kruskal(&g, &w, ShortcutStrategy::WholeTree);
-        check_matches_kruskal(&g, &w, ShortcutStrategy::FindShortcut { congestion: 8, block: 2 });
+        check_matches_kruskal(
+            &g,
+            &w,
+            ShortcutStrategy::FindShortcut {
+                congestion: 8,
+                block: 2,
+            },
+        );
     }
 
     #[test]
@@ -400,8 +423,11 @@ mod tests {
         let with_shortcuts = boruvka_mst(
             &g,
             &w,
-            &BoruvkaConfig::new(ShortcutStrategy::FindShortcut { congestion: 2, block: 2 })
-                .with_seed(1),
+            &BoruvkaConfig::new(ShortcutStrategy::FindShortcut {
+                congestion: 2,
+                block: 2,
+            })
+            .with_seed(1),
         )
         .unwrap();
         let without = boruvka_mst(

@@ -14,15 +14,26 @@ fn run(name: &str, graph: &Graph, seed: u64) {
     let weights = EdgeWeights::random_permutation(graph, seed);
     let reference = kruskal_mst(graph, &weights);
 
-    println!("== {name}: n = {}, m = {} ==", graph.node_count(), graph.edge_count());
-    println!("{:<28} {:>8} {:>10} {:>12}", "strategy", "phases", "rounds", "correct");
+    println!(
+        "== {name}: n = {}, m = {} ==",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    println!(
+        "{:<28} {:>8} {:>10} {:>12}",
+        "strategy", "phases", "rounds", "correct"
+    );
     for (label, strategy) in [
         ("doubling shortcuts", ShortcutStrategy::Doubling),
         ("no shortcuts (baseline)", ShortcutStrategy::NoShortcut),
         ("whole-tree shortcut", ShortcutStrategy::WholeTree),
     ] {
-        let outcome = boruvka_mst(graph, &weights, &BoruvkaConfig::new(strategy).with_seed(seed))
-            .expect("MST computation succeeds");
+        let outcome = boruvka_mst(
+            graph,
+            &weights,
+            &BoruvkaConfig::new(strategy).with_seed(seed),
+        )
+        .expect("MST computation succeeds");
         println!(
             "{:<28} {:>8} {:>10} {:>12}",
             label,

@@ -17,7 +17,11 @@ fn main() {
     let partition = generators::partitions::grid_columns(rows, cols);
     let tree = RootedTree::bfs(&graph, NodeId::new(0));
 
-    println!("graph: {rows}x{cols} grid, n = {}, m = {}", graph.node_count(), graph.edge_count());
+    println!(
+        "graph: {rows}x{cols} grid, n = {}, m = {}",
+        graph.node_count(),
+        graph.edge_count()
+    );
     println!(
         "partition: {} parts (columns), max part diameter {}",
         partition.part_count(),
@@ -53,7 +57,9 @@ fn main() {
 
     // Figure 1: the block decomposition of one part's shortcut subgraph.
     let part = PartId::new(cols / 2);
-    let blocks = result.shortcut.block_components(&graph, &tree, &partition, part);
+    let blocks = result
+        .shortcut
+        .block_components(&graph, &tree, &partition, part);
     println!(
         "part {part} (column {}) uses {} tree edges, decomposed into {} block component(s):",
         cols / 2,

@@ -28,8 +28,13 @@ fn main() {
         let b = 4usize;
 
         let slow = core_slow(&graph, &tree, &partition, c, &active);
-        let fast =
-            core_fast(&graph, &tree, &partition, &CoreFastConfig::new(c).with_seed(1), &active);
+        let fast = core_fast(
+            &graph,
+            &tree,
+            &partition,
+            &CoreFastConfig::new(c).with_seed(1),
+            &active,
+        );
 
         let good = |counts: &[usize]| counts.iter().filter(|&&k| k <= 3 * b).count();
         let slow_counts = slow.shortcut.block_counts(&graph, &partition);

@@ -32,18 +32,32 @@ fn full_pipeline_on_planar_grid() {
     // Routing on the constructed shortcut: per-part member counts.
     let router = PartRouter::new(&graph, &tree, &partition, &constructed.shortcut);
     assert!(router.supergraphs_connected());
-    let ones: Vec<Option<u64>> = graph.nodes().map(|v| partition.part_of(v).map(|_| 1)).collect();
+    let ones: Vec<Option<u64>> = graph
+        .nodes()
+        .map(|v| partition.part_of(v).map(|_| 1))
+        .collect();
     let sums = router.aggregate_to_leaders(&ones, |a, b| a + b);
     for p in partition.parts() {
-        assert_eq!(sums.values[p.index()], Some(partition.members(p).len() as u64));
+        assert_eq!(
+            sums.values[p.index()],
+            Some(partition.members(p).len() as u64)
+        );
     }
 
     // Distributed MST matches Kruskal.
     let weights = EdgeWeights::random_permutation(&graph, 99);
-    let outcome =
-        boruvka_mst(&graph, &weights, &BoruvkaConfig::new(ShortcutStrategy::Doubling)).unwrap();
+    let outcome = boruvka_mst(
+        &graph,
+        &weights,
+        &BoruvkaConfig::new(ShortcutStrategy::Doubling),
+    )
+    .unwrap();
     assert_eq!(outcome.edges, kruskal_mst(&graph, &weights));
-    assert!(verify::is_minimum_spanning_tree(&graph, &weights, &outcome.edges));
+    assert!(verify::is_minimum_spanning_tree(
+        &graph,
+        &weights,
+        &outcome.edges
+    ));
 }
 
 /// The headline separation: on a wheel (network diameter 2, long rim arcs)
@@ -58,11 +72,18 @@ fn shortcut_mst_beats_baseline_routing_on_low_diameter_planar_graphs() {
     let with_shortcuts = boruvka_mst(
         &graph,
         &weights,
-        &BoruvkaConfig::new(ShortcutStrategy::FindShortcut { congestion: 2, block: 2 }),
+        &BoruvkaConfig::new(ShortcutStrategy::FindShortcut {
+            congestion: 2,
+            block: 2,
+        }),
     )
     .unwrap();
-    let baseline =
-        boruvka_mst(&graph, &weights, &BoruvkaConfig::new(ShortcutStrategy::NoShortcut)).unwrap();
+    let baseline = boruvka_mst(
+        &graph,
+        &weights,
+        &BoruvkaConfig::new(ShortcutStrategy::NoShortcut),
+    )
+    .unwrap();
 
     assert_eq!(with_shortcuts.edges, baseline.edges);
     assert_eq!(with_shortcuts.edges, kruskal_mst(&graph, &weights));
@@ -112,8 +133,12 @@ fn theorem3_on_torus_with_reference_parameters() {
 fn lower_bound_instance_still_computes_correct_mst() {
     let (graph, _layout) = generators::lower_bound_graph(6, 24);
     let weights = EdgeWeights::random_permutation(&graph, 13);
-    let outcome =
-        boruvka_mst(&graph, &weights, &BoruvkaConfig::new(ShortcutStrategy::Doubling)).unwrap();
+    let outcome = boruvka_mst(
+        &graph,
+        &weights,
+        &BoruvkaConfig::new(ShortcutStrategy::Doubling),
+    )
+    .unwrap();
     assert_eq!(outcome.edges, kruskal_mst(&graph, &weights));
 }
 
@@ -140,7 +165,11 @@ fn part_aggregate_on_genus_graph() {
         |a, b| a + b,
     );
     for p in partition.parts() {
-        let expected: u64 = partition.members(p).iter().map(|&v| graph.degree(v) as u64).sum();
+        let expected: u64 = partition
+            .members(p)
+            .iter()
+            .map(|&v| graph.degree(v) as u64)
+            .sum();
         assert_eq!(outcome.values[p.index()], Some(expected));
     }
     assert!(outcome.rounds > 0);

@@ -1,0 +1,184 @@
+//! Minimal offline stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness.
+//!
+//! Provides the API slice the workspace's `e1`–`e6` benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`]
+//! and [`black_box`] — and reports the mean wall-clock time per iteration to
+//! stdout. No statistics, plots, or HTML reports. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: a function name plus the
+/// parameter value this invocation measures.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayable parameter.
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure given to
+/// [`BenchmarkGroup::bench_with_input`].
+pub struct Bencher {
+    samples: usize,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, running one warm-up pass then `samples` measured
+    /// passes, recording the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / self.samples as u32);
+    }
+}
+
+/// A named collection of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set how many measured iterations each benchmark runs (upstream: how
+    /// many statistical samples are collected).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark `routine` against `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            mean: None,
+        };
+        routine(&mut bencher, input);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    fn report(&mut self, id: &str, bencher: &Bencher) {
+        match bencher.mean {
+            Some(mean) => println!(
+                "{}/{}: mean {:?} over {} iters",
+                self.name, id, mean, bencher.samples
+            ),
+            None => println!("{}/{}: no measurement (iter never called)", self.name, id),
+        }
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Finish the group. (Upstream emits summary reports here; the stand-in
+    /// has already printed each line.)
+    pub fn finish(self) {}
+}
+
+/// Benchmark manager, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// How many benchmarks have reported so far.
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, mirroring upstream's
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups, mirroring upstream's
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_measures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let input = 20u64;
+        group.bench_with_input(BenchmarkId::new("fib", input), &input, |b, &n| {
+            b.iter(|| (1..=n).product::<u64>())
+        });
+        group.finish();
+        assert_eq!(c.benchmarks_run(), 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+    }
+}

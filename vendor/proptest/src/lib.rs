@@ -1,0 +1,267 @@
+//! Minimal offline stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! Supports the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//!   inner attribute and `name in strategy` argument bindings,
+//! * integer-range strategies (`0usize..50`), tuples of strategies, and
+//!   [`collection::vec`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * [`test_runner::Config`] (`ProptestConfig`) with `with_cases`.
+//!
+//! There is **no shrinking**: on failure the generated inputs are printed
+//! verbatim so the case can be replayed by hand. Generation is fully
+//! deterministic (fixed base seed + case index), so a failing case fails on
+//! every run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Test-runner configuration (stand-in for `proptest::test_runner`).
+pub mod test_runner {
+    /// Number-of-cases configuration, mirroring `ProptestConfig`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// How many random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// Deterministic RNG handed to strategies by the generated test loop.
+#[derive(Debug)]
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// A generator for case number `case` of the named test.
+    ///
+    /// The test name participates in the seed so different properties in one
+    /// file do not see identical instance streams.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(ChaCha8Rng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Value-generation strategies (stand-in for `proptest::strategy`).
+pub mod strategy {
+    use crate::TestRng;
+    use rand::Rng;
+
+    /// Something that can produce random values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+}
+
+/// Collection strategies (stand-in for `proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generate vectors whose length is drawn from `len` and whose elements
+    /// are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = if self.len.is_empty() {
+                0
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Assert a condition inside a property, reporting the generated inputs on
+/// failure. (No shrinking in this stand-in — it simply panics like
+/// `assert!`, and the harness prints the inputs.)
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Assert equality inside a property; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }` item
+/// becomes a `#[test]` that runs `body` against `Config::cases` random
+/// instantiations of its arguments. On panic, the failing inputs are printed
+/// before the panic propagates.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..u64::from(config.cases) {
+                    let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    let inputs = format!(
+                        concat!("case ", "{}", $(": ", stringify!($arg), " = {:?}",)*),
+                        case $(, &$arg)*
+                    );
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body })
+                    );
+                    if let Err(panic) = outcome {
+                        eprintln!("proptest stand-in: {} failed [{}]", stringify!($name), inputs);
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $( $arg in $strat ),* ) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The harness runs and ranges stay in bounds.
+        #[test]
+        fn ranges_in_bounds(n in 2usize..60, pair in (0u64..10, 0u32..5)) {
+            prop_assert!((2..60).contains(&n));
+            prop_assert!(pair.0 < 10 && pair.1 < 5);
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in crate::collection::vec(0usize..9, 0..7)) {
+            prop_assert!(v.len() < 7);
+            for x in v {
+                prop_assert!(x < 9);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        use crate::strategy::Strategy;
+        let a = (0usize..1000).sample(&mut crate::TestRng::for_case("t", 3));
+        let b = (0usize..1000).sample(&mut crate::TestRng::for_case("t", 3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,166 @@
+//! Minimal offline stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate (0.8 API surface), covering exactly what this workspace uses:
+//! [`Rng::gen_range`], [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`] and
+//! [`seq::SliceRandom`]. See `vendor/README.md` for the rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A source of uniformly distributed random 64-bit words.
+pub trait RngCore {
+    /// Return the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Return the next pseudo-random `u32` (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A random number generator that can be explicitly seeded.
+///
+/// Upstream `rand` derives [`SeedableRng::seed_from_u64`] from a byte-array
+/// seed; the workspace only ever seeds from a `u64`, so that is the whole
+/// trait here.
+pub trait SeedableRng: Sized {
+    /// Create a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience methods layered on any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value uniformly from `range` (half-open, `low..high`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty, as upstream does.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        // 53 uniform mantissa bits, same construction as upstream's f64 sampling.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Uniform-sampling support types (stand-in for `rand::distributions`).
+pub mod distributions {
+    /// Uniform range sampling (stand-in for `rand::distributions::uniform`).
+    pub mod uniform {
+        use crate::RngCore;
+
+        /// A range that can produce a uniform sample of `T`.
+        pub trait SampleRange<T> {
+            /// Draw one uniform sample from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! impl_sample_range_uint {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for core::ops::Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let span = (self.end - self.start) as u128;
+                        // Modulo reduction: bias is < 2^-64 per draw for the
+                        // span sizes used in this workspace, which is fine for
+                        // synthetic-instance generation.
+                        let draw = (rng.next_u64() as u128) % span;
+                        self.start + draw as $t
+                    }
+                }
+                impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "gen_range: empty range");
+                        let span = (end - start) as u128 + 1;
+                        let draw = (rng.next_u64() as u128) % span;
+                        start + draw as $t
+                    }
+                }
+            )*};
+        }
+        impl_sample_range_uint!(u8, u16, u32, u64, usize);
+    }
+}
+
+/// Sequence-related random operations (stand-in for `rand::seq`).
+pub mod seq {
+    use crate::RngCore;
+
+    /// Extension methods on slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// The element type of the slice.
+        type Item;
+
+        /// Shuffle the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore};
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(7);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Counter(9);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}
