@@ -1,0 +1,59 @@
+//! E7/E8-companion benchmark: wall-clock cost of executing the distributed
+//! protocols in the CONGEST simulator versus computing the scheduled round
+//! counts centrally, on the same instances as the E8 table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_core::construction::verification;
+use lcs_core::existential::ancestor_shortcut;
+use lcs_core::routing::PartRouter;
+use lcs_dist::{part_leaders, verification_simulated, BlockFamily};
+use lcs_graph::{generators, NodeId, RootedTree};
+
+fn bench_e7_dist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_dist");
+    group.sample_size(10);
+    for side in [8usize, 12, 16] {
+        let graph = generators::grid(side, side);
+        let tree = RootedTree::bfs(&graph, NodeId::new(0));
+        let partition = generators::partitions::grid_columns(side, side);
+        let shortcut = ancestor_shortcut(&graph, &tree, &partition);
+        let family = BlockFamily::new(&graph, &tree, &partition, &shortcut);
+        let active = vec![true; partition.part_count()];
+
+        group.bench_with_input(
+            BenchmarkId::new("leaders_simulated", side),
+            &side,
+            |b, _| {
+                b.iter(|| part_leaders(&graph, &partition, &family, None).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("leaders_scheduled", side),
+            &side,
+            |b, _| {
+                b.iter(|| PartRouter::new(&graph, &tree, &partition, &shortcut).elect_leaders());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("verification_simulated", side),
+            &side,
+            |b, _| {
+                b.iter(|| {
+                    verification_simulated(&graph, &tree, &partition, &shortcut, 3, &active, None)
+                        .unwrap()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("verification_scheduled", side),
+            &side,
+            |b, _| {
+                b.iter(|| verification(&graph, &tree, &partition, &shortcut, 3, &active));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e7_dist);
+criterion_main!(benches);

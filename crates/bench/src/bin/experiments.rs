@@ -1,18 +1,36 @@
 //! Prints every experiment table of the reproduction (see EXPERIMENTS.md).
 //!
 //! Usage:
-//!   experiments            # run all experiments
-//!   experiments e1 e4      # run a subset
+//!   experiments                      # run all experiments
+//!   experiments e1 e4                # run a subset
+//!   experiments --json out.json      # also write the tables as JSON
+//!   experiments e8 --json out.json   # subset + JSON
 
 use lcs_bench::{
     e1_quality_table, e2_findshortcut_table, e3_routing_table, e4_mst_table, e5_core_table,
-    e6_doubling_table, e7_guarantees_table, render_table, Table,
+    e6_doubling_table, e7_guarantees_table, e8_dist_table, render_table, tables_to_json, Table,
 };
 
 type TableBuilder = fn() -> Table;
 
 fn main() {
-    let requested: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let mut json_path: Option<String> = None;
+    let mut requested: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            requested.push(arg.to_lowercase());
+        }
+    }
+
     let all: Vec<(&str, TableBuilder)> = vec![
         ("e1", e1_quality_table),
         ("e2", e2_findshortcut_table),
@@ -21,12 +39,35 @@ fn main() {
         ("e5", e5_core_table),
         ("e6", e6_doubling_table),
         ("e7", e7_guarantees_table),
+        ("e8", e8_dist_table),
     ];
+    // Fail loudly on anything that is not a known experiment id — a typoed
+    // flag must not silently produce an empty run (CI consumes the JSON).
+    for r in &requested {
+        if !all.iter().any(|(name, _)| name == r) {
+            eprintln!(
+                "unknown argument `{r}`; expected experiment ids {} or --json <path>",
+                all.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+    let mut built: Vec<(String, Table)> = Vec::new();
     for (name, build) in all {
         if requested.is_empty() || requested.iter().any(|r| r == name) {
             eprintln!("running {name}...");
             let table = build();
             println!("{}", render_table(&table));
+            built.push((name.to_string(), table));
         }
+    }
+
+    if let Some(path) = json_path {
+        let json = tables_to_json(&built);
+        if let Err(err) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {err}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} table(s) to {path}", built.len());
     }
 }

@@ -1,11 +1,13 @@
-//! The experiment tables E1–E7.
+//! The experiment tables E1–E8.
 
+use lcs_congest::primitives::AggregateOp;
 use lcs_core::construction::{
     core_fast, core_slow, doubling_search, CoreFastConfig, DoublingConfig, FindShortcut,
     FindShortcutConfig,
 };
 use lcs_core::existential::reference_parameters;
 use lcs_core::routing::{convergecast_rounds, RoutingPriority, SubtreeSpec};
+use lcs_dist::CrossCheck;
 use lcs_graph::{diameter_exact, generators, EdgeWeights, NodeId, Partition, RootedTree};
 use lcs_mst::{boruvka_mst, BoruvkaConfig, ShortcutStrategy};
 
@@ -530,9 +532,150 @@ pub fn e7_guarantees_table() -> Table {
     }
 }
 
+/// E8 — charged vs executed rounds: every distributed protocol of
+/// `lcs_dist` cross-checked against its scheduled counterpart across the
+/// generator families. Every row's results are asserted equal by the
+/// [`CrossCheck`] harness (the builder panics otherwise) and the executed
+/// round counts respect the Lemma 2 / Theorem 2 / Lemma 3 bounds; the
+/// table shows how far the executed protocols sit from the charged
+/// schedules.
+pub fn e8_dist_table() -> Table {
+    let mut rows = Vec::new();
+    let mut push_row = |family_name: &str, graph: &lcs_graph::Graph, partition: &Partition| {
+        let tree = RootedTree::bfs(graph, NodeId::new(0));
+        let constructed = doubling_search(graph, &tree, partition, DoublingConfig::new())
+            .expect("families in E8 admit shortcuts");
+        let shortcut = constructed.shortcut;
+        let check = CrossCheck::new(graph, &tree, partition, &shortcut)
+            .expect("the measured schedule respects Lemma 2");
+        let b = check.family().block_parameter();
+        let c = check.family().schedule().max_edge_load;
+
+        let ones: Vec<Option<u64>> = graph
+            .nodes()
+            .map(|v| partition.part_of(v).map(|_| 1))
+            .collect();
+        let conv = check
+            .convergecast(&ones, AggregateOp::Sum)
+            .expect("convergecast results match");
+        let leaders = check.leader_election().expect("leaders match");
+        let weights = EdgeWeights::random_permutation(graph, 17);
+        let candidates = check.boruvka_candidates(&weights);
+        let min_edge = check.min_edge(&candidates).expect("min edges match");
+        let threshold = 3 * b.max(1);
+        let counts = check.block_counts(threshold).expect("block counts match");
+
+        rows.push(vec![
+            family_name.to_string(),
+            graph.node_count().to_string(),
+            u64::from(tree.depth_of_tree()).to_string(),
+            partition.part_count().to_string(),
+            format!("({c}, {b})"),
+            format!("{}/{}", conv.charged, conv.executed),
+            format!("{}/{}", leaders.charged, leaders.executed),
+            format!("{}/{}", min_edge.charged, min_edge.executed),
+            format!("{}/{}", counts.charged, counts.executed),
+            "true".to_string(),
+        ]);
+    };
+
+    {
+        let graph = generators::grid(12, 12);
+        let partition = generators::partitions::grid_columns(12, 12);
+        push_row("grid 12x12, columns", &graph, &partition);
+    }
+    {
+        let graph = generators::grid(16, 16);
+        let partition = generators::partitions::random_bfs_balls(&graph, 16, 5);
+        push_row("grid 16x16, 16 BFS balls", &graph, &partition);
+    }
+    {
+        let graph = generators::torus(10, 10);
+        let partition = generators::partitions::random_bfs_balls(&graph, 10, 2);
+        push_row("torus 10x10, 10 BFS balls", &graph, &partition);
+    }
+    {
+        let graph = generators::caterpillar(30, 3);
+        let partition = generators::partitions::random_bfs_balls(&graph, 8, 4);
+        push_row("caterpillar 30x3, 8 BFS balls", &graph, &partition);
+    }
+    {
+        let graph = generators::random_connected(120, 120, 9);
+        let partition = generators::partitions::random_bfs_balls(&graph, 12, 6);
+        push_row("random n=120 m=+120, 12 BFS balls", &graph, &partition);
+    }
+    {
+        let graph = generators::wheel(129);
+        let partition = generators::partitions::wheel_arcs(129, 8);
+        push_row("wheel W_129, 8 arcs", &graph, &partition);
+    }
+
+    Table {
+        title: "E8: charged vs executed rounds — scheduled accounting vs real message passing (cells are charged/executed; results asserted equal)"
+            .to_string(),
+        headers: [
+            "family",
+            "n",
+            "D",
+            "N",
+            "(c, b)",
+            "convergecast",
+            "leaders",
+            "min edge",
+            "verification",
+            "results equal",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows,
+    }
+}
+
+/// Renders a list of tables as a single machine-readable JSON document
+/// (hand-rolled writer: the build environment has no serde).
+pub fn tables_to_json(tables: &[(String, Table)]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for ch in s.chars() {
+            match ch {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    fn string_array(items: &[String]) -> String {
+        let cells: Vec<String> = items.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+        format!("[{}]", cells.join(","))
+    }
+
+    let mut entries = Vec::new();
+    for (id, table) in tables {
+        let rows: Vec<String> = table.rows.iter().map(|r| string_array(r)).collect();
+        entries.push(format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"headers\":{},\"rows\":[{}]}}",
+            esc(id),
+            esc(&table.title),
+            string_array(&table.headers),
+            rows.join(",")
+        ));
+    }
+    format!(
+        "{{\"generator\":\"experiments\",\"tables\":[{}]}}\n",
+        entries.join(",")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lcs_mst::ExecutionMode;
 
     #[test]
     fn render_table_aligns_columns() {
@@ -566,5 +709,41 @@ mod tests {
             assert_eq!(row[6], "true", "{row:?}");
             assert_eq!(row[7], "true", "{row:?}");
         }
+    }
+
+    #[test]
+    fn json_writer_escapes_and_structures() {
+        let table = Table {
+            title: "with \"quotes\" and\nnewline".to_string(),
+            headers: vec!["a".to_string()],
+            rows: vec![vec!["x\\y".to_string()]],
+        };
+        let json = tables_to_json(&[("t1".to_string(), table)]);
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("x\\\\y"));
+        assert!(json.starts_with("{\"generator\":\"experiments\""));
+        assert!(json.trim_end().ends_with("]}"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn e8_simulated_boruvka_agrees_end_to_end() {
+        // The acceptance check behind E8's contract: Boruvka with simulated
+        // execution still verifies against Kruskal.
+        let g = generators::grid(4, 4);
+        let w = EdgeWeights::random_permutation(&g, 2);
+        let outcome = boruvka_mst(
+            &g,
+            &w,
+            &BoruvkaConfig::new(ShortcutStrategy::Doubling)
+                .with_seed(1)
+                .with_execution(ExecutionMode::Simulated),
+        )
+        .unwrap();
+        assert_eq!(outcome.edges, lcs_graph::kruskal_mst(&g, &w));
     }
 }

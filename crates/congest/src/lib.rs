@@ -51,7 +51,7 @@ pub use cost::RoundCost;
 pub use error::SimError;
 pub use message::{bits_for_count, bits_for_node_count, MessageBits};
 pub use node::{Incoming, NodeContext, NodeProtocol, Outgoing};
-pub use simulator::{SimConfig, SimOutcome, SimStats, Simulator};
+pub use simulator::{RoundTrace, SimConfig, SimOutcome, SimStats, Simulator};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, SimError>;

@@ -25,7 +25,8 @@ pub enum AggregateOp {
 }
 
 impl AggregateOp {
-    fn combine(self, a: u64, b: u64) -> u64 {
+    /// Applies the operator to two values.
+    pub fn combine(self, a: u64, b: u64) -> u64 {
         match self {
             AggregateOp::Sum => a + b,
             AggregateOp::Min => a.min(b),

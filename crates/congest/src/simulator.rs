@@ -14,6 +14,11 @@ pub struct SimConfig {
     /// as [`SimError::RoundLimitExceeded`] so buggy protocols fail loudly
     /// instead of spinning forever.
     pub max_rounds: u64,
+    /// When `true`, the simulator records one [`RoundTrace`] entry per
+    /// executed round in [`SimOutcome::trace`] — the per-round message and
+    /// bit counts a protocol author needs when debugging a multi-phase
+    /// protocol. Off by default because traces of long runs are large.
+    pub trace: bool,
 }
 
 impl SimConfig {
@@ -26,10 +31,17 @@ impl SimConfig {
         SimConfig {
             bandwidth_bits: 4 * id_bits + 64,
             max_rounds: 64 * graph.node_count() as u64 + 1024,
+            trace: false,
         }
     }
 
     /// Overrides the round cap.
+    ///
+    /// The default cap of [`SimConfig::for_graph`] (`64·n + 1024`) is sized
+    /// for single-phase protocols; multi-phase protocols (such as the
+    /// windowed superstep protocols of `lcs_dist`) must compute their own
+    /// round budget and pass it through here rather than silently inheriting
+    /// the default.
     pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
         self.max_rounds = max_rounds;
         self
@@ -40,6 +52,24 @@ impl SimConfig {
         self.bandwidth_bits = bandwidth_bits;
         self
     }
+
+    /// Enables per-round tracing (see [`SimConfig::trace`]).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+/// One entry of the optional per-round trace: what the network delivered in
+/// a single synchronous round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundTrace {
+    /// The round number (1-based; round 0 is initialization).
+    pub round: u64,
+    /// Number of messages delivered in this round.
+    pub messages: u64,
+    /// Total bits delivered in this round.
+    pub bits: u64,
 }
 
 /// Aggregate statistics of a simulation run.
@@ -62,6 +92,8 @@ pub struct SimOutcome<P> {
     pub nodes: Vec<P>,
     /// Run statistics (rounds, messages, bits).
     pub stats: SimStats,
+    /// Per-round delivery trace; empty unless [`SimConfig::trace`] is set.
+    pub trace: Vec<RoundTrace>,
 }
 
 /// A synchronous CONGEST simulator bound to a graph.
@@ -113,6 +145,7 @@ impl<'g> Simulator<'g> {
             .collect();
         let mut nodes: Vec<P> = contexts.iter().map(&mut factory).collect();
         let mut stats = SimStats::default();
+        let mut trace: Vec<RoundTrace> = Vec::new();
 
         // Mailboxes for the next round, indexed by recipient.
         let mut inboxes: Vec<Vec<Incoming<P::Message>>> = vec![Vec::new(); n];
@@ -140,6 +173,18 @@ impl<'g> Simulator<'g> {
             // Deliver this round's messages and collect next round's sends.
             let current: Vec<Vec<Incoming<P::Message>>> =
                 std::mem::replace(&mut inboxes, vec![Vec::new(); n]);
+            if self.config.trace {
+                let bits: u64 = current
+                    .iter()
+                    .flatten()
+                    .map(|m| m.msg.size_bits() as u64)
+                    .sum();
+                trace.push(RoundTrace {
+                    round,
+                    messages: in_flight as u64,
+                    bits,
+                });
+            }
             for (idx, incoming) in current.into_iter().enumerate() {
                 let ctx = &contexts[idx];
                 let outgoing = nodes[idx].on_round(ctx, round, &incoming);
@@ -148,7 +193,11 @@ impl<'g> Simulator<'g> {
         }
 
         stats.rounds = round;
-        Ok(SimOutcome { nodes, stats })
+        Ok(SimOutcome {
+            nodes,
+            stats,
+            trace,
+        })
     }
 
     /// Validates and enqueues a node's outgoing messages.
@@ -395,6 +444,39 @@ mod tests {
         let sim = Simulator::new(&g, SimConfig::for_graph(&g));
         let err = sim.run(|_| DoubleSender).unwrap_err();
         assert!(matches!(err, SimError::DuplicateSend { round: 0, .. }));
+    }
+
+    #[test]
+    fn trace_records_per_round_deliveries() {
+        let g = generators::path(6);
+        let sim = Simulator::new(&g, SimConfig::for_graph(&g).with_trace());
+        let outcome = sim
+            .run(|_| FloodOnce {
+                received: 0,
+                started: false,
+            })
+            .unwrap();
+        // One round, all 2m messages delivered in it, one bit each.
+        assert_eq!(outcome.trace.len(), 1);
+        assert_eq!(outcome.trace[0].round, 1);
+        assert_eq!(outcome.trace[0].messages, 2 * g.edge_count() as u64);
+        assert_eq!(outcome.trace[0].bits, outcome.stats.total_bits);
+        // The trace totals always reconcile with the aggregate stats.
+        let traced: u64 = outcome.trace.iter().map(|t| t.messages).sum();
+        assert_eq!(traced, outcome.stats.messages);
+    }
+
+    #[test]
+    fn trace_is_empty_when_disabled() {
+        let g = generators::path(6);
+        let sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let outcome = sim
+            .run(|_| FloodOnce {
+                received: 0,
+                started: false,
+            })
+            .unwrap();
+        assert!(outcome.trace.is_empty());
     }
 
     #[test]

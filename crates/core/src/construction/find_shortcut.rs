@@ -13,7 +13,7 @@ use lcs_graph::{Graph, PartId, Partition, RootedTree};
 
 use super::core_fast::{core_fast, CoreFastConfig};
 use super::core_slow::core_slow;
-use super::verification::verification;
+use super::verification::{verification, VerificationOutcome};
 use crate::{Result, TreeShortcut};
 
 /// Configuration of the [`FindShortcut`] driver.
@@ -122,7 +122,8 @@ impl FindShortcut {
         self.config
     }
 
-    /// Runs the construction on `(graph, tree, partition)`.
+    /// Runs the construction on `(graph, tree, partition)` with the default
+    /// scheduled verification subroutine.
     ///
     /// # Errors
     ///
@@ -134,6 +135,43 @@ impl FindShortcut {
         tree: &RootedTree,
         partition: &Partition,
     ) -> Result<FindShortcutResult> {
+        self.run_with_verifier(graph, tree, partition, |g, t, p, s, threshold, active| {
+            Ok(verification(g, t, p, s, threshold, active))
+        })
+    }
+
+    /// Runs the construction with a caller-supplied verification subroutine.
+    ///
+    /// This is the seam through which alternative verification back-ends are
+    /// dropped into the Theorem 3 driver without the driver knowing about
+    /// them — in particular `lcs_dist`'s message-passing implementation of
+    /// the Lemma 3 block counting ([`crate::routing::ExecutionMode`]
+    /// `Simulated`). The verifier receives the tentative shortcut of the
+    /// current iteration, the `3b` block threshold and the active-part mask,
+    /// and must return which active parts verified good plus the round count
+    /// to charge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verifier errors and the input-consistency errors of
+    /// [`FindShortcut::run`].
+    pub fn run_with_verifier<V>(
+        &self,
+        graph: &Graph,
+        tree: &RootedTree,
+        partition: &Partition,
+        mut verifier: V,
+    ) -> Result<FindShortcutResult>
+    where
+        V: FnMut(
+            &Graph,
+            &RootedTree,
+            &Partition,
+            &TreeShortcut,
+            usize,
+            &[bool],
+        ) -> Result<VerificationOutcome>,
+    {
         if tree.node_count() != graph.node_count() {
             return Err(crate::CoreError::InconsistentInputs {
                 reason: format!(
@@ -179,14 +217,14 @@ impl FindShortcut {
             cost.charge(format!("iteration-{iterations}/core"), core.rounds);
 
             // Verification: which remaining parts obtained <= 3b blocks?
-            let verified = verification(
+            let verified = verifier(
                 graph,
                 tree,
                 partition,
                 &core.shortcut,
                 block_threshold,
                 &remaining,
-            );
+            )?;
             cost.charge(
                 format!("iteration-{iterations}/verification"),
                 verified.rounds,

@@ -19,3 +19,25 @@ pub use parts::{PartRouter, PartRouterOutcome};
 pub use tree_routing::{
     convergecast_rounds, subtree_specs_from_blocks, RoutingPriority, RoutingSchedule, SubtreeSpec,
 };
+
+/// How a routing primitive or construction subroutine executes its
+/// communication.
+///
+/// * [`ExecutionMode::Scheduled`] — the seed behaviour: results are computed
+///   centrally and the round count is the exact length of the
+///   level-synchronous schedule the primitive would execute (what
+///   [`PartRouter`] and `construction::verification` report).
+/// * [`ExecutionMode::Simulated`] — the primitive runs as a real
+///   message-passing [`lcs_congest::NodeProtocol`] in the CONGEST simulator,
+///   with per-edge bandwidth enforced; the round count is
+///   `lcs_congest::SimStats::rounds` of the actual execution. The protocol
+///   implementations live in the `lcs_dist` crate (which depends on this
+///   one); entry points that accept an `ExecutionMode` dispatch to them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Centralized results, exact scheduled round counts (the default).
+    #[default]
+    Scheduled,
+    /// Real message-passing execution in the CONGEST simulator.
+    Simulated,
+}

@@ -1,0 +1,68 @@
+//! Execution-mode dispatch for the construction driver.
+
+use lcs_core::construction::{FindShortcut, FindShortcutConfig, FindShortcutResult};
+use lcs_core::routing::ExecutionMode;
+use lcs_graph::{Graph, Partition, RootedTree};
+
+use crate::verification::verification_simulated;
+
+/// Runs the Theorem 3 `FindShortcut` driver with the chosen execution mode
+/// for its verification subroutine: `Scheduled` is the seed behaviour
+/// (centralized results, exact scheduled rounds), `Simulated` drops in the
+/// message-passing Lemma 3 block counting of this crate via
+/// [`FindShortcut::run_with_verifier`].
+///
+/// # Errors
+///
+/// Propagates construction and simulation errors.
+pub fn find_shortcut(
+    config: FindShortcutConfig,
+    mode: ExecutionMode,
+    graph: &Graph,
+    tree: &RootedTree,
+    partition: &Partition,
+) -> lcs_core::Result<FindShortcutResult> {
+    let driver = FindShortcut::new(config);
+    match mode {
+        ExecutionMode::Scheduled => driver.run(graph, tree, partition),
+        ExecutionMode::Simulated => {
+            driver.run_with_verifier(graph, tree, partition, |g, t, p, s, threshold, active| {
+                let outcome = verification_simulated(g, t, p, s, threshold, active, None)
+                    .map_err(lcs_core::CoreError::from)?;
+                Ok(outcome.outcome)
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_core::existential::reference_parameters;
+    use lcs_graph::{generators, NodeId};
+
+    #[test]
+    fn simulated_verification_drives_find_shortcut_to_the_same_guarantees() {
+        let g = generators::grid(6, 6);
+        let t = RootedTree::bfs(&g, NodeId::new(0));
+        let p = generators::partitions::grid_columns(6, 6);
+        let (_, reference) = reference_parameters(&g, &t, &p);
+        let config = FindShortcutConfig::new(
+            reference.congestion.max(1),
+            reference.block_parameter.max(1),
+        )
+        .with_seed(7);
+
+        let scheduled = find_shortcut(config, ExecutionMode::Scheduled, &g, &t, &p).unwrap();
+        let simulated = find_shortcut(config, ExecutionMode::Simulated, &g, &t, &p).unwrap();
+        assert!(scheduled.all_parts_good);
+        assert!(simulated.all_parts_good);
+        // Same cores, same classification of good parts, hence the same
+        // shortcut: only the charged verification rounds may differ.
+        assert_eq!(simulated.shortcut, scheduled.shortcut);
+        assert_eq!(simulated.iterations, scheduled.iterations);
+        let b = reference.block_parameter.max(1);
+        let q = simulated.shortcut.quality(&g, &p);
+        assert!(q.block_parameter <= 3 * b);
+    }
+}

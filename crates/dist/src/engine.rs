@@ -1,0 +1,383 @@
+//! The windowed superstep engine.
+//!
+//! Every protocol in this crate shares one communication skeleton, the
+//! Theorem 2 *superstep*:
+//!
+//! 1. a Lemma 2 parallel convergecast over every block of the family — in
+//!    each round every node forwards, among the blocks for which it has
+//!    already heard from all of its in-block children, the one whose block
+//!    root is shallowest (ties by block index), exactly the priority rule
+//!    the lemma proves completes within `D + c` rounds;
+//! 2. the *time-reversal* of that convergecast as the broadcast that
+//!    disseminates each block's combined value to all of its nodes: if a
+//!    child's upward message arrived over a tree edge in relative round
+//!    `r`, the parent sends the agreed value back down over the same edge
+//!    in relative round `2L - r`. Reversing a feasible schedule is
+//!    feasible, so the broadcast also completes within `L` rounds;
+//! 3. one round of exchange over same-part graph edges (the supergraph
+//!    step of Theorem 2).
+//!
+//! Windows have a fixed length `W = 2L + 1`, where `L` is the family's
+//! exact Lemma 2 schedule length — a quantity every node can obtain in the
+//! `O(D)` preprocessing the paper assumes (see `knowledge`). Because the
+//! greedy convergecast provably completes within `L` and the reversed
+//! broadcast reuses its delivery times, windows never overflow; the engine
+//! panics loudly if a protocol bug makes one.
+//!
+//! Protocols plug in a [`NodeProgram`] describing what is combined
+//! intra-block and what is exchanged across part edges; the engine turns it
+//! into a [`NodeProtocol`] and runs it in the CONGEST simulator with the
+//! per-edge bandwidth enforced on every message.
+
+use lcs_congest::{
+    bits_for_count, Incoming, MessageBits, NodeContext, NodeProtocol, Outgoing, SimConfig,
+    SimOutcome, Simulator,
+};
+use lcs_graph::{Graph, NodeId};
+
+use crate::knowledge::{BlockFamily, Membership, NodeInfo};
+use crate::Result;
+
+/// The per-node logic of a superstep protocol. One instance runs per node;
+/// it may only consult the node's [`NodeInfo`] and the messages the engine
+/// hands it.
+pub(crate) trait NodeProgram {
+    /// Block-level value: convergecast up, combined, broadcast down.
+    type Val: Clone + std::fmt::Debug;
+    /// Payload exchanged across same-part graph edges between supersteps.
+    type Cross: Clone + std::fmt::Debug;
+
+    /// The node's contribution for membership `m` at the start of superstep
+    /// `step` (Steiner nodes contribute an identity element).
+    fn contribution(&mut self, info: &NodeInfo, m: &Membership, step: u64) -> Self::Val;
+    /// Associative, commutative combination of contributions.
+    fn combine(&self, step: u64, a: &Self::Val, b: &Self::Val) -> Self::Val;
+    /// The node learned its block's combined value for superstep `step`.
+    fn on_agreed(&mut self, info: &NodeInfo, m: &Membership, val: &Self::Val, step: u64);
+    /// The cross message to send to same-part neighbor `to` after superstep
+    /// `step`, or `None` to stay silent on that edge.
+    fn cross_message(&mut self, info: &NodeInfo, to: NodeId, step: u64) -> Option<Self::Cross>;
+    /// A cross message from `from`, sent after superstep `step`.
+    fn on_cross(&mut self, info: &NodeInfo, from: NodeId, msg: Self::Cross, step: u64);
+    /// Declared encoded size of a block value in bits.
+    fn val_bits(&self) -> usize;
+    /// Declared encoded size of a cross payload in bits.
+    fn cross_bits(&self) -> usize;
+}
+
+/// Engine message: two tag bits distinguish the three payload kinds; block
+/// ids are `⌈log₂ |family|⌉` bits.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineMsg<V, C> {
+    payload: Payload<V, C>,
+    bits: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Payload<V, C> {
+    Up { block: u32, val: V },
+    Down { block: u32, val: V },
+    Cross(C),
+}
+
+impl<V: Clone, C: Clone> MessageBits for EngineMsg<V, C> {
+    fn size_bits(&self) -> usize {
+        self.bits
+    }
+}
+
+/// Per-membership state of the current superstep's convergecast/broadcast.
+#[derive(Debug, Clone)]
+struct Run<V> {
+    pending: usize,
+    acc: Option<V>,
+    sent_up: bool,
+    agreed: Option<V>,
+    /// `(child, relative delivery round)` of this superstep's upward
+    /// messages — the broadcast sends down over the same edges at the
+    /// mirrored rounds.
+    child_rel: Vec<(NodeId, u64)>,
+}
+
+/// How many supersteps to run and whether block values are broadcast back
+/// down (single-shot convergecasts skip the broadcast half).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EngineSpec {
+    pub steps: u64,
+    pub broadcast_down: bool,
+}
+
+/// Exact number of rounds an engine execution takes: `steps` windows minus
+/// the trailing cross round of the last superstep (and minus the broadcast
+/// half when disabled).
+pub(crate) fn engine_rounds(l: u64, spec: EngineSpec) -> u64 {
+    if spec.steps == 0 {
+        return 0;
+    }
+    let window = 2 * l + 1;
+    let last = if spec.broadcast_down { 2 * l } else { l };
+    (spec.steps - 1) * window + last
+}
+
+/// The engine as a per-node CONGEST protocol.
+#[derive(Debug)]
+pub(crate) struct EngineNode<P: NodeProgram> {
+    program: P,
+    info: NodeInfo,
+    l: u64,
+    window: u64,
+    steps: u64,
+    total_rounds: u64,
+    broadcast_down: bool,
+    up_bits: usize,
+    cross_msg_bits: usize,
+    step: u64,
+    runs: Vec<Run<P::Val>>,
+    finished: bool,
+}
+
+impl<P: NodeProgram> EngineNode<P> {
+    /// The plugged-in program, for result extraction after the run.
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    fn base(&self) -> u64 {
+        self.step * self.window
+    }
+
+    fn start_superstep(&mut self) {
+        let step = self.step;
+        self.runs.clear();
+        for (i, m) in self.info.memberships.iter().enumerate() {
+            let contribution = self.program.contribution(&self.info, m, step);
+            self.runs.push(Run {
+                pending: m.children.len(),
+                acc: Some(contribution),
+                sent_up: false,
+                agreed: None,
+                child_rel: Vec::new(),
+            });
+            // Childless roots agree immediately.
+            if m.is_root && m.children.is_empty() {
+                let val = self.runs[i].acc.clone().expect("contribution just set");
+                self.runs[i].agreed = Some(val.clone());
+                self.program.on_agreed(&self.info, m, &val, step);
+            }
+        }
+    }
+
+    fn handle_up(&mut self, from: NodeId, block: u32, val: P::Val, round: u64) {
+        let step = self.step;
+        let idx = self
+            .info
+            .memberships
+            .iter()
+            .position(|m| m.block == block as usize)
+            .expect("upward messages only arrive within a block");
+        let rel = round - self.base();
+        debug_assert!(rel >= 1 && rel <= self.l, "up delivery outside conv slot");
+        let run = &mut self.runs[idx];
+        let acc = run.acc.take().expect("superstep started");
+        run.acc = Some(self.program.combine(step, &acc, &val));
+        run.pending = run
+            .pending
+            .checked_sub(1)
+            .expect("no more child messages than children");
+        run.child_rel.push((from, rel));
+        let m = &self.info.memberships[idx];
+        if m.is_root && run.pending == 0 {
+            let agreed = run.acc.clone().expect("set above");
+            run.agreed = Some(agreed.clone());
+            self.program.on_agreed(&self.info, m, &agreed, step);
+        }
+    }
+
+    fn handle_down(&mut self, block: u32, val: P::Val) {
+        let idx = self
+            .info
+            .memberships
+            .iter()
+            .position(|m| m.block == block as usize)
+            .expect("downward messages only arrive within a block");
+        let step = self.step;
+        self.runs[idx].agreed = Some(val.clone());
+        self.program
+            .on_agreed(&self.info, &self.info.memberships[idx], &val, step);
+    }
+
+    fn emissions(&mut self, round: u64) -> Vec<Outgoing<EngineMsg<P::Val, P::Cross>>> {
+        let mut out = Vec::new();
+        let base = self.base();
+
+        // Convergecast slot: forward the highest-priority ready block.
+        if round >= base && round < base + self.l {
+            let pick = self
+                .info
+                .memberships
+                .iter()
+                .enumerate()
+                .filter(|(i, m)| !m.is_root && !self.runs[*i].sent_up && self.runs[*i].pending == 0)
+                .min_by_key(|(_, m)| (m.root_depth, m.block));
+            if let Some((i, m)) = pick {
+                let parent = m.parent.expect("non-root memberships have parents");
+                let val = self.runs[i].acc.clone().expect("superstep started");
+                let block = m.block as u32;
+                self.runs[i].sent_up = true;
+                out.push(Outgoing::new(
+                    parent,
+                    EngineMsg {
+                        payload: Payload::Up { block, val },
+                        bits: self.up_bits,
+                    },
+                ));
+            }
+        }
+
+        // Broadcast slot: mirror this superstep's upward deliveries.
+        if self.broadcast_down && self.l > 0 && round >= base + self.l && round < base + 2 * self.l
+        {
+            for (i, m) in self.info.memberships.iter().enumerate() {
+                for &(child, rel) in &self.runs[i].child_rel {
+                    if round == base + 2 * self.l - rel {
+                        let val = self.runs[i].agreed.clone().unwrap_or_else(|| {
+                            panic!("broadcast window overflow in block {}", m.block)
+                        });
+                        out.push(Outgoing::new(
+                            child,
+                            EngineMsg {
+                                payload: Payload::Down {
+                                    block: m.block as u32,
+                                    val,
+                                },
+                                bits: self.up_bits,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Cross round: the supergraph step, skipped after the last superstep.
+        if self.broadcast_down && round == base + 2 * self.l && self.step + 1 < self.steps {
+            let step = self.step;
+            for &(to, _) in &self.info.part_neighbors.clone() {
+                if let Some(msg) = self.program.cross_message(&self.info, to, step) {
+                    out.push(Outgoing::new(
+                        to,
+                        EngineMsg {
+                            payload: Payload::Cross(msg),
+                            bits: self.cross_msg_bits,
+                        },
+                    ));
+                }
+            }
+        }
+
+        out
+    }
+}
+
+impl<P: NodeProgram> NodeProtocol for EngineNode<P> {
+    type Message = EngineMsg<P::Val, P::Cross>;
+
+    fn init(&mut self, _ctx: &NodeContext) -> Vec<Outgoing<Self::Message>> {
+        if self.steps == 0 {
+            self.finished = true;
+            return Vec::new();
+        }
+        self.start_superstep();
+        self.finished = self.total_rounds == 0;
+        self.emissions(0)
+    }
+
+    fn on_round(
+        &mut self,
+        _ctx: &NodeContext,
+        round: u64,
+        incoming: &[Incoming<Self::Message>],
+    ) -> Vec<Outgoing<Self::Message>> {
+        if self.steps == 0 {
+            return Vec::new();
+        }
+        // Deliver tree-cast messages of the current superstep; stash the
+        // cross messages, which arrive exactly at window boundaries.
+        let mut crosses: Vec<(NodeId, P::Cross)> = Vec::new();
+        for msg in incoming {
+            match &msg.msg.payload {
+                Payload::Up { block, val } => self.handle_up(msg.from, *block, val.clone(), round),
+                Payload::Down { block, val } => self.handle_down(*block, val.clone()),
+                Payload::Cross(c) => crosses.push((msg.from, c.clone())),
+            }
+        }
+        // Window boundary: fold in the crosses, then open the next window.
+        if self.step + 1 < self.steps && round == (self.step + 1) * self.window {
+            let step = self.step;
+            for (from, c) in crosses {
+                self.program.on_cross(&self.info, from, c, step);
+            }
+            self.step += 1;
+            self.start_superstep();
+        } else {
+            debug_assert!(crosses.is_empty(), "cross message outside a boundary round");
+        }
+        if round >= self.total_rounds {
+            self.finished = true;
+        }
+        self.emissions(round)
+    }
+
+    fn is_done(&self) -> bool {
+        self.finished
+    }
+}
+
+/// Runs `program` (one instance per node, built by `make`) over the family
+/// in the CONGEST simulator.
+///
+/// The simulator configuration defaults to [`SimConfig::for_graph`] with
+/// the round cap tightened to the engine's exact round count — multi-phase
+/// protocols must never inherit the generic `64·n + 1024` cap silently.
+/// Pass `config` to override (e.g. to enable tracing or change bandwidth);
+/// an explicit `max_rounds` in the override is respected.
+pub(crate) fn run_engine<P, F>(
+    graph: &Graph,
+    family: &BlockFamily,
+    spec: EngineSpec,
+    config: Option<SimConfig>,
+    mut make: F,
+) -> Result<SimOutcome<EngineNode<P>>>
+where
+    P: NodeProgram,
+    F: FnMut(&NodeInfo) -> P,
+{
+    let l = family.schedule().rounds;
+    let window = 2 * l + 1;
+    let total_rounds = engine_rounds(l, spec);
+    let cfg =
+        config.unwrap_or_else(|| SimConfig::for_graph(graph).with_max_rounds(total_rounds + 2));
+    let block_bits = bits_for_count(family.blocks().len().max(2));
+    let sim = Simulator::new(graph, cfg);
+    let outcome = sim.run(|ctx| {
+        let info = family.info(ctx.node).clone();
+        let program = make(&info);
+        let up_bits = 2 + block_bits + program.val_bits();
+        let cross_msg_bits = 2 + program.cross_bits();
+        EngineNode {
+            program,
+            info,
+            l,
+            window,
+            steps: spec.steps,
+            total_rounds,
+            broadcast_down: spec.broadcast_down,
+            up_bits,
+            cross_msg_bits,
+            step: 0,
+            runs: Vec::new(),
+            finished: false,
+        }
+    })?;
+    debug_assert!(outcome.stats.rounds <= total_rounds);
+    Ok(outcome)
+}

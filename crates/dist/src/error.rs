@@ -1,0 +1,85 @@
+//! Error type of the distributed protocol layer.
+
+use std::error::Error;
+use std::fmt;
+
+use lcs_congest::SimError;
+
+/// Errors raised by the distributed protocols and the cross-check harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DistError {
+    /// The underlying CONGEST simulation failed (bandwidth violation,
+    /// round-cap overflow, malformed send).
+    Simulation(SimError),
+    /// The distributed execution reached a state that violates a protocol
+    /// invariant (for example part members disagreeing on a flooded
+    /// minimum). This always indicates a protocol bug, never bad input.
+    ProtocolInvariant {
+        /// Human readable description.
+        reason: String,
+    },
+    /// Distributed and centralized results disagree (reported by
+    /// [`crate::CrossCheck`]).
+    Mismatch {
+        /// Human readable description.
+        reason: String,
+    },
+    /// An executed round count exceeded the bound it must respect
+    /// (reported by [`crate::CrossCheck`]).
+    BoundViolation {
+        /// Human readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Simulation(err) => write!(f, "simulation error: {err}"),
+            DistError::ProtocolInvariant { reason } => {
+                write!(f, "protocol invariant violated: {reason}")
+            }
+            DistError::Mismatch { reason } => {
+                write!(f, "distributed/centralized mismatch: {reason}")
+            }
+            DistError::BoundViolation { reason } => write!(f, "round bound violated: {reason}"),
+        }
+    }
+}
+
+impl Error for DistError {}
+
+impl From<SimError> for DistError {
+    fn from(err: SimError) -> Self {
+        DistError::Simulation(err)
+    }
+}
+
+impl From<DistError> for lcs_core::CoreError {
+    fn from(err: DistError) -> Self {
+        lcs_core::CoreError::Simulation {
+            reason: err.to_string(),
+        }
+    }
+}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DistError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let err: DistError = SimError::RoundLimitExceeded { limit: 9 }.into();
+        assert!(err.to_string().contains("simulation error"));
+        let core: lcs_core::CoreError = err.into();
+        assert!(matches!(core, lcs_core::CoreError::Simulation { .. }));
+        let err = DistError::Mismatch {
+            reason: "x".to_string(),
+        };
+        assert!(err.to_string().contains("mismatch"));
+    }
+}

@@ -27,8 +27,9 @@ use rand_chacha::ChaCha8Rng;
 
 use lcs_congest::RoundCost;
 use lcs_core::construction::{doubling_search, DoublingConfig, FindShortcut, FindShortcutConfig};
-use lcs_core::routing::PartRouter;
+use lcs_core::routing::{ExecutionMode, PartRouter};
 use lcs_core::TreeShortcut;
+use lcs_dist::{part_leaders, part_min_edges, BlockFamily};
 use lcs_graph::{
     EdgeId, EdgeWeights, Graph, NodeId, PartId, Partition, PartitionBuilder, RootedTree, UnionFind,
 };
@@ -69,22 +70,37 @@ pub struct BoruvkaConfig {
     /// Hard cap on the number of phases (the expected number is `O(log n)`;
     /// the cap only exists so that misuse fails loudly).
     pub max_phases: usize,
+    /// How each phase's per-part communication executes:
+    /// [`ExecutionMode::Scheduled`] charges the exact Theorem 2 schedules
+    /// (the seed behaviour); [`ExecutionMode::Simulated`] runs leader
+    /// election and min-edge aggregation as real message passing in the
+    /// CONGEST simulator (`lcs_dist`) and charges the executed rounds.
+    /// The [`ShortcutStrategy::NoShortcut`] baseline always uses its
+    /// part-internal schedule.
+    pub execution: ExecutionMode,
 }
 
 impl BoruvkaConfig {
-    /// Creates a configuration with the given strategy, seed 0 and a
-    /// generous phase cap.
+    /// Creates a configuration with the given strategy, seed 0, a generous
+    /// phase cap and scheduled execution.
     pub fn new(strategy: ShortcutStrategy) -> Self {
         BoruvkaConfig {
             strategy,
             seed: 0,
             max_phases: 400,
+            execution: ExecutionMode::Scheduled,
         }
     }
 
     /// Overrides the random seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Overrides the execution mode.
+    pub fn with_execution(mut self, execution: ExecutionMode) -> Self {
+        self.execution = execution;
         self
     }
 }
@@ -175,15 +191,15 @@ pub fn boruvka_mst(
             })
             .collect();
 
-        let (min_outgoing, routing_rounds) = match config.strategy {
-            ShortcutStrategy::NoShortcut => {
+        let (min_outgoing, routing_rounds) = match (config.strategy, config.execution) {
+            (ShortcutStrategy::NoShortcut, _) => {
                 // Baseline: convergecast + broadcast inside G[P_i] costs the
                 // part diameter (twice), all parts in parallel.
                 let per_part = aggregate_directly(&partition, &candidates);
                 let diameter = u64::from(partition.max_part_diameter(graph));
                 (per_part, 4 * diameter + 2)
             }
-            _ => {
+            (_, ExecutionMode::Scheduled) => {
                 let router = PartRouter::new(graph, &tree, &partition, &shortcut);
                 let leaders = router.elect_leaders();
                 let aggregated = router.aggregate_to_leaders(&candidates, |a, b| *a.min(b));
@@ -192,6 +208,18 @@ pub fn boruvka_mst(
                     aggregated.values,
                     leaders.rounds + aggregated.rounds + broadcast_back,
                 )
+            }
+            (_, ExecutionMode::Simulated) => {
+                // Real message passing: the flood both aggregates the
+                // candidates and disseminates the result to every member,
+                // so no separate broadcast-back is charged. Leader election
+                // runs as its own protocol, mirroring the scheduled cost
+                // structure.
+                let family = BlockFamily::new(graph, &tree, &partition, &shortcut);
+                let (_, leader_stats) = part_leaders(graph, &partition, &family, None)?;
+                let (per_part, min_stats) =
+                    part_min_edges(graph, &partition, &family, &candidates, None)?;
+                (per_part, leader_stats.rounds + min_stats.rounds)
             }
         };
         cost.charge(label("min-outgoing-edge"), routing_rounds);
@@ -401,6 +429,32 @@ mod tests {
             let w = EdgeWeights::random_permutation(&g, seed + 100);
             check_matches_kruskal(&g, &w, ShortcutStrategy::Doubling);
         }
+    }
+
+    #[test]
+    fn simulated_execution_matches_kruskal_and_scheduled_results() {
+        let g = generators::grid(5, 5);
+        let w = EdgeWeights::random_permutation(&g, 11);
+        let base = BoruvkaConfig::new(ShortcutStrategy::FindShortcut {
+            congestion: 8,
+            block: 2,
+        })
+        .with_seed(3);
+        let scheduled = boruvka_mst(&g, &w, &base).unwrap();
+        let simulated =
+            boruvka_mst(&g, &w, &base.with_execution(ExecutionMode::Simulated)).unwrap();
+        // Same seeds, same merges: the edge sets agree with each other and
+        // with Kruskal, only the charged routing rounds differ.
+        assert_eq!(simulated.edges, scheduled.edges);
+        assert_eq!(simulated.edges, kruskal_mst(&g, &w));
+        assert!(is_spanning_tree(&g, &simulated.edges));
+        assert!(simulated.total_rounds() > 0);
+
+        let doubling = BoruvkaConfig::new(ShortcutStrategy::Doubling)
+            .with_seed(5)
+            .with_execution(ExecutionMode::Simulated);
+        let outcome = boruvka_mst(&g, &w, &doubling).unwrap();
+        assert_eq!(outcome.edges, kruskal_mst(&g, &w));
     }
 
     #[test]

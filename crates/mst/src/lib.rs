@@ -48,6 +48,7 @@ pub mod verify;
 
 pub use aggregate::{part_aggregate, part_broadcast, PartAggregateOutcome};
 pub use boruvka::{boruvka_mst, BoruvkaConfig, MstOutcome, ShortcutStrategy};
+pub use lcs_core::routing::ExecutionMode;
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, lcs_core::CoreError>;

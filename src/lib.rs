@@ -9,6 +9,9 @@
 //! * [`congest`] — the synchronous CONGEST-model simulator,
 //! * [`core`] — tree-restricted shortcuts: definitions, routing,
 //!   construction (`CoreSlow`, `CoreFast`, `FindShortcut`, doubling),
+//! * [`dist`] — the distributed protocol layer: Lemma 2 / Theorem 2 /
+//!   Lemma 3 executed as real message passing in the simulator, with the
+//!   cross-check harness pitting them against the scheduled versions,
 //! * [`mst`] — applications: distributed Boruvka MST, part-wise aggregation,
 //!   and the baselines used by the experiments.
 //!
@@ -33,5 +36,6 @@
 
 pub use lcs_congest as congest;
 pub use lcs_core as core;
+pub use lcs_dist as dist;
 pub use lcs_graph as graph;
 pub use lcs_mst as mst;

@@ -199,3 +199,52 @@ fn round_accounting_is_consistent() {
         assert!(result.cost.total_for_prefix(&format!("iteration-{i}/")) > 0);
     }
 }
+
+/// The distributed protocol layer end to end through the umbrella API: the
+/// whole pipeline — shortcut construction with simulated verification,
+/// cross-checked routing primitives, and Boruvka with simulated per-part
+/// communication — agrees with the centralized references.
+#[test]
+fn simulated_execution_pipeline_agrees_with_centralized_references() {
+    use low_congestion_shortcuts::core::routing::ExecutionMode;
+    use low_congestion_shortcuts::dist;
+
+    let graph = generators::grid(8, 8);
+    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    let partition = generators::partitions::random_bfs_balls(&graph, 8, 2);
+    let (_, reference) = reference_parameters(&graph, &tree, &partition);
+    let config = low_congestion_shortcuts::core::construction::FindShortcutConfig::new(
+        reference.congestion.max(1),
+        reference.block_parameter.max(1),
+    )
+    .with_seed(4);
+
+    // FindShortcut with the message-passing verification drop-in.
+    let scheduled =
+        dist::find_shortcut(config, ExecutionMode::Scheduled, &graph, &tree, &partition).unwrap();
+    let simulated =
+        dist::find_shortcut(config, ExecutionMode::Simulated, &graph, &tree, &partition).unwrap();
+    assert!(simulated.all_parts_good);
+    assert_eq!(simulated.shortcut, scheduled.shortcut);
+
+    // Cross-check every routing primitive on the constructed shortcut.
+    let check = dist::CrossCheck::new(&graph, &tree, &partition, &simulated.shortcut).unwrap();
+    check.leader_election().unwrap();
+    let weights = EdgeWeights::random_permutation(&graph, 21);
+    let candidates = check.boruvka_candidates(&weights);
+    check.min_edge(&candidates).unwrap();
+    check
+        .block_counts(3 * reference.block_parameter.max(1))
+        .unwrap();
+
+    // Boruvka with simulated per-part communication still equals Kruskal.
+    let outcome = boruvka_mst(
+        &graph,
+        &weights,
+        &BoruvkaConfig::new(ShortcutStrategy::Doubling)
+            .with_seed(2)
+            .with_execution(ExecutionMode::Simulated),
+    )
+    .unwrap();
+    assert_eq!(outcome.edges, kruskal_mst(&graph, &weights));
+}
