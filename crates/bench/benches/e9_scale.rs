@@ -1,0 +1,70 @@
+//! E9-companion benchmark: the scale tier's hot paths in isolation —
+//! FindShortcut construction and the distributed verification protocol on
+//! the grid 100×100 and torus 64×64 instances of the E9 table (the random
+//! `n = 10⁵` row is left to the table/CI smoke, where one run suffices).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_core::construction::{FindShortcut, FindShortcutConfig};
+use lcs_core::existential::reference_parameters;
+use lcs_dist::verification_simulated;
+use lcs_graph::{generators, Graph, NodeId, Partition, RootedTree};
+
+fn instances() -> Vec<(&'static str, Graph, Partition)> {
+    let torus = generators::torus(64, 64);
+    let torus_balls = generators::partitions::random_bfs_balls(&torus, 64, 11);
+    vec![
+        (
+            "grid100x100",
+            generators::grid(100, 100),
+            generators::partitions::grid_columns(100, 100),
+        ),
+        ("torus64x64", torus, torus_balls),
+    ]
+}
+
+fn bench_e9_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_scale");
+    group.sample_size(10);
+    for (name, graph, partition) in instances() {
+        let tree = RootedTree::bfs(&graph, NodeId::new(0));
+        let (_, reference) = reference_parameters(&graph, &tree, &partition);
+        let cc = reference.congestion.max(1);
+        let bb = reference.block_parameter.max(1);
+
+        group.bench_with_input(BenchmarkId::new("find_shortcut", name), &name, |b, _| {
+            b.iter(|| {
+                FindShortcut::new(FindShortcutConfig::new(cc, bb).with_seed(42))
+                    .run(&graph, &tree, &partition)
+                    .unwrap()
+            });
+        });
+
+        let shortcut = FindShortcut::new(FindShortcutConfig::new(cc, bb).with_seed(42))
+            .run(&graph, &tree, &partition)
+            .unwrap()
+            .shortcut;
+        let active = vec![true; partition.part_count()];
+        group.bench_with_input(
+            BenchmarkId::new("verification_simulated", name),
+            &name,
+            |b, _| {
+                b.iter(|| {
+                    verification_simulated(
+                        &graph,
+                        &tree,
+                        &partition,
+                        &shortcut,
+                        3 * bb,
+                        &active,
+                        None,
+                    )
+                    .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e9_scale);
+criterion_main!(benches);

@@ -8,7 +8,8 @@
 
 use lcs_bench::{
     e1_quality_table, e2_findshortcut_table, e3_routing_table, e4_mst_table, e5_core_table,
-    e6_doubling_table, e7_guarantees_table, e8_dist_table, render_table, tables_to_json, Table,
+    e6_doubling_table, e7_guarantees_table, e8_dist_table, e9_scale_table, render_table,
+    tables_to_json, timed_table, Table, TimedTable,
 };
 
 type TableBuilder = fn() -> Table;
@@ -40,6 +41,7 @@ fn main() {
         ("e6", e6_doubling_table),
         ("e7", e7_guarantees_table),
         ("e8", e8_dist_table),
+        ("e9", e9_scale_table),
     ];
     // Fail loudly on anything that is not a known experiment id — a typoed
     // flag must not silently produce an empty run (CI consumes the JSON).
@@ -52,13 +54,14 @@ fn main() {
             std::process::exit(2);
         }
     }
-    let mut built: Vec<(String, Table)> = Vec::new();
+    let mut built: Vec<TimedTable> = Vec::new();
     for (name, build) in all {
         if requested.is_empty() || requested.iter().any(|r| r == name) {
             eprintln!("running {name}...");
-            let table = build();
-            println!("{}", render_table(&table));
-            built.push((name.to_string(), table));
+            let timed = timed_table(name, build);
+            println!("{}", render_table(&timed.table));
+            eprintln!("{name} built in {:.1} ms", timed.millis);
+            built.push(timed);
         }
     }
 

@@ -1,4 +1,4 @@
-//! The experiment tables E1–E8.
+//! The experiment tables E1–E9.
 
 use lcs_congest::primitives::AggregateOp;
 use lcs_core::construction::{
@@ -632,9 +632,142 @@ pub fn e8_dist_table() -> Table {
     }
 }
 
+/// E9 — the scale tier: FindShortcut plus the Lemma 3 distributed
+/// verification protocol (real message passing) on instances two orders of
+/// magnitude beyond E1–E8, with wall-clock columns. These are the rows the
+/// flat-memory hot paths (CSR graph, edge-slot simulator, quality
+/// workspace) exist for; `BENCH_SCALE.json` tracks their timings across
+/// PRs.
+///
+/// The random row uses the known-feasible parameters `(c, b) = (N, 1)`
+/// instead of `reference_parameters`: measuring the existential ancestor
+/// shortcut's quality costs far more than the protocols themselves at
+/// `n = 10⁵` and is not what this table times.
+pub fn e9_scale_table() -> Table {
+    use lcs_dist::verification_simulated;
+
+    let mut rows = Vec::new();
+    let mut push_row = |family: &str,
+                        graph: &lcs_graph::Graph,
+                        partition: &Partition,
+                        cb: Option<(usize, usize)>| {
+        let tree = RootedTree::bfs(graph, NodeId::new(0));
+        let (c, b) = cb.unwrap_or_else(|| {
+            let (_, reference) = reference_parameters(graph, &tree, partition);
+            (
+                reference.congestion.max(1),
+                reference.block_parameter.max(1),
+            )
+        });
+        let fs_start = std::time::Instant::now();
+        let result = FindShortcut::new(FindShortcutConfig::new(c, b).with_seed(42))
+            .run(graph, &tree, partition)
+            .expect("scale families admit shortcuts");
+        let fs_ms = fs_start.elapsed().as_secs_f64() * 1e3;
+
+        let active = vec![true; partition.part_count()];
+        let ver_start = std::time::Instant::now();
+        let ver = verification_simulated(
+            graph,
+            &tree,
+            partition,
+            &result.shortcut,
+            3 * b,
+            &active,
+            None,
+        )
+        .expect("verification protocol respects the CONGEST constraints");
+        let ver_ms = ver_start.elapsed().as_secs_f64() * 1e3;
+        let good = ver.outcome.good.iter().filter(|&&g| g).count();
+
+        rows.push(vec![
+            family.to_string(),
+            graph.node_count().to_string(),
+            graph.edge_count().to_string(),
+            partition.part_count().to_string(),
+            format!("({c}, {b})"),
+            result.total_rounds().to_string(),
+            format!("{fs_ms:.0}"),
+            ver.stats.rounds.to_string(),
+            ver.stats.messages.to_string(),
+            format!("{ver_ms:.0}"),
+            format!("{}/{}", good, partition.part_count()),
+        ]);
+    };
+
+    {
+        let graph = generators::grid(100, 100);
+        let partition = generators::partitions::grid_columns(100, 100);
+        push_row("grid 100x100, columns", &graph, &partition, None);
+    }
+    {
+        let graph = generators::torus(64, 64);
+        let partition = generators::partitions::random_bfs_balls(&graph, 64, 11);
+        push_row("torus 64x64, 64 BFS balls", &graph, &partition, None);
+    }
+    {
+        let graph = generators::random_connected(100_000, 100_000, 13);
+        let partition = generators::partitions::random_bfs_balls(&graph, 100, 7);
+        let parts = partition.part_count();
+        push_row(
+            "random n=1e5 m=+1e5, 100 BFS balls",
+            &graph,
+            &partition,
+            Some((parts, 1)),
+        );
+    }
+
+    Table {
+        title: "E9: scale tier — FindShortcut + distributed verification at n = 10^4..10^5 (wall-clock ms per step)"
+            .to_string(),
+        headers: [
+            "family",
+            "n",
+            "m",
+            "N",
+            "(c, b)",
+            "fs rounds",
+            "fs ms",
+            "ver rounds",
+            "ver messages",
+            "ver ms",
+            "good",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows,
+    }
+}
+
+/// A built table together with the wall-clock time it took to build — the
+/// quantity the bench trajectory (`BENCH_SCALE.json`) tracks across PRs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedTable {
+    /// Experiment id (`"e1"` … `"e9"`).
+    pub id: String,
+    /// The rendered table.
+    pub table: Table,
+    /// Wall-clock build time in milliseconds.
+    pub millis: f64,
+}
+
+/// Builds a table through `build`, measuring the wall-clock time.
+pub fn timed_table(id: &str, build: impl FnOnce() -> Table) -> TimedTable {
+    let start = std::time::Instant::now();
+    let table = build();
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+    TimedTable {
+        id: id.to_string(),
+        table,
+        millis,
+    }
+}
+
 /// Renders a list of tables as a single machine-readable JSON document
-/// (hand-rolled writer: the build environment has no serde).
-pub fn tables_to_json(tables: &[(String, Table)]) -> String {
+/// (hand-rolled writer: the build environment has no serde). Each table
+/// entry carries its wall-clock build time in milliseconds.
+pub fn tables_to_json(tables: &[TimedTable]) -> String {
     fn esc(s: &str) -> String {
         let mut out = String::with_capacity(s.len() + 2);
         for ch in s.chars() {
@@ -656,12 +789,14 @@ pub fn tables_to_json(tables: &[(String, Table)]) -> String {
     }
 
     let mut entries = Vec::new();
-    for (id, table) in tables {
+    for timed in tables {
+        let table = &timed.table;
         let rows: Vec<String> = table.rows.iter().map(|r| string_array(r)).collect();
         entries.push(format!(
-            "{{\"id\":\"{}\",\"title\":\"{}\",\"headers\":{},\"rows\":[{}]}}",
-            esc(id),
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"millis\":{:.3},\"headers\":{},\"rows\":[{}]}}",
+            esc(&timed.id),
             esc(&table.title),
+            timed.millis,
             string_array(&table.headers),
             rows.join(",")
         ));
@@ -718,10 +853,15 @@ mod tests {
             headers: vec!["a".to_string()],
             rows: vec![vec!["x\\y".to_string()]],
         };
-        let json = tables_to_json(&[("t1".to_string(), table)]);
+        let json = tables_to_json(&[TimedTable {
+            id: "t1".to_string(),
+            table,
+            millis: 12.5,
+        }]);
         assert!(json.contains("\\\"quotes\\\""));
         assert!(json.contains("\\n"));
         assert!(json.contains("x\\\\y"));
+        assert!(json.contains("\"millis\":12.500"));
         assert!(json.starts_with("{\"generator\":\"experiments\""));
         assert!(json.trim_end().ends_with("]}"));
         // Balanced braces/brackets as a cheap well-formedness check.

@@ -84,12 +84,12 @@ impl DistributedBfs {
 impl NodeProtocol for DistributedBfs {
     type Message = u32;
 
-    fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<u32>> {
+    fn init(&mut self, ctx: &NodeContext<'_>) -> Vec<Outgoing<u32>> {
         if ctx.node == self.root {
             self.must_announce = false;
-            ctx.neighbors
+            ctx.neighbor_ids()
                 .iter()
-                .map(|&(v, _)| Outgoing::new(v, 0))
+                .map(|&v| Outgoing::new(v, 0))
                 .collect()
         } else {
             Vec::new()
@@ -98,7 +98,7 @@ impl NodeProtocol for DistributedBfs {
 
     fn on_round(
         &mut self,
-        ctx: &NodeContext,
+        ctx: &NodeContext<'_>,
         _round: u64,
         incoming: &[Incoming<u32>],
     ) -> Vec<Outgoing<u32>> {
@@ -115,10 +115,10 @@ impl NodeProtocol for DistributedBfs {
             self.must_announce = false;
             let level = self.depth.expect("announcing nodes have joined");
             return ctx
-                .neighbors
+                .neighbor_ids()
                 .iter()
-                .filter(|&&(v, _)| Some(v) != self.parent)
-                .map(|&(v, _)| Outgoing::new(v, level))
+                .filter(|&&v| Some(v) != self.parent)
+                .map(|&v| Outgoing::new(v, level))
                 .collect();
         }
         Vec::new()

@@ -1,4 +1,18 @@
 //! The synchronous round loop.
+//!
+//! # Hot-path layout
+//!
+//! The round loop is allocation-free after setup. Messages live in two
+//! *edge-slot* buffers with one slot per directed edge, laid out in the
+//! graph's CSR order: the slot for a message delivered to `v` from `u` is
+//! `u`'s position within `v`'s adjacency slice. Delivering to a node is a
+//! linear scan of its contiguous slots; posting is an `O(1)` store through
+//! the precomputed `mirror` array (sender-side position → recipient-side
+//! slot). One slot per directed edge per round is exactly the CONGEST
+//! constraint, so a per-slot round stamp doubles as the duplicate-send
+//! check. An active-set worklist schedules only nodes that received a
+//! message or reported pending work — see [`NodeProtocol::is_done`] for the
+//! quiescence contract that makes skipping idle nodes semantics-preserving.
 
 use lcs_graph::Graph;
 
@@ -103,6 +117,183 @@ pub struct Simulator<'g> {
     config: SimConfig,
 }
 
+/// The preallocated message plane of one run: edge-slot buffers for the
+/// current and next round, per-slot duplicate-send stamps, per-node inbox
+/// counts, and the active-set worklists. No method allocates on the round
+/// path (worklist pushes reuse capacity after the first rounds).
+struct Network<M> {
+    /// CSR offsets mirroring the graph's (`offset[v]..offset[v + 1]` are
+    /// node `v`'s recipient-side slots). Length `n + 1`.
+    offset: Vec<u32>,
+    /// `mirror[p]`: for the sender-side position `p` (node `v`'s adjacency
+    /// entry pointing at `w`), the recipient-side slot (`w`'s entry
+    /// pointing back at `v`). Posting is one indexed store.
+    mirror: Vec<u32>,
+    /// Messages being delivered this round, one slot per directed edge.
+    cur: Vec<Option<M>>,
+    /// Messages accumulating for the next round.
+    next: Vec<Option<M>>,
+    /// Round number of the last post into each slot (`u64::MAX` = never);
+    /// posting twice in the same round is the CONGEST duplicate-send error.
+    stamp: Vec<u64>,
+    /// Number of pending messages per recipient, current round.
+    inbox_cur: Vec<u32>,
+    /// Number of pending messages per recipient, next round.
+    inbox_next: Vec<u32>,
+    /// Whether a node is already on `worklist_next`.
+    queued: Vec<bool>,
+    /// Nodes to poll this round (sorted before polling).
+    worklist_cur: Vec<u32>,
+    /// Nodes that must be polled next round: message recipients plus nodes
+    /// that reported pending work after their last poll.
+    worklist_next: Vec<u32>,
+    /// Messages / bits accumulated for the next round (for the trace).
+    in_flight_next: u64,
+    bits_next: u64,
+}
+
+impl<M: MessageBits> Network<M> {
+    fn new(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut offset: Vec<u32> = Vec::with_capacity(n + 1);
+        offset.push(0);
+        for v in graph.nodes() {
+            let last = *offset.last().expect("offset starts nonempty");
+            offset.push(last + graph.degree(v) as u32);
+        }
+        let slots = *offset.last().expect("offset is nonempty") as usize;
+
+        // slot_of[e] = recipient-side slot of edge e at [e.u, e.v].
+        let mut slot_of = vec![[0u32; 2]; graph.edge_count()];
+        for v in graph.nodes() {
+            let base = offset[v.index()];
+            for (k, &e) in graph.incident_edge_ids(v).iter().enumerate() {
+                let side = usize::from(graph.edge(e).v == v);
+                slot_of[e.index()][side] = base + k as u32;
+            }
+        }
+        let mut mirror = vec![0u32; slots];
+        for v in graph.nodes() {
+            let base = offset[v.index()] as usize;
+            let neighbors = graph.neighbor_ids(v);
+            for (k, &e) in graph.incident_edge_ids(v).iter().enumerate() {
+                let w = neighbors[k];
+                mirror[base + k] = slot_of[e.index()][usize::from(graph.edge(e).v == w)];
+            }
+        }
+
+        Network {
+            offset,
+            mirror,
+            cur: (0..slots).map(|_| None).collect(),
+            next: (0..slots).map(|_| None).collect(),
+            stamp: vec![u64::MAX; slots],
+            inbox_cur: vec![0; n],
+            inbox_next: vec![0; n],
+            queued: vec![false; n],
+            worklist_cur: Vec::new(),
+            worklist_next: Vec::new(),
+            in_flight_next: 0,
+            bits_next: 0,
+        }
+    }
+
+    /// Schedules `node` for the next round (idempotent).
+    fn queue(&mut self, node: usize) {
+        if !self.queued[node] {
+            self.queued[node] = true;
+            self.worklist_next.push(node as u32);
+        }
+    }
+
+    /// Validates and enqueues one outgoing message for the next round.
+    fn post(
+        &mut self,
+        config: &SimConfig,
+        ctx: &NodeContext<'_>,
+        out: Outgoing<M>,
+        round: u64,
+        stats: &mut SimStats,
+    ) -> crate::Result<()> {
+        let pos = ctx.position_of(out.to).ok_or(SimError::NotANeighbor {
+            from: ctx.node,
+            to: out.to,
+        })?;
+        let slot = self.mirror[self.offset[ctx.node.index()] as usize + pos] as usize;
+        // Posting rounds strictly increase, so one stamp array covers both
+        // buffers: an equal stamp can only mean "already sent this round".
+        if self.stamp[slot] == round {
+            return Err(SimError::DuplicateSend {
+                from: ctx.node,
+                to: out.to,
+                round,
+            });
+        }
+        self.stamp[slot] = round;
+        let bits = out.msg.size_bits();
+        if bits > config.bandwidth_bits {
+            return Err(SimError::BandwidthExceeded {
+                from: ctx.node,
+                to: out.to,
+                message_bits: bits,
+                bandwidth_bits: config.bandwidth_bits,
+            });
+        }
+        stats.messages += 1;
+        stats.total_bits += bits as u64;
+        stats.max_message_bits = stats.max_message_bits.max(bits);
+        self.next[slot] = Some(out.msg);
+        self.inbox_next[out.to.index()] += 1;
+        self.in_flight_next += 1;
+        self.bits_next += bits as u64;
+        self.queue(out.to.index());
+        Ok(())
+    }
+
+    /// Flips the next-round buffers in as the current round, returning the
+    /// number of messages and bits being delivered. The worklist for the
+    /// new round ends up in `worklist_cur`, sorted for deterministic
+    /// polling order; its nodes' `queued` flags are cleared so they can be
+    /// re-scheduled.
+    fn begin_round(&mut self) -> (u64, u64) {
+        std::mem::swap(&mut self.cur, &mut self.next);
+        std::mem::swap(&mut self.inbox_cur, &mut self.inbox_next);
+        std::mem::swap(&mut self.worklist_cur, &mut self.worklist_next);
+        self.worklist_next.clear();
+        for &v in &self.worklist_cur {
+            self.queued[v as usize] = false;
+        }
+        self.worklist_cur.sort_unstable();
+        let delivered = self.in_flight_next;
+        let bits = self.bits_next;
+        self.in_flight_next = 0;
+        self.bits_next = 0;
+        (delivered, bits)
+    }
+
+    /// Moves node `idx`'s pending messages into `scratch` (cleared first).
+    fn drain_into(&mut self, idx: usize, ctx: &NodeContext<'_>, scratch: &mut Vec<Incoming<M>>) {
+        scratch.clear();
+        if self.inbox_cur[idx] == 0 {
+            return;
+        }
+        let base = self.offset[idx] as usize;
+        let end = self.offset[idx + 1] as usize;
+        let neighbors = ctx.neighbor_ids();
+        let edges = ctx.incident_edge_ids();
+        for p in base..end {
+            if let Some(msg) = self.cur[p].take() {
+                scratch.push(Incoming {
+                    from: neighbors[p - base],
+                    edge: edges[p - base],
+                    msg,
+                });
+            }
+        }
+        self.inbox_cur[idx] = 0;
+    }
+}
+
 impl<'g> Simulator<'g> {
     /// Creates a simulator for `graph` with the given configuration.
     pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
@@ -134,35 +325,51 @@ impl<'g> Simulator<'g> {
         F: FnMut(&NodeContext) -> P,
     {
         let n = self.graph.node_count();
-        let contexts: Vec<NodeContext> = self
+        let contexts: Vec<NodeContext<'g>> = self
             .graph
             .nodes()
-            .map(|v| NodeContext {
-                node: v,
-                neighbors: self.graph.neighbors(v).collect(),
-                node_count_bound: n,
+            .map(|v| {
+                NodeContext::new(
+                    v,
+                    self.graph.neighbor_ids(v),
+                    self.graph.incident_edge_ids(v),
+                    n,
+                )
             })
             .collect();
         let mut nodes: Vec<P> = contexts.iter().map(&mut factory).collect();
         let mut stats = SimStats::default();
         let mut trace: Vec<RoundTrace> = Vec::new();
+        let mut net: Network<P::Message> = Network::new(self.graph);
+        let mut scratch: Vec<Incoming<P::Message>> = Vec::new();
+        // Timed wake-ups from NodeProtocol::next_wake, keyed by round.
+        // Stale entries (a node woken earlier by a message) cause a spurious
+        // poll, which the next_wake contract makes harmless.
+        let mut wakes: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>> =
+            std::collections::BinaryHeap::new();
 
-        // Mailboxes for the next round, indexed by recipient.
-        let mut inboxes: Vec<Vec<Incoming<P::Message>>> = vec![Vec::new(); n];
-
-        // Initialization: nodes may already emit messages.
-        for (state, ctx) in nodes.iter_mut().zip(&contexts) {
+        // Initialization: nodes may already emit messages; every node that
+        // reports pending work is scheduled for round 1 (or its requested
+        // wake round).
+        for (idx, (state, ctx)) in nodes.iter_mut().zip(&contexts).enumerate() {
             let outgoing = state.init(ctx);
-            self.post(ctx, outgoing, 0, &mut inboxes, &mut stats)?;
+            for out in outgoing {
+                net.post(&self.config, ctx, out, 0, &mut stats)?;
+            }
+            if !state.is_done() {
+                match state.next_wake(0) {
+                    Some(r) if r > 1 => wakes.push(std::cmp::Reverse((r, idx as u32))),
+                    _ => net.queue(idx),
+                }
+            }
         }
 
         let mut round: u64 = 0;
-        loop {
-            let in_flight: usize = inboxes.iter().map(Vec::len).sum();
-            let all_done = nodes.iter().all(NodeProtocol::is_done);
-            if in_flight == 0 && all_done {
-                break;
-            }
+        // The schedule is exhaustive: every message recipient, every node
+        // with immediate pending work, and every timed wake-up is recorded,
+        // so "no queued node and no pending wake" is exactly the old "no
+        // message in flight and all nodes done" condition.
+        while !net.worklist_next.is_empty() || !wakes.is_empty() {
             if round >= self.config.max_rounds {
                 return Err(SimError::RoundLimitExceeded {
                     limit: self.config.max_rounds,
@@ -170,26 +377,40 @@ impl<'g> Simulator<'g> {
             }
             round += 1;
 
-            // Deliver this round's messages and collect next round's sends.
-            let current: Vec<Vec<Incoming<P::Message>>> =
-                std::mem::replace(&mut inboxes, vec![Vec::new(); n]);
+            while let Some(&std::cmp::Reverse((due, idx))) = wakes.peek() {
+                if due > round {
+                    break;
+                }
+                wakes.pop();
+                net.queue(idx as usize);
+            }
+            let (delivered, bits) = net.begin_round();
             if self.config.trace {
-                let bits: u64 = current
-                    .iter()
-                    .flatten()
-                    .map(|m| m.msg.size_bits() as u64)
-                    .sum();
                 trace.push(RoundTrace {
                     round,
-                    messages: in_flight as u64,
+                    messages: delivered,
                     bits,
                 });
             }
-            for (idx, incoming) in current.into_iter().enumerate() {
+            let worklist = std::mem::take(&mut net.worklist_cur);
+            for &vi in &worklist {
+                let idx = vi as usize;
                 let ctx = &contexts[idx];
-                let outgoing = nodes[idx].on_round(ctx, round, &incoming);
-                self.post(ctx, outgoing, round, &mut inboxes, &mut stats)?;
+                net.drain_into(idx, ctx, &mut scratch);
+                let outgoing = nodes[idx].on_round(ctx, round, &scratch);
+                for out in outgoing {
+                    net.post(&self.config, ctx, out, round, &mut stats)?;
+                }
+                if !nodes[idx].is_done() {
+                    match nodes[idx].next_wake(round) {
+                        Some(r) if r > round + 1 => {
+                            wakes.push(std::cmp::Reverse((r, idx as u32)));
+                        }
+                        _ => net.queue(idx),
+                    }
+                }
             }
+            net.worklist_cur = worklist;
         }
 
         stats.rounds = round;
@@ -198,50 +419,6 @@ impl<'g> Simulator<'g> {
             stats,
             trace,
         })
-    }
-
-    /// Validates and enqueues a node's outgoing messages.
-    fn post<M: Clone + MessageBits>(
-        &self,
-        ctx: &NodeContext,
-        outgoing: Vec<Outgoing<M>>,
-        round: u64,
-        inboxes: &mut [Vec<Incoming<M>>],
-        stats: &mut SimStats,
-    ) -> crate::Result<()> {
-        let mut sent_to = Vec::with_capacity(outgoing.len());
-        for out in outgoing {
-            let edge = ctx.edge_to(out.to).ok_or(SimError::NotANeighbor {
-                from: ctx.node,
-                to: out.to,
-            })?;
-            if sent_to.contains(&out.to) {
-                return Err(SimError::DuplicateSend {
-                    from: ctx.node,
-                    to: out.to,
-                    round,
-                });
-            }
-            sent_to.push(out.to);
-            let bits = out.msg.size_bits();
-            if bits > self.config.bandwidth_bits {
-                return Err(SimError::BandwidthExceeded {
-                    from: ctx.node,
-                    to: out.to,
-                    message_bits: bits,
-                    bandwidth_bits: self.config.bandwidth_bits,
-                });
-            }
-            stats.messages += 1;
-            stats.total_bits += bits as u64;
-            stats.max_message_bits = stats.max_message_bits.max(bits);
-            inboxes[out.to.index()].push(Incoming {
-                from: ctx.node,
-                edge,
-                msg: out.msg,
-            });
-        }
-        Ok(())
     }
 }
 
@@ -261,17 +438,17 @@ mod tests {
     impl NodeProtocol for FloodOnce {
         type Message = ();
 
-        fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<()>> {
+        fn init(&mut self, ctx: &NodeContext<'_>) -> Vec<Outgoing<()>> {
             self.started = true;
-            ctx.neighbors
+            ctx.neighbor_ids()
                 .iter()
-                .map(|&(v, _)| Outgoing::new(v, ()))
+                .map(|&v| Outgoing::new(v, ()))
                 .collect()
         }
 
         fn on_round(
             &mut self,
-            _ctx: &NodeContext,
+            _ctx: &NodeContext<'_>,
             _round: u64,
             incoming: &[Incoming<()>],
         ) -> Vec<Outgoing<()>> {
@@ -309,7 +486,7 @@ mod tests {
     impl NodeProtocol for BadSender {
         type Message = ();
 
-        fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<()>> {
+        fn init(&mut self, ctx: &NodeContext<'_>) -> Vec<Outgoing<()>> {
             if ctx.node == NodeId::new(0) {
                 vec![Outgoing::new(NodeId::new(3), ())]
             } else {
@@ -317,7 +494,12 @@ mod tests {
             }
         }
 
-        fn on_round(&mut self, _: &NodeContext, _: u64, _: &[Incoming<()>]) -> Vec<Outgoing<()>> {
+        fn on_round(
+            &mut self,
+            _: &NodeContext<'_>,
+            _: u64,
+            _: &[Incoming<()>],
+        ) -> Vec<Outgoing<()>> {
             Vec::new()
         }
 
@@ -348,17 +530,17 @@ mod tests {
     impl NodeProtocol for BigTalker {
         type Message = (u64, u64);
 
-        fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<(u64, u64)>> {
-            ctx.neighbors
+        fn init(&mut self, ctx: &NodeContext<'_>) -> Vec<Outgoing<(u64, u64)>> {
+            ctx.neighbor_ids()
                 .iter()
                 .take(1)
-                .map(|&(v, _)| Outgoing::new(v, (0, 0)))
+                .map(|&v| Outgoing::new(v, (0, 0)))
                 .collect()
         }
 
         fn on_round(
             &mut self,
-            _: &NodeContext,
+            _: &NodeContext<'_>,
             _: u64,
             _: &[Incoming<(u64, u64)>],
         ) -> Vec<Outgoing<(u64, u64)>> {
@@ -391,11 +573,16 @@ mod tests {
     impl NodeProtocol for Restless {
         type Message = ();
 
-        fn init(&mut self, _: &NodeContext) -> Vec<Outgoing<()>> {
+        fn init(&mut self, _: &NodeContext<'_>) -> Vec<Outgoing<()>> {
             Vec::new()
         }
 
-        fn on_round(&mut self, _: &NodeContext, _: u64, _: &[Incoming<()>]) -> Vec<Outgoing<()>> {
+        fn on_round(
+            &mut self,
+            _: &NodeContext<'_>,
+            _: u64,
+            _: &[Incoming<()>],
+        ) -> Vec<Outgoing<()>> {
             Vec::new()
         }
 
@@ -418,7 +605,7 @@ mod tests {
         struct DoubleSender;
         impl NodeProtocol for DoubleSender {
             type Message = ();
-            fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<()>> {
+            fn init(&mut self, ctx: &NodeContext<'_>) -> Vec<Outgoing<()>> {
                 if ctx.node == NodeId::new(0) {
                     vec![
                         Outgoing::new(NodeId::new(1), ()),
@@ -430,7 +617,7 @@ mod tests {
             }
             fn on_round(
                 &mut self,
-                _: &NodeContext,
+                _: &NodeContext<'_>,
                 _: u64,
                 _: &[Incoming<()>],
             ) -> Vec<Outgoing<()>> {
@@ -444,6 +631,63 @@ mod tests {
         let sim = Simulator::new(&g, SimConfig::for_graph(&g));
         let err = sim.run(|_| DoubleSender).unwrap_err();
         assert!(matches!(err, SimError::DuplicateSend { round: 0, .. }));
+    }
+
+    /// A node that is done with an empty inbox must not be polled — pending
+    /// work has to be declared through `is_done`, and a woken node must be
+    /// woken by a message.
+    #[test]
+    fn quiescent_nodes_with_empty_inboxes_are_not_polled() {
+        #[derive(Debug)]
+        struct CountPolls {
+            polls: u64,
+            woken: bool,
+        }
+        impl NodeProtocol for CountPolls {
+            type Message = ();
+            fn init(&mut self, ctx: &NodeContext<'_>) -> Vec<Outgoing<()>> {
+                // Node 0 pings its neighbors once, in round 3's mail.
+                if ctx.node == NodeId::new(0) {
+                    ctx.neighbor_ids()
+                        .iter()
+                        .map(|&v| Outgoing::new(v, ()))
+                        .collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            fn on_round(
+                &mut self,
+                _: &NodeContext<'_>,
+                _: u64,
+                incoming: &[Incoming<()>],
+            ) -> Vec<Outgoing<()>> {
+                self.polls += 1;
+                if !incoming.is_empty() {
+                    self.woken = true;
+                }
+                Vec::new()
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = generators::path(4);
+        let sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let outcome = sim
+            .run(|_| CountPolls {
+                polls: 0,
+                woken: false,
+            })
+            .unwrap();
+        // Only node 1 (the unique neighbor of node 0) was ever polled, and
+        // only in the single round its message arrived.
+        assert_eq!(outcome.stats.rounds, 1);
+        assert_eq!(outcome.nodes[0].polls, 0);
+        assert_eq!(outcome.nodes[1].polls, 1);
+        assert!(outcome.nodes[1].woken);
+        assert_eq!(outcome.nodes[2].polls, 0);
+        assert_eq!(outcome.nodes[3].polls, 0);
     }
 
     #[test]

@@ -1,5 +1,13 @@
 //! Quality measurement: congestion, dilation, and helpers shared by the
 //! general and tree-restricted shortcut types.
+//!
+//! The measurement routines are written for the scale tier: the BFS scratch
+//! (distance array, queue, allowed-node/edge marks) lives in a
+//! [`QualityWorkspace`] that is allocated once per measurement and reused
+//! across every part and every BFS source, with epoch stamps standing in
+//! for `O(n)` clears. The per-part shortcut edge sets are taken as slices
+//! (both shortcut representations store them sorted and deduplicated), so
+//! measuring never copies an edge set.
 
 use std::collections::VecDeque;
 
@@ -48,11 +56,13 @@ impl ShortcutQuality {
 
 /// Computes congestion: for every edge, the number of parts `i` such that
 /// the edge lies in `G[P_i] + H_i`. The per-part shortcut edge sets are
-/// supplied by the `edges_of` accessor so the same routine serves both
-/// shortcut representations. Runs in `O(m + Σ|H_i|)`.
-pub(crate) fn congestion<F>(graph: &Graph, partition: &Partition, edges_of: F) -> usize
+/// supplied by the `edges_of` accessor (a borrowed slice — no copy) so the
+/// same routine serves both shortcut representations. Repeated edges within
+/// one part's slice are counted once (a per-edge part stamp, no sorting).
+/// Runs in `O(m + Σ|H_i|)`.
+pub(crate) fn congestion<'a, F>(graph: &Graph, partition: &Partition, edges_of: F) -> usize
 where
-    F: Fn(PartId) -> Vec<EdgeId>,
+    F: Fn(PartId) -> &'a [EdgeId],
 {
     // users[e] = number of distinct parts using edge e. A part uses e either
     // because e ∈ H_i or because both endpoints of e lie in P_i; count each
@@ -66,11 +76,16 @@ where
             induced_part[e.index()] = pu;
         }
     }
+    // last_part[e] = 1 + index of the last part whose slice listed e; the
+    // stamp deduplicates within a part without sorting the slice.
+    let mut last_part = vec![0u32; graph.edge_count()];
     for p in partition.parts() {
-        let mut edges = edges_of(p);
-        edges.sort();
-        edges.dedup();
-        for e in edges {
+        let stamp = p.index() as u32 + 1;
+        for &e in edges_of(p) {
+            if last_part[e.index()] == stamp {
+                continue;
+            }
+            last_part[e.index()] = stamp;
             if induced_part[e.index()] != Some(p) {
                 users[e.index()] += 1;
             }
@@ -99,72 +114,155 @@ pub(crate) fn subgraph_nodes(
     graph.nodes().filter(|v| member[v.index()]).collect()
 }
 
+/// Reusable scratch for the per-part diameter BFS sweeps. All arrays are
+/// node- or edge-indexed and epoch-stamped: "allowed in the current part's
+/// subgraph" is `mark == epoch`, and "visited from the current source" is
+/// `visit == visit_epoch`, so moving to the next part or source is a
+/// counter bump instead of an `O(n + m)` clear.
+pub(crate) struct QualityWorkspace {
+    node_mark: Vec<u32>,
+    edge_mark: Vec<u32>,
+    epoch: u32,
+    visit: Vec<u32>,
+    visit_epoch: u32,
+    dist: Vec<u32>,
+    queue: VecDeque<NodeId>,
+    /// Nodes of the current part's subgraph.
+    nodes: Vec<NodeId>,
+}
+
+impl QualityWorkspace {
+    pub(crate) fn new(graph: &Graph) -> Self {
+        QualityWorkspace {
+            node_mark: vec![0; graph.node_count()],
+            edge_mark: vec![0; graph.edge_count()],
+            epoch: 0,
+            visit: vec![0; graph.node_count()],
+            visit_epoch: 0,
+            dist: vec![0; graph.node_count()],
+            queue: VecDeque::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Diameter of the subgraph `G[P_p] + H_p` (see
+    /// [`part_subgraph_diameter`]), using this workspace's scratch.
+    pub(crate) fn part_diameter(
+        &mut self,
+        graph: &Graph,
+        partition: &Partition,
+        p: PartId,
+        shortcut_edges: &[EdgeId],
+    ) -> u32 {
+        // Open a fresh epoch for this part's allowed sets.
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.nodes.clear();
+
+        // Allowed nodes: part members plus shortcut-edge endpoints.
+        for &v in partition.members(p) {
+            if self.node_mark[v.index()] != epoch {
+                self.node_mark[v.index()] = epoch;
+                self.nodes.push(v);
+            }
+        }
+        for &e in shortcut_edges {
+            let edge = graph.edge(e);
+            for v in [edge.u, edge.v] {
+                if self.node_mark[v.index()] != epoch {
+                    self.node_mark[v.index()] = epoch;
+                    self.nodes.push(v);
+                }
+            }
+        }
+        // The old representation collected subgraph nodes in node-id order;
+        // keep that order so BFS tie-breaking (and thus measured values on
+        // degenerate inputs) is unchanged.
+        self.nodes.sort_unstable();
+
+        // Allowed edges: induced edges of the part (found by scanning the
+        // members' incident slices — O(vol(P_p)), not O(m)) plus the
+        // shortcut edges themselves.
+        for &v in partition.members(p) {
+            for &e in graph.incident_edge_ids(v) {
+                if self.edge_mark[e.index()] != epoch {
+                    let edge = graph.edge(e);
+                    if partition.part_of(edge.u) == Some(p) && partition.part_of(edge.v) == Some(p)
+                    {
+                        self.edge_mark[e.index()] = epoch;
+                    }
+                }
+            }
+        }
+        for &e in shortcut_edges {
+            self.edge_mark[e.index()] = epoch;
+        }
+
+        // BFS restricted to allowed nodes and edges, from every node of the
+        // subgraph. A BFS that misses an allowed node means the subgraph is
+        // disconnected; by convention that is reported as a diameter of
+        // "number of nodes", larger than any connected diameter, and no
+        // further source can change the outcome.
+        let mut diameter = 0;
+        let nodes = std::mem::take(&mut self.nodes);
+        'sources: for &source in &nodes {
+            self.visit_epoch += 1;
+            let visit_epoch = self.visit_epoch;
+            self.visit[source.index()] = visit_epoch;
+            self.dist[source.index()] = 0;
+            self.queue.clear();
+            self.queue.push_back(source);
+            let mut reached = 1usize;
+            while let Some(u) = self.queue.pop_front() {
+                let du = self.dist[u.index()];
+                diameter = diameter.max(du);
+                for (v, e) in graph.neighbors(u) {
+                    if self.edge_mark[e.index()] == epoch
+                        && self.node_mark[v.index()] == epoch
+                        && self.visit[v.index()] != visit_epoch
+                    {
+                        self.visit[v.index()] = visit_epoch;
+                        self.dist[v.index()] = du + 1;
+                        reached += 1;
+                        self.queue.push_back(v);
+                    }
+                }
+            }
+            if reached < nodes.len() {
+                diameter = diameter.max(graph.node_count() as u32);
+                break 'sources;
+            }
+        }
+        self.nodes = nodes;
+        diameter
+    }
+}
+
 /// Diameter of the subgraph `G[P_p] + H_p`. The allowed edges are the edges
 /// of `G` with both endpoints in `P_p` plus the shortcut edges themselves;
 /// the allowed nodes are the part members plus shortcut-edge endpoints.
+/// One-shot convenience over [`QualityWorkspace::part_diameter`]; sweeps
+/// over many parts share a workspace instead (see [`dilation`]).
+#[cfg(test)]
 pub(crate) fn part_subgraph_diameter(
     graph: &Graph,
     partition: &Partition,
     p: PartId,
     shortcut_edges: &[EdgeId],
 ) -> u32 {
-    let nodes = subgraph_nodes(graph, partition, p, shortcut_edges);
-    let mut allowed_node = vec![false; graph.node_count()];
-    for &v in &nodes {
-        allowed_node[v.index()] = true;
-    }
-    let mut allowed_edge = vec![false; graph.edge_count()];
-    for (e, edge) in graph.edges() {
-        if partition.part_of(edge.u) == Some(p) && partition.part_of(edge.v) == Some(p) {
-            allowed_edge[e.index()] = true;
-        }
-    }
-    for &e in shortcut_edges {
-        allowed_edge[e.index()] = true;
-    }
-
-    // BFS restricted to allowed nodes and edges, from every node of the
-    // subgraph (the subgraphs in our experiments are small relative to G).
-    let mut diameter = 0;
-    let mut dist = vec![u32::MAX; graph.node_count()];
-    for &source in &nodes {
-        for d in dist.iter_mut() {
-            *d = u32::MAX;
-        }
-        dist[source.index()] = 0;
-        let mut queue = VecDeque::new();
-        queue.push_back(source);
-        while let Some(u) = queue.pop_front() {
-            for (v, e) in graph.neighbors(u) {
-                if allowed_edge[e.index()] && allowed_node[v.index()] && dist[v.index()] == u32::MAX
-                {
-                    dist[v.index()] = dist[u.index()] + 1;
-                    queue.push_back(v);
-                }
-            }
-        }
-        for &v in &nodes {
-            if dist[v.index()] != u32::MAX {
-                diameter = diameter.max(dist[v.index()]);
-            } else {
-                // Disconnected subgraph: by convention report a diameter of
-                // "number of nodes" which is larger than any connected
-                // diameter and flags the anomaly to callers.
-                diameter = diameter.max(graph.node_count() as u32);
-            }
-        }
-    }
-    diameter
+    QualityWorkspace::new(graph).part_diameter(graph, partition, p, shortcut_edges)
 }
 
-/// Computes dilation: the maximum subgraph diameter over all parts.
-pub(crate) fn dilation<F>(graph: &Graph, partition: &Partition, edges_of: F) -> u32
+/// Computes dilation: the maximum subgraph diameter over all parts. The
+/// BFS scratch is allocated once and shared by every part.
+pub(crate) fn dilation<'a, F>(graph: &Graph, partition: &Partition, edges_of: F) -> u32
 where
-    F: Fn(PartId) -> Vec<EdgeId>,
+    F: Fn(PartId) -> &'a [EdgeId],
 {
+    let mut ws = QualityWorkspace::new(graph);
     partition
         .parts()
-        .map(|p| part_subgraph_diameter(graph, partition, p, &edges_of(p)))
+        .map(|p| ws.part_diameter(graph, partition, p, edges_of(p)))
         .max()
         .unwrap_or(0)
 }
@@ -180,7 +278,7 @@ mod tests {
         let p = generators::partitions::grid_rows(3, 5);
         // No shortcut edges at all: row edges have congestion 1, column
         // edges 0, so the measured congestion is 1.
-        assert_eq!(congestion(&g, &p, |_| Vec::new()), 1);
+        assert_eq!(congestion(&g, &p, |_| &[][..]), 1);
     }
 
     #[test]
@@ -193,15 +291,10 @@ mod tests {
         b.add_part(vec![NodeId::new(1), NodeId::new(2)]).unwrap();
         let p = b.build();
         let shared = g.edge_between(NodeId::new(1), NodeId::new(2)).unwrap();
-        let c = congestion(&g, &p, |part| {
-            if part == PartId::new(0) {
-                vec![shared]
-            } else {
-                // Listing an induced edge in the part's own shortcut must
-                // not double-count it.
-                vec![shared]
-            }
-        });
+        // Listing an induced edge in the part's own shortcut must not
+        // double-count it; listing it twice in one slice counts once.
+        let sets: Vec<Vec<EdgeId>> = vec![vec![shared], vec![shared, shared]];
+        let c = congestion(&g, &p, |part| sets[part.index()].as_slice());
         assert_eq!(c, 2);
     }
 
@@ -233,6 +326,26 @@ mod tests {
         let far = g.edge_between(NodeId::new(2), NodeId::new(3)).unwrap();
         let d = part_subgraph_diameter(&g, &p, PartId::new(0), &[far]);
         assert!(d >= g.node_count() as u32);
+    }
+
+    #[test]
+    fn workspace_reuse_across_parts_matches_fresh_workspaces() {
+        // The epoch-stamped workspace must behave as if freshly cleared for
+        // every part, including when parts interleave disconnected and
+        // connected subgraphs.
+        let g = generators::grid(4, 4);
+        let p = generators::partitions::grid_columns(4, 4);
+        let mut ws = QualityWorkspace::new(&g);
+        for part in p.parts() {
+            let reused = ws.part_diameter(&g, &p, part, &[]);
+            let fresh = part_subgraph_diameter(&g, &p, part, &[]);
+            assert_eq!(reused, fresh);
+        }
+        // And a second sweep over the same parts gives the same answers.
+        for part in p.parts() {
+            let again = ws.part_diameter(&g, &p, part, &[]);
+            assert_eq!(again, part_subgraph_diameter(&g, &p, part, &[]));
+        }
     }
 
     #[test]

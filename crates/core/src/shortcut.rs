@@ -81,13 +81,13 @@ impl Shortcut {
     /// (Definition 1(i)): the maximum over edges `e` of the number of
     /// subgraphs `G[P_i] + H_i` containing `e`.
     pub fn congestion(&self, graph: &Graph, partition: &Partition) -> usize {
-        quality::congestion(graph, partition, |p| self.edges_of(p).to_vec())
+        quality::congestion(graph, partition, |p| self.edges_of(p))
     }
 
     /// The dilation of the shortcut (Definition 1(ii)): the maximum over
     /// parts of the diameter of `G[P_i] + H_i`.
     pub fn dilation(&self, graph: &Graph, partition: &Partition) -> u32 {
-        quality::dilation(graph, partition, |p| self.edges_of(p).to_vec())
+        quality::dilation(graph, partition, |p| self.edges_of(p))
     }
 
     /// Nodes spanned by `G[P_p] + H_p`: the part members plus every endpoint

@@ -278,8 +278,8 @@ impl TreeShortcut {
     pub fn quality(&self, graph: &Graph, partition: &Partition) -> ShortcutQuality {
         let per_part_blocks = self.block_counts(graph, partition);
         ShortcutQuality {
-            congestion: quality::congestion(graph, partition, |p| self.edges_of(p).to_vec()),
-            dilation: quality::dilation(graph, partition, |p| self.edges_of(p).to_vec()),
+            congestion: quality::congestion(graph, partition, |p| self.edges_of(p)),
+            dilation: quality::dilation(graph, partition, |p| self.edges_of(p)),
             block_parameter: per_part_blocks.iter().copied().max().unwrap_or(0),
             per_part_blocks,
         }

@@ -330,6 +330,58 @@ impl<P: NodeProgram> NodeProtocol for EngineNode<P> {
     fn is_done(&self) -> bool {
         self.finished
     }
+
+    /// The engine knows every round at which a node may act without first
+    /// receiving a message: the convergecast slot while it has a ready
+    /// block, the mirrored rounds of the ups it has already received, the
+    /// cross round at the end of the window, the next window boundary, and
+    /// the round that flips `finished`. Everything else is message-driven,
+    /// so the node sleeps through it — this is what turns the windowed
+    /// supersteps into a small-frontier workload for the simulator.
+    fn next_wake(&self, now: u64) -> Option<u64> {
+        if self.steps == 0 {
+            return None;
+        }
+        // A ready block must be forwarded under the greedy priority rule as
+        // soon as the next round: stay on the per-round schedule.
+        let ready = self
+            .info
+            .memberships
+            .iter()
+            .enumerate()
+            .any(|(i, m)| !m.is_root && !self.runs[i].sent_up && self.runs[i].pending == 0);
+        if ready {
+            return None;
+        }
+        let base = self.base();
+        // The finish flip is the fallback: every unfinished node must be
+        // polled once at `total_rounds` to quiesce.
+        let mut wake = self.total_rounds.max(now + 1);
+        if self.broadcast_down && self.l > 0 {
+            for run in &self.runs {
+                for &(_, rel) in &run.child_rel {
+                    let r = base + 2 * self.l - rel;
+                    if r > now {
+                        wake = wake.min(r);
+                    }
+                }
+            }
+        }
+        if self.broadcast_down && self.step + 1 < self.steps && !self.info.part_neighbors.is_empty()
+        {
+            let r = base + 2 * self.l;
+            if r > now {
+                wake = wake.min(r);
+            }
+        }
+        if self.step + 1 < self.steps {
+            let r = (self.step + 1) * self.window;
+            if r > now {
+                wake = wake.min(r);
+            }
+        }
+        Some(wake)
+    }
 }
 
 /// Runs `program` (one instance per node, built by `make`) over the family

@@ -2,6 +2,7 @@
 
 use std::collections::HashSet;
 
+use crate::graph::Edge;
 use crate::{Graph, GraphError, NodeId, Result};
 
 /// Incremental builder for [`Graph`].
@@ -28,7 +29,7 @@ use crate::{Graph, GraphError, NodeId, Result};
 #[derive(Debug, Clone, Default)]
 pub struct GraphBuilder {
     node_count: usize,
-    edges: Vec<(NodeId, NodeId)>,
+    edges: Vec<Edge>,
     seen: HashSet<(NodeId, NodeId)>,
 }
 
@@ -40,10 +41,17 @@ impl GraphBuilder {
 
     /// Creates a builder pre-populated with `node_count` isolated nodes.
     pub fn with_nodes(node_count: usize) -> Self {
+        Self::with_capacity(node_count, 0)
+    }
+
+    /// Creates a builder with `node_count` isolated nodes and room for
+    /// `edge_capacity` edges. Generators that know their exact edge count
+    /// use this to avoid reallocation during construction.
+    pub fn with_capacity(node_count: usize, edge_capacity: usize) -> Self {
         GraphBuilder {
             node_count,
-            edges: Vec::new(),
-            seen: HashSet::new(),
+            edges: Vec::with_capacity(edge_capacity),
+            seen: HashSet::with_capacity(edge_capacity),
         }
     }
 
@@ -81,9 +89,9 @@ impl GraphBuilder {
             return Err(GraphError::SelfLoop { node: a });
         }
         self.ensure_nodes(a.index().max(b.index()) + 1);
-        let key = if a <= b { (a, b) } else { (b, a) };
-        if self.seen.insert(key) {
-            self.edges.push(key);
+        let edge = Edge::new(a, b);
+        if self.seen.insert((edge.u, edge.v)) {
+            self.edges.push(edge);
         }
         Ok(())
     }
@@ -95,9 +103,11 @@ impl GraphBuilder {
     }
 
     /// Finalizes the builder into an immutable [`Graph`].
+    ///
+    /// The builder has already normalized and deduplicated its edges, so
+    /// this goes straight to the CSR construction without re-validating.
     pub fn build(self) -> Graph {
-        Graph::from_edges(self.node_count, &self.edges)
-            .expect("builder maintains the simple-graph invariants")
+        Graph::from_deduped_edges(self.node_count, self.edges)
     }
 }
 

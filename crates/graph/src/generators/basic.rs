@@ -9,7 +9,7 @@ use crate::{Graph, GraphBuilder, NodeId};
 /// Panics if `n == 0`.
 pub fn path(n: usize) -> Graph {
     assert!(n >= 1, "path needs at least one node");
-    let mut b = GraphBuilder::with_nodes(n);
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
     for i in 1..n {
         b.add_edge(NodeId::new(i - 1), NodeId::new(i))
             .expect("consecutive nodes differ");
@@ -24,7 +24,7 @@ pub fn path(n: usize) -> Graph {
 /// Panics if `n < 3`.
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle needs at least three nodes");
-    let mut b = GraphBuilder::with_nodes(n);
+    let mut b = GraphBuilder::with_capacity(n, n);
     for i in 0..n {
         b.add_edge(NodeId::new(i), NodeId::new((i + 1) % n))
             .expect("distinct nodes");
@@ -39,7 +39,7 @@ pub fn cycle(n: usize) -> Graph {
 /// Panics if `n < 2`.
 pub fn star(n: usize) -> Graph {
     assert!(n >= 2, "star needs at least two nodes");
-    let mut b = GraphBuilder::with_nodes(n);
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
     for i in 1..n {
         b.add_edge(NodeId::new(0), NodeId::new(i))
             .expect("hub differs from leaf");
@@ -59,7 +59,7 @@ pub fn star(n: usize) -> Graph {
 pub fn wheel(n: usize) -> Graph {
     assert!(n >= 5, "wheel needs at least five nodes");
     let rim = n - 1;
-    let mut b = GraphBuilder::with_nodes(n);
+    let mut b = GraphBuilder::with_capacity(n, 2 * rim);
     for i in 0..rim {
         let a = NodeId::new(1 + i);
         let c = NodeId::new(1 + (i + 1) % rim);
@@ -76,7 +76,7 @@ pub fn wheel(n: usize) -> Graph {
 /// Panics if `n == 0`.
 pub fn complete(n: usize) -> Graph {
     assert!(n >= 1, "complete graph needs at least one node");
-    let mut b = GraphBuilder::with_nodes(n);
+    let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
     for i in 0..n {
         for j in (i + 1)..n {
             b.add_edge(NodeId::new(i), NodeId::new(j)).expect("i != j");
@@ -94,7 +94,7 @@ pub fn complete(n: usize) -> Graph {
 /// Panics if `spine == 0`.
 pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     assert!(spine >= 1, "caterpillar needs a nonempty spine");
-    let mut b = GraphBuilder::with_nodes(spine + spine * legs);
+    let mut b = GraphBuilder::with_capacity(spine + spine * legs, spine - 1 + spine * legs);
     for i in 1..spine {
         b.add_edge(NodeId::new(i - 1), NodeId::new(i))
             .expect("spine nodes differ");
@@ -118,7 +118,7 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
 pub fn binary_tree(depth: usize) -> Graph {
     assert!(depth <= 20, "binary tree depth {depth} too large");
     let n = (1usize << (depth + 1)) - 1;
-    let mut b = GraphBuilder::with_nodes(n);
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
     for i in 0..n {
         for child in [2 * i + 1, 2 * i + 2] {
             if child < n {
@@ -139,7 +139,7 @@ pub fn binary_tree(depth: usize) -> Graph {
 /// Panics if `clique < 2`.
 pub fn lollipop(clique: usize, tail: usize) -> Graph {
     assert!(clique >= 2, "lollipop needs a clique of at least two nodes");
-    let mut b = GraphBuilder::with_nodes(clique + tail);
+    let mut b = GraphBuilder::with_capacity(clique + tail, clique * (clique - 1) / 2 + tail);
     for i in 0..clique {
         for j in (i + 1)..clique {
             b.add_edge(NodeId::new(i), NodeId::new(j)).expect("i != j");

@@ -16,9 +16,10 @@ pub fn grid_node(rows: usize, cols: usize, row: usize, col: usize) -> NodeId {
     NodeId::new(row * cols + col)
 }
 
-fn grid_builder(rows: usize, cols: usize) -> GraphBuilder {
+fn grid_builder(rows: usize, cols: usize, extra_edges: usize) -> GraphBuilder {
     assert!(rows >= 1 && cols >= 1, "grid dimensions must be positive");
-    let mut b = GraphBuilder::with_nodes(rows * cols);
+    let grid_edges = rows * (cols - 1) + (rows - 1) * cols;
+    let mut b = GraphBuilder::with_capacity(rows * cols, grid_edges + extra_edges);
     for r in 0..rows {
         for c in 0..cols {
             let v = grid_node(rows, cols, r, c);
@@ -42,7 +43,7 @@ fn grid_builder(rows: usize, cols: usize) -> GraphBuilder {
 ///
 /// Panics if either dimension is zero.
 pub fn grid(rows: usize, cols: usize) -> Graph {
-    grid_builder(rows, cols).build()
+    grid_builder(rows, cols, 0).build()
 }
 
 /// The `rows × cols` grid with one diagonal added in every unit cell.
@@ -53,7 +54,7 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 ///
 /// Panics if either dimension is zero.
 pub fn triangulated_grid(rows: usize, cols: usize) -> Graph {
-    let mut b = grid_builder(rows, cols);
+    let mut b = grid_builder(rows, cols, rows.saturating_sub(1) * cols.saturating_sub(1));
     for r in 0..rows.saturating_sub(1) {
         for c in 0..cols.saturating_sub(1) {
             b.add_edge(
@@ -78,7 +79,7 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
         rows >= 3 && cols >= 3,
         "torus dimensions must be at least 3"
     );
-    let mut b = grid_builder(rows, cols);
+    let mut b = grid_builder(rows, cols, rows + cols);
     for r in 0..rows {
         b.add_edge(
             grid_node(rows, cols, r, cols - 1),
@@ -110,7 +111,7 @@ pub fn genus_handles(rows: usize, cols: usize, g: usize) -> Graph {
         g < cols,
         "need g < cols to place {g} handles on {cols} columns"
     );
-    let mut b = grid_builder(rows, cols);
+    let mut b = grid_builder(rows, cols, g);
     for k in 0..g {
         // Spread the handle endpoints over the columns; connect the top row
         // to the bottom row in "crossed" fashion so each handle is a

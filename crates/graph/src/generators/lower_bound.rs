@@ -76,7 +76,11 @@ pub fn lower_bound_graph(num_paths: usize, path_len: usize) -> (Graph, LowerBoun
         num_paths,
         path_len,
     };
-    let mut b = GraphBuilder::with_nodes(layout.node_count());
+    // Exact edge count: the paths, one connector drop per path per column,
+    // and the binary-tree overlay on the connectors.
+    let edge_capacity =
+        num_paths * (path_len - 1) + num_paths * path_len + path_len.saturating_sub(1);
+    let mut b = GraphBuilder::with_capacity(layout.node_count(), edge_capacity);
 
     // The paths themselves.
     for i in 0..num_paths {

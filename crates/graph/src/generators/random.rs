@@ -19,7 +19,7 @@ use crate::{Graph, GraphBuilder, NodeId};
 pub fn random_tree(n: usize, seed: u64) -> Graph {
     assert!(n >= 1, "tree needs at least one node");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut b = GraphBuilder::with_nodes(n);
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
     for i in 1..n {
         let parent = rng.gen_range(0..i);
         b.add_edge(NodeId::new(parent), NodeId::new(i))
@@ -38,7 +38,7 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
 pub fn random_connected(n: usize, extra_edges: usize, seed: u64) -> Graph {
     assert!(n >= 1, "graph needs at least one node");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut b = GraphBuilder::with_nodes(n);
+    let mut b = GraphBuilder::with_capacity(n, n - 1 + extra_edges);
     for i in 1..n {
         let parent = rng.gen_range(0..i);
         b.add_edge(NodeId::new(parent), NodeId::new(i))
@@ -69,7 +69,8 @@ pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> Graph {
     assert!(n >= 1, "graph needs at least one node");
     assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut b = GraphBuilder::with_nodes(n);
+    let expected = (p * (n * (n - 1) / 2) as f64).ceil() as usize + n;
+    let mut b = GraphBuilder::with_capacity(n, expected);
     for i in 0..n {
         for j in (i + 1)..n {
             if rng.gen_bool(p) {

@@ -140,6 +140,91 @@ proptest! {
         prop_assert_eq!(p.max_part_diameter(&g), 0);
     }
 
+    /// The CSR layout behaves identically to the adjacency-list
+    /// representation it replaced: per-node neighbor/edge-id pairs in edge
+    /// insertion order, parallel slices, degrees, and `edge_between` over
+    /// all node pairs, checked against a naive model built from the same
+    /// edge list.
+    #[test]
+    fn csr_matches_adjacency_list_model(
+        n in 1usize..40,
+        edges in proptest::collection::vec((0usize..40, 0usize..40), 0..120),
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let edge_list: Vec<(NodeId, NodeId)> = edges
+            .into_iter()
+            .filter(|(a, b)| a != b && *a < n && *b < n)
+            .filter(|&(a, b)| seen.insert(if a < b { (a, b) } else { (b, a) }))
+            .map(|(a, b)| (NodeId::new(a), NodeId::new(b)))
+            .collect();
+        let g = lcs_graph::Graph::from_edges(n, &edge_list).unwrap();
+
+        // Naive reference: exactly the old Vec<Vec<(NodeId, EdgeId)>> build.
+        let mut model: Vec<Vec<(NodeId, lcs_graph::EdgeId)>> = vec![Vec::new(); n];
+        for (i, &(a, b)) in edge_list.iter().enumerate() {
+            let id = lcs_graph::EdgeId::new(i);
+            let (u, v) = if a <= b { (a, b) } else { (b, a) };
+            model[u.index()].push((v, id));
+            model[v.index()].push((u, id));
+        }
+
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), edge_list.len());
+        for v in g.nodes() {
+            let pairs: Vec<_> = g.neighbors(v).collect();
+            prop_assert_eq!(&pairs, &model[v.index()]);
+            prop_assert_eq!(g.degree(v), model[v.index()].len());
+            prop_assert_eq!(g.neighbor_ids(v).len(), g.degree(v));
+            for (k, &(w, e)) in pairs.iter().enumerate() {
+                prop_assert_eq!(g.neighbor_ids(v)[k], w);
+                prop_assert_eq!(g.incident_edge_ids(v)[k], e);
+                prop_assert_eq!(g.edge(e).other(v), w);
+            }
+        }
+        prop_assert_eq!(
+            g.max_degree(),
+            model.iter().map(Vec::len).max().unwrap_or(0)
+        );
+        for a in g.nodes() {
+            for b in g.nodes() {
+                let expected = model[a.index()]
+                    .iter()
+                    .find(|(w, _)| *w == b)
+                    .map(|&(_, e)| e);
+                prop_assert_eq!(g.edge_between(a, b), expected);
+                prop_assert_eq!(g.edge_between(b, a), expected);
+            }
+        }
+    }
+
+    /// `from_edges` rejects exactly the invalid inputs: any duplicate (in
+    /// either orientation) fails, and removing the duplicates makes the
+    /// same list succeed.
+    #[test]
+    fn from_edges_duplicate_detection_is_exact(
+        n in 2usize..30,
+        edges in proptest::collection::vec((0usize..30, 0usize..30), 1..60),
+        dup_at in 0usize..60,
+    ) {
+        let valid: Vec<(NodeId, NodeId)> = {
+            let mut seen = std::collections::HashSet::new();
+            edges
+                .iter()
+                .filter(|(a, b)| a != b && *a < n && *b < n)
+                .filter(|&&(a, b)| seen.insert(if a < b { (a, b) } else { (b, a) }))
+                .map(|&(a, b)| (NodeId::new(a), NodeId::new(b)))
+                .collect()
+        };
+        prop_assert!(lcs_graph::Graph::from_edges(n, &valid).is_ok());
+        if !valid.is_empty() {
+            // Re-adding any edge (flipped, to exercise normalization) fails.
+            let (a, b) = valid[dup_at % valid.len()];
+            let mut with_dup = valid.clone();
+            with_dup.push((b, a));
+            prop_assert!(lcs_graph::Graph::from_edges(n, &with_dup).is_err());
+        }
+    }
+
     /// Generator invariants for grid-family graphs.
     #[test]
     fn grid_family_invariants(rows in 1usize..12, cols in 1usize..12, g_param in 0usize..6) {
