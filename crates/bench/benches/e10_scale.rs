@@ -1,0 +1,52 @@
+//! E10-companion benchmark: the sharded round engine on the 10⁵–10⁶-node
+//! tier. Times the distributed verification protocol on the grid 320×320
+//! instance across engine thread counts {1, 2, 4} — the speedup-vs-threads
+//! curve `BENCH_SCALE.json` tracks (the torus and random rows are left to
+//! the table/CI smoke, where one run per thread count suffices).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_congest::SimConfig;
+use lcs_core::construction::{FindShortcut, FindShortcutConfig};
+use lcs_dist::verification_simulated;
+use lcs_graph::{generators, NodeId, RootedTree};
+
+fn bench_e10_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_scale");
+    group.sample_size(10);
+
+    let graph = generators::grid(320, 320);
+    let partition = generators::partitions::grid_columns(320, 320);
+    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    let (cc, bb) = (319usize, 1usize);
+    let shortcut = FindShortcut::new(FindShortcutConfig::new(cc, bb).with_seed(42))
+        .run(&graph, &tree, &partition)
+        .unwrap()
+        .shortcut;
+    let active = vec![true; partition.part_count()];
+
+    for threads in [1usize, 2, 4] {
+        let config = SimConfig::for_graph(&graph).with_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new("verification_grid320", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    verification_simulated(
+                        &graph,
+                        &tree,
+                        &partition,
+                        &shortcut,
+                        3 * bb,
+                        &active,
+                        Some(config),
+                    )
+                    .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e10_scale);
+criterion_main!(benches);

@@ -1,15 +1,23 @@
 //! Prints every experiment table of the reproduction (see EXPERIMENTS.md).
 //!
 //! Usage:
-//!   experiments                      # run all experiments
+//!   experiments                      # run the standard experiments (e1-e9)
 //!   experiments e1 e4                # run a subset
+//!   experiments e10                  # the 10^6-node tier (opt-in: heavy)
+//!   experiments --threads 4 e10      # ... on the sharded engine
 //!   experiments --json out.json      # also write the tables as JSON
 //!   experiments e8 --json out.json   # subset + JSON
+//!
+//! `--threads N` sets the `LCS_THREADS` environment variable before any
+//! table runs, which selects the simulator's round engine (and the
+//! parallel quality sweeps) for the whole process; the count is recorded in
+//! the JSON output. Every table's values are identical for every thread
+//! count — only the wall-clock columns move.
 
 use lcs_bench::{
-    e1_quality_table, e2_findshortcut_table, e3_routing_table, e4_mst_table, e5_core_table,
-    e6_doubling_table, e7_guarantees_table, e8_dist_table, e9_scale_table, render_table,
-    tables_to_json, timed_table, Table, TimedTable,
+    e10_scale_table, e1_quality_table, e2_findshortcut_table, e3_routing_table, e4_mst_table,
+    e5_core_table, e6_doubling_table, e7_guarantees_table, e8_dist_table, e9_scale_table,
+    render_table, tables_to_json, timed_table, Table, TimedTable,
 };
 
 type TableBuilder = fn() -> Table;
@@ -27,6 +35,16 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if arg == "--threads" {
+            let Some(n) = args
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+            else {
+                eprintln!("--threads requires a positive integer argument");
+                std::process::exit(2);
+            };
+            std::env::set_var("LCS_THREADS", n.to_string());
         } else {
             requested.push(arg.to_lowercase());
         }
@@ -42,13 +60,14 @@ fn main() {
         ("e7", e7_guarantees_table),
         ("e8", e8_dist_table),
         ("e9", e9_scale_table),
+        ("e10", e10_scale_table),
     ];
     // Fail loudly on anything that is not a known experiment id — a typoed
     // flag must not silently produce an empty run (CI consumes the JSON).
     for r in &requested {
         if !all.iter().any(|(name, _)| name == r) {
             eprintln!(
-                "unknown argument `{r}`; expected experiment ids {} or --json <path>",
+                "unknown argument `{r}`; expected experiment ids {}, --threads <n> or --json <path>",
                 all.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
             );
             std::process::exit(2);
@@ -56,7 +75,14 @@ fn main() {
     }
     let mut built: Vec<TimedTable> = Vec::new();
     for (name, build) in all {
-        if requested.is_empty() || requested.iter().any(|r| r == name) {
+        // e10 is the heavy scale tier: it only runs when asked for by name,
+        // so the default invocation stays within the e1-e9 budget.
+        let selected = if requested.is_empty() {
+            name != "e10"
+        } else {
+            requested.iter().any(|r| r == name)
+        };
+        if selected {
             eprintln!("running {name}...");
             let timed = timed_table(name, build);
             println!("{}", render_table(&timed.table));
@@ -66,7 +92,7 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json = tables_to_json(&built);
+        let json = tables_to_json(&built, lcs_graph::configured_threads());
         if let Err(err) = std::fs::write(&path, json) {
             eprintln!("failed to write {path}: {err}");
             std::process::exit(1);

@@ -1,4 +1,4 @@
-//! The experiment tables E1–E9.
+//! The experiment tables E1–E10.
 
 use lcs_congest::primitives::AggregateOp;
 use lcs_core::construction::{
@@ -740,6 +740,117 @@ pub fn e9_scale_table() -> Table {
     }
 }
 
+/// E10 — the 10⁶-node tier: the E9 pipeline (FindShortcut + Lemma 3
+/// distributed verification as real message passing) one order of magnitude
+/// up, run on the engine selected by `LCS_THREADS` / `--threads` (recorded
+/// in the `threads` column). The values of every row are byte-identical
+/// for every thread count — the sharded engine's determinism invariant —
+/// so this table doubles as the speedup-vs-threads measurement for
+/// `BENCH_SCALE.json`.
+///
+/// All rows use known-feasible parameters instead of
+/// `reference_parameters`: measuring an existential shortcut's quality at
+/// these sizes costs far more than the protocols being timed. Grid columns
+/// admit `(side - 1, 1)` (the measured E9 pattern); the ball partitions
+/// use the trivially feasible `(N, 1)`.
+pub fn e10_scale_table() -> Table {
+    use lcs_dist::verification_simulated;
+
+    let threads = lcs_graph::configured_threads();
+    let mut rows = Vec::new();
+    let mut push_row =
+        |family: &str, graph: &lcs_graph::Graph, partition: &Partition, (c, b): (usize, usize)| {
+            let tree = RootedTree::bfs(graph, NodeId::new(0));
+            let fs_start = std::time::Instant::now();
+            let result = FindShortcut::new(FindShortcutConfig::new(c, b).with_seed(42))
+                .run(graph, &tree, partition)
+                .expect("scale families admit shortcuts");
+            let fs_ms = fs_start.elapsed().as_secs_f64() * 1e3;
+
+            let active = vec![true; partition.part_count()];
+            let ver_start = std::time::Instant::now();
+            let ver = verification_simulated(
+                graph,
+                &tree,
+                partition,
+                &result.shortcut,
+                3 * b,
+                &active,
+                None,
+            )
+            .expect("verification protocol respects the CONGEST constraints");
+            let ver_ms = ver_start.elapsed().as_secs_f64() * 1e3;
+            let good = ver.outcome.good.iter().filter(|&&g| g).count();
+
+            rows.push(vec![
+                family.to_string(),
+                graph.node_count().to_string(),
+                graph.edge_count().to_string(),
+                partition.part_count().to_string(),
+                threads.to_string(),
+                format!("({c}, {b})"),
+                result.total_rounds().to_string(),
+                format!("{fs_ms:.0}"),
+                ver.stats.rounds.to_string(),
+                ver.stats.messages.to_string(),
+                format!("{ver_ms:.0}"),
+                format!("{}/{}", good, partition.part_count()),
+            ]);
+        };
+
+    {
+        let graph = generators::grid(320, 320);
+        let partition = generators::partitions::grid_columns(320, 320);
+        push_row("grid 320x320, columns", &graph, &partition, (319, 1));
+    }
+    {
+        let graph = generators::torus(256, 256);
+        let partition = generators::partitions::random_bfs_balls(&graph, 256, 11);
+        let parts = partition.part_count();
+        push_row(
+            "torus 256x256, 256 BFS balls",
+            &graph,
+            &partition,
+            (parts, 1),
+        );
+    }
+    {
+        let graph = generators::random_connected(1_000_000, 1_000_000, 13);
+        let partition = generators::partitions::random_bfs_balls(&graph, 128, 7);
+        let parts = partition.part_count();
+        push_row(
+            "random n=1e6 m=+1e6, 128 BFS balls",
+            &graph,
+            &partition,
+            (parts, 1),
+        );
+    }
+
+    Table {
+        title: format!(
+            "E10: 10^6-node tier — FindShortcut + distributed verification on the sharded engine ({threads} thread(s); values identical for every thread count)"
+        ),
+        headers: [
+            "family",
+            "n",
+            "m",
+            "N",
+            "threads",
+            "(c, b)",
+            "fs rounds",
+            "fs ms",
+            "ver rounds",
+            "ver messages",
+            "ver ms",
+            "good",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows,
+    }
+}
+
 /// A built table together with the wall-clock time it took to build — the
 /// quantity the bench trajectory (`BENCH_SCALE.json`) tracks across PRs.
 #[derive(Debug, Clone, PartialEq)]
@@ -766,8 +877,11 @@ pub fn timed_table(id: &str, build: impl FnOnce() -> Table) -> TimedTable {
 
 /// Renders a list of tables as a single machine-readable JSON document
 /// (hand-rolled writer: the build environment has no serde). Each table
-/// entry carries its wall-clock build time in milliseconds.
-pub fn tables_to_json(tables: &[TimedTable]) -> String {
+/// entry carries its wall-clock build time in milliseconds; the document
+/// records the engine thread count the run used (`--threads` /
+/// `LCS_THREADS`), so downstream consumers (the `BENCH_SCALE.json`
+/// trajectory, CI artifacts) can attribute timings to an engine.
+pub fn tables_to_json(tables: &[TimedTable], threads: usize) -> String {
     fn esc(s: &str) -> String {
         let mut out = String::with_capacity(s.len() + 2);
         for ch in s.chars() {
@@ -802,7 +916,8 @@ pub fn tables_to_json(tables: &[TimedTable]) -> String {
         ));
     }
     format!(
-        "{{\"generator\":\"experiments\",\"tables\":[{}]}}\n",
+        "{{\"generator\":\"experiments\",\"threads\":{},\"tables\":[{}]}}\n",
+        threads,
         entries.join(",")
     )
 }
@@ -853,15 +968,19 @@ mod tests {
             headers: vec!["a".to_string()],
             rows: vec![vec!["x\\y".to_string()]],
         };
-        let json = tables_to_json(&[TimedTable {
-            id: "t1".to_string(),
-            table,
-            millis: 12.5,
-        }]);
+        let json = tables_to_json(
+            &[TimedTable {
+                id: "t1".to_string(),
+                table,
+                millis: 12.5,
+            }],
+            4,
+        );
         assert!(json.contains("\\\"quotes\\\""));
         assert!(json.contains("\\n"));
         assert!(json.contains("x\\\\y"));
         assert!(json.contains("\"millis\":12.500"));
+        assert!(json.contains("\"threads\":4"));
         assert!(json.starts_with("{\"generator\":\"experiments\""));
         assert!(json.trim_end().ends_with("]}"));
         // Balanced braces/brackets as a cheap well-formedness check.

@@ -1,0 +1,131 @@
+//! Round-execution engines.
+//!
+//! [`crate::Simulator`] delegates its round loop to a [`RoundEngine`]:
+//!
+//! * [`serial::SerialEngine`] — the single-threaded reference
+//!   implementation (the PR-3 edge-slot loop, unchanged);
+//! * [`sharded::ShardedEngine`] — the same loop partitioned over `S`
+//!   contiguous node shards executed by `std::thread::scope` workers.
+//!
+//! **Determinism is the invariant.** Both engines must produce
+//! byte-identical [`crate::SimStats`], [`crate::RoundTrace`] sequences,
+//! node states, and errors for every protocol and every shard count. The
+//! sharded engine earns this by construction rather than by locking
+//! discipline:
+//!
+//! * each directed edge has exactly one sender, so the per-slot
+//!   duplicate-send stamp can live with the *sender's* shard (indexed by
+//!   sender-side CSR position, which the `mirror` array maps bijectively
+//!   onto recipient-side slots) — no two shards ever contend for a slot;
+//! * cross-shard messages travel through per-shard staging buffers and are
+//!   merged at the round barrier; since every slot is written at most once
+//!   per round, the merge order cannot affect buffer contents;
+//! * everything else an outside observer can see is an order-independent
+//!   reduction: message/bit counters are sums, `max_message_bits` is a
+//!   max, and per-round worklists are sorted before polling;
+//! * errors are reported from the lowest-numbered shard of the earliest
+//!   round, which (shards being contiguous, ascending node ranges) is
+//!   exactly the node the serial engine would have failed on first.
+
+pub(crate) mod serial;
+pub(crate) mod sharded;
+
+use lcs_graph::Graph;
+
+use crate::{NodeContext, NodeProtocol, SimConfig, SimOutcome};
+
+/// Which engine a [`crate::Simulator`] executes its rounds on. Derived from
+/// [`SimConfig::threads`] and the graph size by
+/// [`crate::Simulator::engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineSelection {
+    /// The single-threaded reference engine.
+    Serial,
+    /// The sharded engine with the given number of worker threads (each
+    /// owning one contiguous node shard).
+    Sharded {
+        /// Worker-thread (equivalently, shard) count; always at least 2
+        /// (one shard degenerates to [`EngineSelection::Serial`]).
+        threads: usize,
+    },
+}
+
+/// The round-execution core extracted from `Simulator::run`: everything
+/// between "protocol states exist" and "quiescence or error".
+pub(crate) trait RoundEngine {
+    /// Number of node shards this engine partitions the graph into.
+    fn shard_count(&self) -> usize;
+
+    /// Runs `factory`-built nodes to quiescence under `config`.
+    fn run<P, F>(
+        &self,
+        graph: &Graph,
+        config: &SimConfig,
+        factory: F,
+    ) -> crate::Result<SimOutcome<P>>
+    where
+        P: NodeProtocol + Send,
+        P::Message: Send,
+        F: FnMut(&NodeContext) -> P;
+}
+
+/// The read-only message-plane topology both engines index into: CSR slot
+/// offsets plus the sender-position → recipient-slot `mirror` map. One slot
+/// per directed edge, laid out in the graph's CSR order.
+pub(crate) struct Topology {
+    /// CSR offsets mirroring the graph's (`offset[v]..offset[v + 1]` are
+    /// node `v`'s recipient-side slots). Length `n + 1`.
+    pub(crate) offset: Vec<u32>,
+    /// `mirror[p]`: for the sender-side position `p` (node `v`'s adjacency
+    /// entry pointing at `w`), the recipient-side slot (`w`'s entry
+    /// pointing back at `v`). Posting is one indexed store.
+    pub(crate) mirror: Vec<u32>,
+}
+
+impl Topology {
+    pub(crate) fn new(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut offset: Vec<u32> = Vec::with_capacity(n + 1);
+        offset.push(0);
+        for v in graph.nodes() {
+            let last = *offset.last().expect("offset starts nonempty");
+            offset.push(last + graph.degree(v) as u32);
+        }
+        let slots = *offset.last().expect("offset is nonempty") as usize;
+
+        // slot_of[e] = recipient-side slot of edge e at [e.u, e.v].
+        let mut slot_of = vec![[0u32; 2]; graph.edge_count()];
+        for v in graph.nodes() {
+            let base = offset[v.index()];
+            for (k, &e) in graph.incident_edge_ids(v).iter().enumerate() {
+                let side = usize::from(graph.edge(e).v == v);
+                slot_of[e.index()][side] = base + k as u32;
+            }
+        }
+        let mut mirror = vec![0u32; slots];
+        for v in graph.nodes() {
+            let base = offset[v.index()] as usize;
+            let neighbors = graph.neighbor_ids(v);
+            for (k, &e) in graph.incident_edge_ids(v).iter().enumerate() {
+                let w = neighbors[k];
+                mirror[base + k] = slot_of[e.index()][usize::from(graph.edge(e).v == w)];
+            }
+        }
+
+        Topology { offset, mirror }
+    }
+
+    /// Total number of directed-edge slots.
+    pub(crate) fn slots(&self) -> usize {
+        *self.offset.last().expect("offset is nonempty") as usize
+    }
+}
+
+/// Builds the per-node contexts (borrowed CSR views) in node order.
+pub(crate) fn build_contexts(graph: &Graph) -> Vec<NodeContext<'_>> {
+    let n = graph.node_count();
+    graph
+        .nodes()
+        .map(|v| NodeContext::new(v, graph.neighbor_ids(v), graph.incident_edge_ids(v), n))
+        .collect()
+}

@@ -1,0 +1,276 @@
+//! The single-threaded reference engine: the PR-3 allocation-free edge-slot
+//! round loop, verbatim. The sharded engine is validated against this one
+//! (see `tests/determinism.rs` in this crate and in `lcs_dist`).
+
+use lcs_graph::Graph;
+
+use crate::{
+    Incoming, MessageBits, NodeContext, NodeProtocol, Outgoing, RoundTrace, SimConfig, SimError,
+    SimOutcome, SimStats,
+};
+
+use super::{build_contexts, RoundEngine, Topology};
+
+/// The serial round engine (unit struct: it has no tuning knobs).
+pub(crate) struct SerialEngine;
+
+impl RoundEngine for SerialEngine {
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    fn run<P, F>(
+        &self,
+        graph: &Graph,
+        config: &SimConfig,
+        factory: F,
+    ) -> crate::Result<SimOutcome<P>>
+    where
+        P: NodeProtocol + Send,
+        P::Message: Send,
+        F: FnMut(&NodeContext) -> P,
+    {
+        run_protocol(graph, config, factory)
+    }
+}
+
+/// The preallocated message plane of one run: edge-slot buffers for the
+/// current and next round, per-slot duplicate-send stamps, per-node inbox
+/// counts, and the active-set worklists. No method allocates on the round
+/// path (worklist pushes reuse capacity after the first rounds).
+struct Network<M> {
+    topo: Topology,
+    /// Messages being delivered this round, one slot per directed edge.
+    cur: Vec<Option<M>>,
+    /// Messages accumulating for the next round.
+    next: Vec<Option<M>>,
+    /// Round number of the last post into each slot (`u64::MAX` = never);
+    /// posting twice in the same round is the CONGEST duplicate-send error.
+    stamp: Vec<u64>,
+    /// Number of pending messages per recipient, current round.
+    inbox_cur: Vec<u32>,
+    /// Number of pending messages per recipient, next round.
+    inbox_next: Vec<u32>,
+    /// Whether a node is already on `worklist_next`.
+    queued: Vec<bool>,
+    /// Nodes to poll this round (sorted before polling).
+    worklist_cur: Vec<u32>,
+    /// Nodes that must be polled next round: message recipients plus nodes
+    /// that reported pending work after their last poll.
+    worklist_next: Vec<u32>,
+    /// Messages / bits accumulated for the next round (for the trace).
+    in_flight_next: u64,
+    bits_next: u64,
+}
+
+impl<M: MessageBits> Network<M> {
+    fn new(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let topo = Topology::new(graph);
+        let slots = topo.slots();
+        Network {
+            topo,
+            cur: (0..slots).map(|_| None).collect(),
+            next: (0..slots).map(|_| None).collect(),
+            stamp: vec![u64::MAX; slots],
+            inbox_cur: vec![0; n],
+            inbox_next: vec![0; n],
+            queued: vec![false; n],
+            worklist_cur: Vec::new(),
+            worklist_next: Vec::new(),
+            in_flight_next: 0,
+            bits_next: 0,
+        }
+    }
+
+    /// Schedules `node` for the next round (idempotent).
+    fn queue(&mut self, node: usize) {
+        if !self.queued[node] {
+            self.queued[node] = true;
+            self.worklist_next.push(node as u32);
+        }
+    }
+
+    /// Validates and enqueues one outgoing message for the next round.
+    fn post(
+        &mut self,
+        config: &SimConfig,
+        ctx: &NodeContext<'_>,
+        out: Outgoing<M>,
+        round: u64,
+        stats: &mut SimStats,
+    ) -> crate::Result<()> {
+        let pos = ctx.position_of(out.to).ok_or(SimError::NotANeighbor {
+            from: ctx.node,
+            to: out.to,
+        })?;
+        let slot = self.topo.mirror[self.topo.offset[ctx.node.index()] as usize + pos] as usize;
+        // Posting rounds strictly increase, so one stamp array covers both
+        // buffers: an equal stamp can only mean "already sent this round".
+        if self.stamp[slot] == round {
+            return Err(SimError::DuplicateSend {
+                from: ctx.node,
+                to: out.to,
+                round,
+            });
+        }
+        self.stamp[slot] = round;
+        let bits = out.msg.size_bits();
+        if bits > config.bandwidth_bits {
+            return Err(SimError::BandwidthExceeded {
+                from: ctx.node,
+                to: out.to,
+                message_bits: bits,
+                bandwidth_bits: config.bandwidth_bits,
+            });
+        }
+        stats.messages += 1;
+        stats.total_bits += bits as u64;
+        stats.max_message_bits = stats.max_message_bits.max(bits);
+        self.next[slot] = Some(out.msg);
+        self.inbox_next[out.to.index()] += 1;
+        self.in_flight_next += 1;
+        self.bits_next += bits as u64;
+        self.queue(out.to.index());
+        Ok(())
+    }
+
+    /// Flips the next-round buffers in as the current round, returning the
+    /// number of messages and bits being delivered. The worklist for the
+    /// new round ends up in `worklist_cur`, sorted for deterministic
+    /// polling order; its nodes' `queued` flags are cleared so they can be
+    /// re-scheduled.
+    fn begin_round(&mut self) -> (u64, u64) {
+        std::mem::swap(&mut self.cur, &mut self.next);
+        std::mem::swap(&mut self.inbox_cur, &mut self.inbox_next);
+        std::mem::swap(&mut self.worklist_cur, &mut self.worklist_next);
+        self.worklist_next.clear();
+        for &v in &self.worklist_cur {
+            self.queued[v as usize] = false;
+        }
+        self.worklist_cur.sort_unstable();
+        let delivered = self.in_flight_next;
+        let bits = self.bits_next;
+        self.in_flight_next = 0;
+        self.bits_next = 0;
+        (delivered, bits)
+    }
+
+    /// Moves node `idx`'s pending messages into `scratch` (cleared first).
+    fn drain_into(&mut self, idx: usize, ctx: &NodeContext<'_>, scratch: &mut Vec<Incoming<M>>) {
+        scratch.clear();
+        if self.inbox_cur[idx] == 0 {
+            return;
+        }
+        let base = self.topo.offset[idx] as usize;
+        let end = self.topo.offset[idx + 1] as usize;
+        let neighbors = ctx.neighbor_ids();
+        let edges = ctx.incident_edge_ids();
+        for p in base..end {
+            if let Some(msg) = self.cur[p].take() {
+                scratch.push(Incoming {
+                    from: neighbors[p - base],
+                    edge: edges[p - base],
+                    msg,
+                });
+            }
+        }
+        self.inbox_cur[idx] = 0;
+    }
+}
+
+/// The serial round loop, callable without `Send` bounds (this is what
+/// [`crate::Simulator::run_serial`] exposes for non-`Send` protocols).
+pub(crate) fn run_protocol<P, F>(
+    graph: &Graph,
+    config: &SimConfig,
+    mut factory: F,
+) -> crate::Result<SimOutcome<P>>
+where
+    P: NodeProtocol,
+    F: FnMut(&NodeContext) -> P,
+{
+    let contexts = build_contexts(graph);
+    let mut nodes: Vec<P> = contexts.iter().map(&mut factory).collect();
+    let mut stats = SimStats::default();
+    let mut trace: Vec<RoundTrace> = Vec::new();
+    let mut net: Network<P::Message> = Network::new(graph);
+    let mut scratch: Vec<Incoming<P::Message>> = Vec::new();
+    // Timed wake-ups from NodeProtocol::next_wake, keyed by round.
+    // Stale entries (a node woken earlier by a message) cause a spurious
+    // poll, which the next_wake contract makes harmless.
+    let mut wakes: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>> =
+        std::collections::BinaryHeap::new();
+
+    // Initialization: nodes may already emit messages; every node that
+    // reports pending work is scheduled for round 1 (or its requested
+    // wake round).
+    for (idx, (state, ctx)) in nodes.iter_mut().zip(&contexts).enumerate() {
+        let outgoing = state.init(ctx);
+        for out in outgoing {
+            net.post(config, ctx, out, 0, &mut stats)?;
+        }
+        if !state.is_done() {
+            match state.next_wake(0) {
+                Some(r) if r > 1 => wakes.push(std::cmp::Reverse((r, idx as u32))),
+                _ => net.queue(idx),
+            }
+        }
+    }
+
+    let mut round: u64 = 0;
+    // The schedule is exhaustive: every message recipient, every node
+    // with immediate pending work, and every timed wake-up is recorded,
+    // so "no queued node and no pending wake" is exactly the old "no
+    // message in flight and all nodes done" condition.
+    while !net.worklist_next.is_empty() || !wakes.is_empty() {
+        if round >= config.max_rounds {
+            return Err(SimError::RoundLimitExceeded {
+                limit: config.max_rounds,
+            });
+        }
+        round += 1;
+
+        while let Some(&std::cmp::Reverse((due, idx))) = wakes.peek() {
+            if due > round {
+                break;
+            }
+            wakes.pop();
+            net.queue(idx as usize);
+        }
+        let (delivered, bits) = net.begin_round();
+        if config.trace {
+            trace.push(RoundTrace {
+                round,
+                messages: delivered,
+                bits,
+            });
+        }
+        let worklist = std::mem::take(&mut net.worklist_cur);
+        for &vi in &worklist {
+            let idx = vi as usize;
+            let ctx = &contexts[idx];
+            net.drain_into(idx, ctx, &mut scratch);
+            let outgoing = nodes[idx].on_round(ctx, round, &scratch);
+            for out in outgoing {
+                net.post(config, ctx, out, round, &mut stats)?;
+            }
+            if !nodes[idx].is_done() {
+                match nodes[idx].next_wake(round) {
+                    Some(r) if r > round + 1 => {
+                        wakes.push(std::cmp::Reverse((r, idx as u32)));
+                    }
+                    _ => net.queue(idx),
+                }
+            }
+        }
+        net.worklist_cur = worklist;
+    }
+
+    stats.rounds = round;
+    Ok(SimOutcome {
+        nodes,
+        stats,
+        trace,
+    })
+}

@@ -1,0 +1,571 @@
+//! The sharded round engine: the serial loop partitioned over `S`
+//! contiguous node shards, one `std::thread::scope` worker per shard.
+//!
+//! # Shard layout
+//!
+//! Shard boundaries come from [`lcs_graph::ShardMap::by_volume`], so every
+//! shard owns a contiguous node range *and therefore* a contiguous range of
+//! the CSR edge-slot arrays (`Topology::offset` is monotone in node id).
+//! Each shard privately owns, for its range: the protocol states, both
+//! edge-slot mailbox buffers, inbox counters, worklists, its duplicate-send
+//! stamps (sender-position indexed — a directed edge has exactly one
+//! sender, so stamps never leave the sender's shard), and its timer heap of
+//! `next_wake` entries.
+//!
+//! # Cross-shard staging and the barrier merge
+//!
+//! A post whose recipient lives in another shard is appended to a per-
+//! destination staging buffer instead of written to the mailbox. At the end
+//! of each round's work phase every shard flushes its staging buffers into
+//! the destinations' mutex-guarded inbound queues; at the start of the next
+//! round each shard drains its own queue into its `next` mailbox before
+//! swapping buffers. Every slot is written at most once per round (the
+//! sender-side stamp guarantees it), and recipients' worklists are sorted
+//! before polling, so the drain order — the only thing scheduling can vary
+//! — is unobservable. This is what makes `SimStats`, traces, states, and
+//! errors byte-identical to the serial engine for every shard count.
+//!
+//! # Round protocol
+//!
+//! Workers and the coordinating thread advance in lockstep through two
+//! barriers per phase: phase 0 is `init`, phase `r ≥ 1` is round `r`.
+//! Between the end barrier of phase `r` and the start barrier of phase
+//! `r + 1` only the coordinator runs: it gathers the per-shard trace
+//! contributions, detects quiescence (no worklist, no timer, no staged
+//! message anywhere), enforces the round cap, and surfaces the
+//! lowest-shard error of the earliest failing round — exactly the failure
+//! the serial engine reports first.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use lcs_graph::{Graph, ShardMap};
+
+use crate::{
+    Incoming, MessageBits, NodeContext, NodeProtocol, Outgoing, RoundTrace, SimConfig, SimError,
+    SimOutcome, SimStats,
+};
+
+use super::{build_contexts, serial, RoundEngine, Topology};
+
+/// The sharded engine: `threads` workers, one contiguous node shard each.
+pub(crate) struct ShardedEngine {
+    pub(crate) threads: usize,
+}
+
+impl RoundEngine for ShardedEngine {
+    fn shard_count(&self) -> usize {
+        self.threads
+    }
+
+    fn run<P, F>(
+        &self,
+        graph: &Graph,
+        config: &SimConfig,
+        factory: F,
+    ) -> crate::Result<SimOutcome<P>>
+    where
+        P: NodeProtocol + Send,
+        P::Message: Send,
+        F: FnMut(&NodeContext) -> P,
+    {
+        let shards = self.threads.min(graph.node_count().max(1));
+        if shards <= 1 {
+            return serial::run_protocol(graph, config, factory);
+        }
+        run_sharded(graph, config, factory, shards)
+    }
+}
+
+/// A message crossing a shard boundary: the recipient-side slot, the
+/// recipient's node id, and the already-validated payload.
+struct Staged<M> {
+    slot: u32,
+    to: u32,
+    /// Validated size of `msg` in bits. Kept at full width: truncating here
+    /// would let a pathological bandwidth configuration desynchronize the
+    /// sharded trace's bit counts from the serial engine's.
+    bits: u64,
+    msg: M,
+}
+
+/// State the coordinator and the workers exchange at the barriers.
+struct Shared<M> {
+    barrier: Barrier,
+    /// Phase number workers should execute next (0 = init).
+    phase: AtomicU64,
+    /// Set by the coordinator once the run is over.
+    stop: AtomicBool,
+    /// Set by any worker that recorded an error this phase.
+    any_error: AtomicBool,
+    /// Per-shard "has pending work" flags, refreshed every phase.
+    active: Vec<AtomicBool>,
+    /// Per-shard messages/bits delivered in the last executed round (for
+    /// the trace).
+    delivered: Vec<AtomicU64>,
+    bits: Vec<AtomicU64>,
+    /// Per-shard inbound cross-shard staging queues, double-buffered by
+    /// phase parity: messages staged during phase `r` are addressed to
+    /// phase `r + 1`, so writers use parity `(r + 1) % 2` while readers of
+    /// phase `r` drain parity `r % 2` — the two phases never touch the
+    /// same buffer, which is what keeps a fast shard's round-`r` sends from
+    /// leaking into a slower shard's round-`r` deliveries.
+    inboxes: [Vec<Mutex<Vec<Staged<M>>>>; 2],
+}
+
+/// One shard's private slice of the run.
+struct Shard<P: NodeProtocol> {
+    id: usize,
+    /// First node id (the shard owns `node_lo..node_lo + nodes.len()`).
+    node_lo: usize,
+    /// First CSR slot (the shard owns `slot_lo..slot_lo + cur.len()`).
+    slot_lo: usize,
+    nodes: Vec<P>,
+    cur: Vec<Option<P::Message>>,
+    next: Vec<Option<P::Message>>,
+    /// Duplicate-send stamps, indexed by *sender-side* CSR position local
+    /// to this shard (the sender of a directed edge is unique, so the check
+    /// needs no cross-shard coordination).
+    stamp: Vec<u64>,
+    inbox_cur: Vec<u32>,
+    inbox_next: Vec<u32>,
+    queued: Vec<bool>,
+    worklist_cur: Vec<u32>,
+    worklist_next: Vec<u32>,
+    wakes: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Outbound staging, one buffer per destination shard.
+    staging: Vec<Vec<Staged<P::Message>>>,
+    in_flight_next: u64,
+    bits_next: u64,
+    last_delivered: u64,
+    last_bits: u64,
+    stats: SimStats,
+    error: Option<SimError>,
+    /// A panic payload caught from protocol code (re-raised by the
+    /// coordinator after the fleet stops — `Barrier` has no poisoning, so
+    /// letting a worker unwind through a barrier would deadlock the rest).
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    scratch: Vec<Incoming<P::Message>>,
+}
+
+impl<P: NodeProtocol> Shard<P> {
+    fn queue_local(&mut self, node: usize) {
+        let local = node - self.node_lo;
+        if !self.queued[local] {
+            self.queued[local] = true;
+            self.worklist_next.push(node as u32);
+        }
+    }
+
+    fn post(
+        &mut self,
+        config: &SimConfig,
+        topo: &Topology,
+        map: &ShardMap,
+        ctx: &NodeContext<'_>,
+        out: Outgoing<P::Message>,
+        round: u64,
+    ) -> crate::Result<()> {
+        let pos = ctx.position_of(out.to).ok_or(SimError::NotANeighbor {
+            from: ctx.node,
+            to: out.to,
+        })?;
+        let gpos = topo.offset[ctx.node.index()] as usize + pos;
+        let lpos = gpos - self.slot_lo;
+        if self.stamp[lpos] == round {
+            return Err(SimError::DuplicateSend {
+                from: ctx.node,
+                to: out.to,
+                round,
+            });
+        }
+        self.stamp[lpos] = round;
+        let bits = out.msg.size_bits();
+        if bits > config.bandwidth_bits {
+            return Err(SimError::BandwidthExceeded {
+                from: ctx.node,
+                to: out.to,
+                message_bits: bits,
+                bandwidth_bits: config.bandwidth_bits,
+            });
+        }
+        self.stats.messages += 1;
+        self.stats.total_bits += bits as u64;
+        self.stats.max_message_bits = self.stats.max_message_bits.max(bits);
+        let slot = topo.mirror[gpos];
+        let dst = map.shard_of(out.to);
+        if dst == self.id {
+            self.next[slot as usize - self.slot_lo] = Some(out.msg);
+            self.inbox_next[out.to.index() - self.node_lo] += 1;
+            self.in_flight_next += 1;
+            self.bits_next += bits as u64;
+            self.queue_local(out.to.index());
+        } else {
+            self.staging[dst].push(Staged {
+                slot,
+                to: out.to.index() as u32,
+                bits: bits as u64,
+                msg: out.msg,
+            });
+        }
+        Ok(())
+    }
+
+    /// Drains this shard's inbound queue (messages staged by other shards
+    /// in the previous phase) into the next-round mailbox.
+    fn merge_inbound(&mut self, phase: u64, shared: &Shared<P::Message>) {
+        let staged = {
+            let mut inbox = shared.inboxes[(phase % 2) as usize][self.id]
+                .lock()
+                .expect("no worker panics while holding an inbox lock");
+            std::mem::take(&mut *inbox)
+        };
+        for st in staged {
+            self.next[st.slot as usize - self.slot_lo] = Some(st.msg);
+            self.inbox_next[st.to as usize - self.node_lo] += 1;
+            self.in_flight_next += 1;
+            self.bits_next += st.bits;
+            self.queue_local(st.to as usize);
+        }
+    }
+
+    /// Flushes the outbound staging buffers into the destinations' inbound
+    /// queues for the *next* phase.
+    fn flush_staging(&mut self, phase: u64, shared: &Shared<P::Message>) {
+        for (dst, buf) in self.staging.iter_mut().enumerate() {
+            if buf.is_empty() {
+                continue;
+            }
+            let mut inbox = shared.inboxes[((phase + 1) % 2) as usize][dst]
+                .lock()
+                .expect("no worker panics while holding an inbox lock");
+            inbox.append(buf);
+        }
+    }
+
+    fn begin_round(&mut self) {
+        std::mem::swap(&mut self.cur, &mut self.next);
+        std::mem::swap(&mut self.inbox_cur, &mut self.inbox_next);
+        std::mem::swap(&mut self.worklist_cur, &mut self.worklist_next);
+        self.worklist_next.clear();
+        for &v in &self.worklist_cur {
+            self.queued[v as usize - self.node_lo] = false;
+        }
+        self.worklist_cur.sort_unstable();
+        self.last_delivered = self.in_flight_next;
+        self.last_bits = self.bits_next;
+        self.in_flight_next = 0;
+        self.bits_next = 0;
+    }
+
+    fn drain_into(&mut self, idx: usize, topo: &Topology, ctx: &NodeContext<'_>) {
+        self.scratch.clear();
+        let local = idx - self.node_lo;
+        if self.inbox_cur[local] == 0 {
+            return;
+        }
+        let base = topo.offset[idx] as usize;
+        let end = topo.offset[idx + 1] as usize;
+        let neighbors = ctx.neighbor_ids();
+        let edges = ctx.incident_edge_ids();
+        for p in base..end {
+            if let Some(msg) = self.cur[p - self.slot_lo].take() {
+                self.scratch.push(Incoming {
+                    from: neighbors[p - base],
+                    edge: edges[p - base],
+                    msg,
+                });
+            }
+        }
+        self.inbox_cur[local] = 0;
+    }
+
+    /// Phase 0: `init` every node of the shard, in node order.
+    fn run_init(
+        &mut self,
+        config: &SimConfig,
+        topo: &Topology,
+        map: &ShardMap,
+        contexts: &[NodeContext<'_>],
+    ) {
+        for local in 0..self.nodes.len() {
+            let idx = self.node_lo + local;
+            let ctx = &contexts[idx];
+            let outgoing = self.nodes[local].init(ctx);
+            for out in outgoing {
+                if let Err(err) = self.post(config, topo, map, ctx, out, 0) {
+                    self.error = Some(err);
+                    return;
+                }
+            }
+            if !self.nodes[local].is_done() {
+                match self.nodes[local].next_wake(0) {
+                    Some(r) if r > 1 => self.wakes.push(Reverse((r, idx as u32))),
+                    _ => self.queue_local(idx),
+                }
+            }
+        }
+    }
+
+    /// Phase `round ≥ 1`: merge inbound mail, pop due timers, flip buffers,
+    /// poll the worklist.
+    fn run_round(
+        &mut self,
+        round: u64,
+        config: &SimConfig,
+        topo: &Topology,
+        map: &ShardMap,
+        contexts: &[NodeContext<'_>],
+        shared: &Shared<P::Message>,
+    ) {
+        self.merge_inbound(round, shared);
+        while let Some(&Reverse((due, idx))) = self.wakes.peek() {
+            if due > round {
+                break;
+            }
+            self.wakes.pop();
+            self.queue_local(idx as usize);
+        }
+        self.begin_round();
+        let worklist = std::mem::take(&mut self.worklist_cur);
+        'nodes: for &vi in &worklist {
+            let idx = vi as usize;
+            let local = idx - self.node_lo;
+            let ctx = &contexts[idx];
+            self.drain_into(idx, topo, ctx);
+            let scratch = std::mem::take(&mut self.scratch);
+            let outgoing = self.nodes[local].on_round(ctx, round, &scratch);
+            self.scratch = scratch;
+            for out in outgoing {
+                if let Err(err) = self.post(config, topo, map, ctx, out, round) {
+                    self.error = Some(err);
+                    break 'nodes;
+                }
+            }
+            if !self.nodes[local].is_done() {
+                match self.nodes[local].next_wake(round) {
+                    Some(r) if r > round + 1 => self.wakes.push(Reverse((r, idx as u32))),
+                    _ => self.queue_local(idx),
+                }
+            }
+        }
+        self.worklist_cur = worklist;
+    }
+
+    /// The worker loop: execute phases until the coordinator says stop.
+    fn work(
+        &mut self,
+        config: &SimConfig,
+        topo: &Topology,
+        map: &ShardMap,
+        contexts: &[NodeContext<'_>],
+        shared: &Shared<P::Message>,
+    ) {
+        loop {
+            shared.barrier.wait();
+            if shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let phase = shared.phase.load(Ordering::SeqCst);
+            if self.error.is_none() && self.panic.is_none() {
+                // Protocol code may panic (e.g. a protocol's own invariant
+                // assertions). Catch it so this worker keeps meeting the
+                // barriers; the coordinator stops the fleet and the payload
+                // is re-raised on the caller's thread, matching the serial
+                // engine's behavior. AssertUnwindSafe is sound because the
+                // whole run is abandoned: no state of this shard is
+                // observed afterwards.
+                let work = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if phase == 0 {
+                        self.run_init(config, topo, map, contexts);
+                    } else {
+                        self.run_round(phase, config, topo, map, contexts, shared);
+                    }
+                    self.flush_staging(phase, shared);
+                }));
+                if let Err(payload) = work {
+                    self.panic = Some(payload);
+                }
+            }
+            shared.active[self.id].store(
+                !self.worklist_next.is_empty() || !self.wakes.is_empty(),
+                Ordering::SeqCst,
+            );
+            shared.delivered[self.id].store(self.last_delivered, Ordering::SeqCst);
+            shared.bits[self.id].store(self.last_bits, Ordering::SeqCst);
+            if self.error.is_some() || self.panic.is_some() {
+                shared.any_error.store(true, Ordering::SeqCst);
+            }
+            shared.barrier.wait();
+        }
+    }
+}
+
+fn run_sharded<P, F>(
+    graph: &Graph,
+    config: &SimConfig,
+    mut factory: F,
+    shard_count: usize,
+) -> crate::Result<SimOutcome<P>>
+where
+    P: NodeProtocol + Send,
+    P::Message: Send,
+    F: FnMut(&NodeContext) -> P,
+{
+    let topo = Topology::new(graph);
+    let map = ShardMap::by_volume(graph, shard_count);
+    let shard_count = map.shard_count();
+    let contexts = build_contexts(graph);
+    // Factory calls happen on this thread, in node order — the same
+    // sequence the serial engine produces, so stateful factories (counters,
+    // RNG streams) observe identical call histories.
+    let mut all_nodes: Vec<P> = contexts.iter().map(&mut factory).collect();
+
+    let mut shards: Vec<Shard<P>> = Vec::with_capacity(shard_count);
+    for s in (0..shard_count).rev() {
+        let range = map.range(s);
+        let nodes: Vec<P> = all_nodes.split_off(range.start);
+        let slot_lo = topo.offset[range.start] as usize;
+        let slot_hi = topo.offset[range.end] as usize;
+        let slots = slot_hi - slot_lo;
+        shards.push(Shard {
+            id: s,
+            node_lo: range.start,
+            slot_lo,
+            nodes,
+            cur: (0..slots).map(|_| None).collect(),
+            next: (0..slots).map(|_| None).collect(),
+            stamp: vec![u64::MAX; slots],
+            inbox_cur: vec![0; range.len()],
+            inbox_next: vec![0; range.len()],
+            queued: vec![false; range.len()],
+            worklist_cur: Vec::new(),
+            worklist_next: Vec::new(),
+            wakes: BinaryHeap::new(),
+            staging: (0..shard_count).map(|_| Vec::new()).collect(),
+            in_flight_next: 0,
+            bits_next: 0,
+            last_delivered: 0,
+            last_bits: 0,
+            stats: SimStats::default(),
+            error: None,
+            panic: None,
+            scratch: Vec::new(),
+        });
+    }
+    shards.reverse();
+
+    let shared: Shared<P::Message> = Shared {
+        barrier: Barrier::new(shard_count + 1),
+        phase: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        any_error: AtomicBool::new(false),
+        active: (0..shard_count).map(|_| AtomicBool::new(false)).collect(),
+        delivered: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
+        bits: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
+        inboxes: [
+            (0..shard_count).map(|_| Mutex::new(Vec::new())).collect(),
+            (0..shard_count).map(|_| Mutex::new(Vec::new())).collect(),
+        ],
+    };
+
+    let mut rounds_executed: u64 = 0;
+    let mut trace: Vec<RoundTrace> = Vec::new();
+    let mut limit_error: Option<SimError> = None;
+
+    std::thread::scope(|scope| {
+        for shard in shards.iter_mut() {
+            let contexts = &contexts;
+            let topo = &topo;
+            let map = &map;
+            let shared = &shared;
+            scope.spawn(move || shard.work(config, topo, map, contexts, shared));
+        }
+
+        // The coordinator: decide between the end barrier of one phase and
+        // the start barrier of the next (workers are parked on the start
+        // barrier while this code runs).
+        loop {
+            shared.barrier.wait(); // workers begin the current phase
+            shared.barrier.wait(); // workers finished it
+            let phase = shared.phase.load(Ordering::SeqCst);
+            if phase > 0 {
+                rounds_executed = phase;
+                if config.trace {
+                    let messages: u64 = shared
+                        .delivered
+                        .iter()
+                        .map(|d| d.load(Ordering::SeqCst))
+                        .sum();
+                    let bits: u64 = shared.bits.iter().map(|b| b.load(Ordering::SeqCst)).sum();
+                    trace.push(RoundTrace {
+                        round: phase,
+                        messages,
+                        bits,
+                    });
+                }
+            }
+            if shared.any_error.load(Ordering::SeqCst) {
+                shared.stop.store(true, Ordering::SeqCst);
+            } else {
+                let queued_work = shared.active.iter().any(|a| a.load(Ordering::SeqCst))
+                    || shared.inboxes.iter().flatten().any(|m| {
+                        !m.lock()
+                            .expect("no worker panics while holding an inbox lock")
+                            .is_empty()
+                    });
+                if !queued_work {
+                    shared.stop.store(true, Ordering::SeqCst);
+                } else if phase >= config.max_rounds {
+                    limit_error = Some(SimError::RoundLimitExceeded {
+                        limit: config.max_rounds,
+                    });
+                    shared.stop.store(true, Ordering::SeqCst);
+                } else {
+                    shared.phase.store(phase + 1, Ordering::SeqCst);
+                }
+            }
+            if shared.stop.load(Ordering::SeqCst) {
+                shared.barrier.wait(); // release workers into the stop check
+                break;
+            }
+        }
+    });
+
+    // Shards are ordered by ascending node range, and the coordinator stops
+    // at the end of the earliest failing phase, so the first failure found
+    // here is the one the serial engine would have hit first. A caught
+    // protocol panic is re-raised on this thread, exactly as the serial
+    // engine would have let it propagate.
+    for shard in &mut shards {
+        if let Some(payload) = shard.panic.take() {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(err) = shard.error.clone() {
+            return Err(err);
+        }
+    }
+    if let Some(err) = limit_error {
+        return Err(err);
+    }
+
+    let mut stats = SimStats {
+        rounds: rounds_executed,
+        ..SimStats::default()
+    };
+    let mut nodes: Vec<P> = Vec::with_capacity(graph.node_count());
+    for shard in shards {
+        stats.messages += shard.stats.messages;
+        stats.total_bits += shard.stats.total_bits;
+        stats.max_message_bits = stats.max_message_bits.max(shard.stats.max_message_bits);
+        nodes.extend(shard.nodes);
+    }
+
+    Ok(SimOutcome {
+        nodes,
+        stats,
+        trace,
+    })
+}

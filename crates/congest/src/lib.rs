@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod cost;
+mod engine;
 mod error;
 mod message;
 mod node;
@@ -48,6 +49,7 @@ mod simulator;
 pub mod primitives;
 
 pub use cost::RoundCost;
+pub use engine::EngineSelection;
 pub use error::SimError;
 pub use message::{bits_for_count, bits_for_node_count, MessageBits};
 pub use node::{Incoming, NodeContext, NodeProtocol, Outgoing};

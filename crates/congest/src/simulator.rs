@@ -13,10 +13,22 @@
 //! check. An active-set worklist schedules only nodes that received a
 //! message or reported pending work — see [`NodeProtocol::is_done`] for the
 //! quiescence contract that makes skipping idle nodes semantics-preserving.
+//!
+//! # Engines
+//!
+//! The loop itself runs on a round engine selected by
+//! [`SimConfig::threads`]: the single-threaded reference engine, or a
+//! sharded engine that partitions the nodes into contiguous CSR ranges and
+//! executes them on `std::thread::scope` workers with a cross-shard staging
+//! merge at every round barrier. Both produce byte-identical statistics,
+//! traces, states, and errors — the shard count is a throughput knob, never
+//! a semantic one (see `engine` module docs for why this holds by
+//! construction).
 
 use lcs_graph::Graph;
 
-use crate::{Incoming, MessageBits, NodeContext, NodeProtocol, Outgoing, SimError};
+use crate::engine::{serial, sharded, EngineSelection, RoundEngine};
+use crate::{NodeContext, NodeProtocol};
 
 /// Configuration of a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,27 +37,36 @@ pub struct SimConfig {
     /// of the CONGEST model).
     pub bandwidth_bits: usize,
     /// Hard cap on the number of simulated rounds; exceeding it is reported
-    /// as [`SimError::RoundLimitExceeded`] so buggy protocols fail loudly
-    /// instead of spinning forever.
+    /// as [`crate::SimError::RoundLimitExceeded`] so buggy protocols fail
+    /// loudly instead of spinning forever.
     pub max_rounds: u64,
     /// When `true`, the simulator records one [`RoundTrace`] entry per
     /// executed round in [`SimOutcome::trace`] — the per-round message and
     /// bit counts a protocol author needs when debugging a multi-phase
     /// protocol. Off by default because traces of long runs are large.
     pub trace: bool,
+    /// Worker-thread count of the round engine: `1` selects the serial
+    /// reference engine, `t > 1` the sharded engine with `t` shards (capped
+    /// at the node count). Results are byte-identical for every value —
+    /// this only chooses how the rounds execute. [`SimConfig::for_graph`]
+    /// initializes it from the `LCS_THREADS` environment variable
+    /// (default 1), so one variable switches every protocol in a process.
+    pub threads: usize,
 }
 
 impl SimConfig {
     /// A standard CONGEST configuration for the given graph: bandwidth
     /// `4⌈log₂ n⌉ + 64` bits (room for a tagged identifier pair plus a
     /// 64-bit value, the usual "O(log n) bits" reading) and a generous round
-    /// cap of `64 · n + 1024`.
+    /// cap of `64 · n + 1024`. The engine thread count comes from
+    /// `LCS_THREADS` (see [`SimConfig::threads`]).
     pub fn for_graph(graph: &Graph) -> Self {
         let id_bits = crate::bits_for_node_count(graph.node_count());
         SimConfig {
             bandwidth_bits: 4 * id_bits + 64,
             max_rounds: 64 * graph.node_count() as u64 + 1024,
             trace: false,
+            threads: lcs_graph::configured_threads(),
         }
     }
 
@@ -70,6 +91,13 @@ impl SimConfig {
     /// Enables per-round tracing (see [`SimConfig::trace`]).
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Overrides the engine thread count (see [`SimConfig::threads`]).
+    /// Values below 1 are clamped to 1.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -111,187 +139,34 @@ pub struct SimOutcome<P> {
 }
 
 /// A synchronous CONGEST simulator bound to a graph.
+///
+/// # Engine selection
+///
+/// [`Simulator::run`] executes on the engine selected by
+/// [`SimConfig::threads`] — serial for 1, sharded for more — and the choice
+/// is observable only through wall-clock time:
+///
+/// ```
+/// use lcs_congest::{primitives::DistributedBfs, SimConfig, Simulator};
+/// use lcs_graph::{generators, NodeId};
+///
+/// let graph = generators::grid(8, 8);
+/// let serial = Simulator::new(&graph, SimConfig::for_graph(&graph).with_threads(1));
+/// let sharded = Simulator::new(&graph, SimConfig::for_graph(&graph).with_threads(4));
+/// assert_eq!(serial.shard_count(), 1);
+/// assert_eq!(sharded.shard_count(), 4);
+///
+/// let a = DistributedBfs::run(&serial, NodeId::new(0)).unwrap();
+/// let b = DistributedBfs::run(&sharded, NodeId::new(0)).unwrap();
+/// // Byte-identical statistics and results, on any machine, for any
+/// // thread count.
+/// assert_eq!(a.stats, b.stats);
+/// assert_eq!(a.depths, b.depths);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Simulator<'g> {
     graph: &'g Graph,
     config: SimConfig,
-}
-
-/// The preallocated message plane of one run: edge-slot buffers for the
-/// current and next round, per-slot duplicate-send stamps, per-node inbox
-/// counts, and the active-set worklists. No method allocates on the round
-/// path (worklist pushes reuse capacity after the first rounds).
-struct Network<M> {
-    /// CSR offsets mirroring the graph's (`offset[v]..offset[v + 1]` are
-    /// node `v`'s recipient-side slots). Length `n + 1`.
-    offset: Vec<u32>,
-    /// `mirror[p]`: for the sender-side position `p` (node `v`'s adjacency
-    /// entry pointing at `w`), the recipient-side slot (`w`'s entry
-    /// pointing back at `v`). Posting is one indexed store.
-    mirror: Vec<u32>,
-    /// Messages being delivered this round, one slot per directed edge.
-    cur: Vec<Option<M>>,
-    /// Messages accumulating for the next round.
-    next: Vec<Option<M>>,
-    /// Round number of the last post into each slot (`u64::MAX` = never);
-    /// posting twice in the same round is the CONGEST duplicate-send error.
-    stamp: Vec<u64>,
-    /// Number of pending messages per recipient, current round.
-    inbox_cur: Vec<u32>,
-    /// Number of pending messages per recipient, next round.
-    inbox_next: Vec<u32>,
-    /// Whether a node is already on `worklist_next`.
-    queued: Vec<bool>,
-    /// Nodes to poll this round (sorted before polling).
-    worklist_cur: Vec<u32>,
-    /// Nodes that must be polled next round: message recipients plus nodes
-    /// that reported pending work after their last poll.
-    worklist_next: Vec<u32>,
-    /// Messages / bits accumulated for the next round (for the trace).
-    in_flight_next: u64,
-    bits_next: u64,
-}
-
-impl<M: MessageBits> Network<M> {
-    fn new(graph: &Graph) -> Self {
-        let n = graph.node_count();
-        let mut offset: Vec<u32> = Vec::with_capacity(n + 1);
-        offset.push(0);
-        for v in graph.nodes() {
-            let last = *offset.last().expect("offset starts nonempty");
-            offset.push(last + graph.degree(v) as u32);
-        }
-        let slots = *offset.last().expect("offset is nonempty") as usize;
-
-        // slot_of[e] = recipient-side slot of edge e at [e.u, e.v].
-        let mut slot_of = vec![[0u32; 2]; graph.edge_count()];
-        for v in graph.nodes() {
-            let base = offset[v.index()];
-            for (k, &e) in graph.incident_edge_ids(v).iter().enumerate() {
-                let side = usize::from(graph.edge(e).v == v);
-                slot_of[e.index()][side] = base + k as u32;
-            }
-        }
-        let mut mirror = vec![0u32; slots];
-        for v in graph.nodes() {
-            let base = offset[v.index()] as usize;
-            let neighbors = graph.neighbor_ids(v);
-            for (k, &e) in graph.incident_edge_ids(v).iter().enumerate() {
-                let w = neighbors[k];
-                mirror[base + k] = slot_of[e.index()][usize::from(graph.edge(e).v == w)];
-            }
-        }
-
-        Network {
-            offset,
-            mirror,
-            cur: (0..slots).map(|_| None).collect(),
-            next: (0..slots).map(|_| None).collect(),
-            stamp: vec![u64::MAX; slots],
-            inbox_cur: vec![0; n],
-            inbox_next: vec![0; n],
-            queued: vec![false; n],
-            worklist_cur: Vec::new(),
-            worklist_next: Vec::new(),
-            in_flight_next: 0,
-            bits_next: 0,
-        }
-    }
-
-    /// Schedules `node` for the next round (idempotent).
-    fn queue(&mut self, node: usize) {
-        if !self.queued[node] {
-            self.queued[node] = true;
-            self.worklist_next.push(node as u32);
-        }
-    }
-
-    /// Validates and enqueues one outgoing message for the next round.
-    fn post(
-        &mut self,
-        config: &SimConfig,
-        ctx: &NodeContext<'_>,
-        out: Outgoing<M>,
-        round: u64,
-        stats: &mut SimStats,
-    ) -> crate::Result<()> {
-        let pos = ctx.position_of(out.to).ok_or(SimError::NotANeighbor {
-            from: ctx.node,
-            to: out.to,
-        })?;
-        let slot = self.mirror[self.offset[ctx.node.index()] as usize + pos] as usize;
-        // Posting rounds strictly increase, so one stamp array covers both
-        // buffers: an equal stamp can only mean "already sent this round".
-        if self.stamp[slot] == round {
-            return Err(SimError::DuplicateSend {
-                from: ctx.node,
-                to: out.to,
-                round,
-            });
-        }
-        self.stamp[slot] = round;
-        let bits = out.msg.size_bits();
-        if bits > config.bandwidth_bits {
-            return Err(SimError::BandwidthExceeded {
-                from: ctx.node,
-                to: out.to,
-                message_bits: bits,
-                bandwidth_bits: config.bandwidth_bits,
-            });
-        }
-        stats.messages += 1;
-        stats.total_bits += bits as u64;
-        stats.max_message_bits = stats.max_message_bits.max(bits);
-        self.next[slot] = Some(out.msg);
-        self.inbox_next[out.to.index()] += 1;
-        self.in_flight_next += 1;
-        self.bits_next += bits as u64;
-        self.queue(out.to.index());
-        Ok(())
-    }
-
-    /// Flips the next-round buffers in as the current round, returning the
-    /// number of messages and bits being delivered. The worklist for the
-    /// new round ends up in `worklist_cur`, sorted for deterministic
-    /// polling order; its nodes' `queued` flags are cleared so they can be
-    /// re-scheduled.
-    fn begin_round(&mut self) -> (u64, u64) {
-        std::mem::swap(&mut self.cur, &mut self.next);
-        std::mem::swap(&mut self.inbox_cur, &mut self.inbox_next);
-        std::mem::swap(&mut self.worklist_cur, &mut self.worklist_next);
-        self.worklist_next.clear();
-        for &v in &self.worklist_cur {
-            self.queued[v as usize] = false;
-        }
-        self.worklist_cur.sort_unstable();
-        let delivered = self.in_flight_next;
-        let bits = self.bits_next;
-        self.in_flight_next = 0;
-        self.bits_next = 0;
-        (delivered, bits)
-    }
-
-    /// Moves node `idx`'s pending messages into `scratch` (cleared first).
-    fn drain_into(&mut self, idx: usize, ctx: &NodeContext<'_>, scratch: &mut Vec<Incoming<M>>) {
-        scratch.clear();
-        if self.inbox_cur[idx] == 0 {
-            return;
-        }
-        let base = self.offset[idx] as usize;
-        let end = self.offset[idx + 1] as usize;
-        let neighbors = ctx.neighbor_ids();
-        let edges = ctx.incident_edge_ids();
-        for p in base..end {
-            if let Some(msg) = self.cur[p].take() {
-                scratch.push(Incoming {
-                    from: neighbors[p - base],
-                    edge: edges[p - base],
-                    msg,
-                });
-            }
-        }
-        self.inbox_cur[idx] = 0;
-    }
 }
 
 impl<'g> Simulator<'g> {
@@ -310,115 +185,75 @@ impl<'g> Simulator<'g> {
         self.config
     }
 
+    /// The engine [`Simulator::run`] will execute on: serial when
+    /// [`SimConfig::threads`] is 1 (or the graph is smaller than two
+    /// shards), sharded otherwise.
+    pub fn engine(&self) -> EngineSelection {
+        let threads = self
+            .config
+            .threads
+            .max(1)
+            .min(self.graph.node_count().max(1));
+        if threads <= 1 {
+            EngineSelection::Serial
+        } else {
+            EngineSelection::Sharded { threads }
+        }
+    }
+
+    /// Number of node shards the selected engine partitions this graph
+    /// into: 1 for the serial engine, the worker count for the sharded one.
+    pub fn shard_count(&self) -> usize {
+        match self.engine() {
+            EngineSelection::Serial => serial::SerialEngine.shard_count(),
+            EngineSelection::Sharded { threads } => {
+                sharded::ShardedEngine { threads }.shard_count()
+            }
+        }
+    }
+
     /// Runs a protocol to quiescence: every node is instantiated via
     /// `factory`, `init` is called once, and rounds are executed until no
     /// node has pending work and no message is in flight.
+    ///
+    /// Executes on the engine reported by [`Simulator::engine`]; the
+    /// statistics, trace, final states, and errors are identical for every
+    /// engine. Protocol states and messages must be `Send` so they can be
+    /// sharded across workers; a protocol that is not `Send` can still run
+    /// through [`Simulator::run_serial`].
     ///
     /// # Errors
     ///
     /// Returns an error if a node violates the CONGEST constraints (sends to
     /// a non-neighbor, sends twice over the same edge in a round, or exceeds
     /// the bandwidth), or if the round cap is reached.
-    pub fn run<P, F>(&self, mut factory: F) -> crate::Result<SimOutcome<P>>
+    pub fn run<P, F>(&self, factory: F) -> crate::Result<SimOutcome<P>>
+    where
+        P: NodeProtocol + Send,
+        P::Message: Send,
+        F: FnMut(&NodeContext) -> P,
+    {
+        match self.engine() {
+            EngineSelection::Serial => serial::SerialEngine.run(self.graph, &self.config, factory),
+            EngineSelection::Sharded { threads } => {
+                sharded::ShardedEngine { threads }.run(self.graph, &self.config, factory)
+            }
+        }
+    }
+
+    /// Runs a protocol on the serial reference engine regardless of
+    /// [`SimConfig::threads`] — the escape hatch for protocols whose state
+    /// is not `Send`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run`].
+    pub fn run_serial<P, F>(&self, factory: F) -> crate::Result<SimOutcome<P>>
     where
         P: NodeProtocol,
         F: FnMut(&NodeContext) -> P,
     {
-        let n = self.graph.node_count();
-        let contexts: Vec<NodeContext<'g>> = self
-            .graph
-            .nodes()
-            .map(|v| {
-                NodeContext::new(
-                    v,
-                    self.graph.neighbor_ids(v),
-                    self.graph.incident_edge_ids(v),
-                    n,
-                )
-            })
-            .collect();
-        let mut nodes: Vec<P> = contexts.iter().map(&mut factory).collect();
-        let mut stats = SimStats::default();
-        let mut trace: Vec<RoundTrace> = Vec::new();
-        let mut net: Network<P::Message> = Network::new(self.graph);
-        let mut scratch: Vec<Incoming<P::Message>> = Vec::new();
-        // Timed wake-ups from NodeProtocol::next_wake, keyed by round.
-        // Stale entries (a node woken earlier by a message) cause a spurious
-        // poll, which the next_wake contract makes harmless.
-        let mut wakes: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>> =
-            std::collections::BinaryHeap::new();
-
-        // Initialization: nodes may already emit messages; every node that
-        // reports pending work is scheduled for round 1 (or its requested
-        // wake round).
-        for (idx, (state, ctx)) in nodes.iter_mut().zip(&contexts).enumerate() {
-            let outgoing = state.init(ctx);
-            for out in outgoing {
-                net.post(&self.config, ctx, out, 0, &mut stats)?;
-            }
-            if !state.is_done() {
-                match state.next_wake(0) {
-                    Some(r) if r > 1 => wakes.push(std::cmp::Reverse((r, idx as u32))),
-                    _ => net.queue(idx),
-                }
-            }
-        }
-
-        let mut round: u64 = 0;
-        // The schedule is exhaustive: every message recipient, every node
-        // with immediate pending work, and every timed wake-up is recorded,
-        // so "no queued node and no pending wake" is exactly the old "no
-        // message in flight and all nodes done" condition.
-        while !net.worklist_next.is_empty() || !wakes.is_empty() {
-            if round >= self.config.max_rounds {
-                return Err(SimError::RoundLimitExceeded {
-                    limit: self.config.max_rounds,
-                });
-            }
-            round += 1;
-
-            while let Some(&std::cmp::Reverse((due, idx))) = wakes.peek() {
-                if due > round {
-                    break;
-                }
-                wakes.pop();
-                net.queue(idx as usize);
-            }
-            let (delivered, bits) = net.begin_round();
-            if self.config.trace {
-                trace.push(RoundTrace {
-                    round,
-                    messages: delivered,
-                    bits,
-                });
-            }
-            let worklist = std::mem::take(&mut net.worklist_cur);
-            for &vi in &worklist {
-                let idx = vi as usize;
-                let ctx = &contexts[idx];
-                net.drain_into(idx, ctx, &mut scratch);
-                let outgoing = nodes[idx].on_round(ctx, round, &scratch);
-                for out in outgoing {
-                    net.post(&self.config, ctx, out, round, &mut stats)?;
-                }
-                if !nodes[idx].is_done() {
-                    match nodes[idx].next_wake(round) {
-                        Some(r) if r > round + 1 => {
-                            wakes.push(std::cmp::Reverse((r, idx as u32)));
-                        }
-                        _ => net.queue(idx),
-                    }
-                }
-            }
-            net.worklist_cur = worklist;
-        }
-
-        stats.rounds = round;
-        Ok(SimOutcome {
-            nodes,
-            stats,
-            trace,
-        })
+        serial::run_protocol(self.graph, &self.config, factory)
     }
 }
 
@@ -426,6 +261,8 @@ impl<'g> Simulator<'g> {
 mod tests {
     use super::*;
     use lcs_graph::{generators, NodeId};
+
+    use crate::{Incoming, NodeProtocol, Outgoing, SimError};
 
     /// A protocol where every node floods a token once and counts how many
     /// tokens it receives.
@@ -478,6 +315,53 @@ mod tests {
         }
     }
 
+    #[test]
+    fn sharded_engine_matches_serial_on_flooding() {
+        let g = generators::grid(7, 9);
+        let serial = Simulator::new(&g, SimConfig::for_graph(&g).with_threads(1).with_trace());
+        let reference = serial
+            .run(|_| FloodOnce {
+                received: 0,
+                started: false,
+            })
+            .unwrap();
+        for threads in [2usize, 3, 8, 64] {
+            let sim = Simulator::new(
+                &g,
+                SimConfig::for_graph(&g).with_threads(threads).with_trace(),
+            );
+            let outcome = sim
+                .run(|_| FloodOnce {
+                    received: 0,
+                    started: false,
+                })
+                .unwrap();
+            assert_eq!(outcome.stats, reference.stats, "threads={threads}");
+            assert_eq!(outcome.trace, reference.trace, "threads={threads}");
+            for (a, b) in outcome.nodes.iter().zip(&reference.nodes) {
+                assert_eq!(a.received, b.received);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_selection_follows_threads_and_graph_size() {
+        let g = generators::path(3);
+        let sim = Simulator::new(&g, SimConfig::for_graph(&g).with_threads(1));
+        assert_eq!(sim.engine(), EngineSelection::Serial);
+        assert_eq!(sim.shard_count(), 1);
+        let sim = Simulator::new(&g, SimConfig::for_graph(&g).with_threads(2));
+        assert_eq!(sim.engine(), EngineSelection::Sharded { threads: 2 });
+        assert_eq!(sim.shard_count(), 2);
+        // More threads than nodes: capped at the node count.
+        let sim = Simulator::new(&g, SimConfig::for_graph(&g).with_threads(64));
+        assert_eq!(sim.shard_count(), 3);
+        // A single-node graph cannot be sharded.
+        let tiny = lcs_graph::Graph::from_edges(1, &[]).unwrap();
+        let sim = Simulator::new(&tiny, SimConfig::for_graph(&tiny).with_threads(8));
+        assert_eq!(sim.engine(), EngineSelection::Serial);
+    }
+
     /// A protocol that (incorrectly) sends to a fixed node id regardless of
     /// adjacency, to exercise error reporting.
     #[derive(Debug)]
@@ -512,15 +396,18 @@ mod tests {
     fn sending_to_non_neighbor_is_rejected() {
         // Path 0-1-2-3: node 0 is not adjacent to node 3.
         let g = generators::path(4);
-        let sim = Simulator::new(&g, SimConfig::for_graph(&g));
-        let err = sim.run(|_| BadSender).unwrap_err();
-        assert_eq!(
-            err,
-            SimError::NotANeighbor {
-                from: NodeId::new(0),
-                to: NodeId::new(3)
-            }
-        );
+        for threads in [1usize, 2, 4] {
+            let sim = Simulator::new(&g, SimConfig::for_graph(&g).with_threads(threads));
+            let err = sim.run(|_| BadSender).unwrap_err();
+            assert_eq!(
+                err,
+                SimError::NotANeighbor {
+                    from: NodeId::new(0),
+                    to: NodeId::new(3)
+                },
+                "threads={threads}"
+            );
+        }
     }
 
     /// A protocol that sends one oversized message.
@@ -555,15 +442,22 @@ mod tests {
     #[test]
     fn oversized_messages_are_rejected() {
         let g = generators::path(3);
-        let sim = Simulator::new(&g, SimConfig::for_graph(&g).with_bandwidth_bits(32));
-        let err = sim.run(|_| BigTalker).unwrap_err();
-        assert!(matches!(
-            err,
-            SimError::BandwidthExceeded {
-                message_bits: 128,
-                ..
-            }
-        ));
+        for threads in [1usize, 3] {
+            let sim = Simulator::new(
+                &g,
+                SimConfig::for_graph(&g)
+                    .with_bandwidth_bits(32)
+                    .with_threads(threads),
+            );
+            let err = sim.run(|_| BigTalker).unwrap_err();
+            assert!(matches!(
+                err,
+                SimError::BandwidthExceeded {
+                    message_bits: 128,
+                    ..
+                }
+            ));
+        }
     }
 
     /// A protocol that never terminates (always has pending work).
@@ -594,9 +488,16 @@ mod tests {
     #[test]
     fn round_limit_is_enforced() {
         let g = generators::path(2);
-        let sim = Simulator::new(&g, SimConfig::for_graph(&g).with_max_rounds(5));
-        let err = sim.run(|_| Restless).unwrap_err();
-        assert_eq!(err, SimError::RoundLimitExceeded { limit: 5 });
+        for threads in [1usize, 2] {
+            let sim = Simulator::new(
+                &g,
+                SimConfig::for_graph(&g)
+                    .with_max_rounds(5)
+                    .with_threads(threads),
+            );
+            let err = sim.run(|_| Restless).unwrap_err();
+            assert_eq!(err, SimError::RoundLimitExceeded { limit: 5 });
+        }
     }
 
     #[test]
@@ -628,9 +529,11 @@ mod tests {
             }
         }
         let g = generators::path(2);
-        let sim = Simulator::new(&g, SimConfig::for_graph(&g));
-        let err = sim.run(|_| DoubleSender).unwrap_err();
-        assert!(matches!(err, SimError::DuplicateSend { round: 0, .. }));
+        for threads in [1usize, 2] {
+            let sim = Simulator::new(&g, SimConfig::for_graph(&g).with_threads(threads));
+            let err = sim.run(|_| DoubleSender).unwrap_err();
+            assert!(matches!(err, SimError::DuplicateSend { round: 0, .. }));
+        }
     }
 
     /// A node that is done with an empty inbox must not be polled — pending
@@ -673,41 +576,48 @@ mod tests {
             }
         }
         let g = generators::path(4);
-        let sim = Simulator::new(&g, SimConfig::for_graph(&g));
-        let outcome = sim
-            .run(|_| CountPolls {
-                polls: 0,
-                woken: false,
-            })
-            .unwrap();
-        // Only node 1 (the unique neighbor of node 0) was ever polled, and
-        // only in the single round its message arrived.
-        assert_eq!(outcome.stats.rounds, 1);
-        assert_eq!(outcome.nodes[0].polls, 0);
-        assert_eq!(outcome.nodes[1].polls, 1);
-        assert!(outcome.nodes[1].woken);
-        assert_eq!(outcome.nodes[2].polls, 0);
-        assert_eq!(outcome.nodes[3].polls, 0);
+        for threads in [1usize, 2, 4] {
+            let sim = Simulator::new(&g, SimConfig::for_graph(&g).with_threads(threads));
+            let outcome = sim
+                .run(|_| CountPolls {
+                    polls: 0,
+                    woken: false,
+                })
+                .unwrap();
+            // Only node 1 (the unique neighbor of node 0) was ever polled,
+            // and only in the single round its message arrived.
+            assert_eq!(outcome.stats.rounds, 1);
+            assert_eq!(outcome.nodes[0].polls, 0);
+            assert_eq!(outcome.nodes[1].polls, 1);
+            assert!(outcome.nodes[1].woken);
+            assert_eq!(outcome.nodes[2].polls, 0);
+            assert_eq!(outcome.nodes[3].polls, 0);
+        }
     }
 
     #[test]
     fn trace_records_per_round_deliveries() {
         let g = generators::path(6);
-        let sim = Simulator::new(&g, SimConfig::for_graph(&g).with_trace());
-        let outcome = sim
-            .run(|_| FloodOnce {
-                received: 0,
-                started: false,
-            })
-            .unwrap();
-        // One round, all 2m messages delivered in it, one bit each.
-        assert_eq!(outcome.trace.len(), 1);
-        assert_eq!(outcome.trace[0].round, 1);
-        assert_eq!(outcome.trace[0].messages, 2 * g.edge_count() as u64);
-        assert_eq!(outcome.trace[0].bits, outcome.stats.total_bits);
-        // The trace totals always reconcile with the aggregate stats.
-        let traced: u64 = outcome.trace.iter().map(|t| t.messages).sum();
-        assert_eq!(traced, outcome.stats.messages);
+        for threads in [1usize, 3] {
+            let sim = Simulator::new(
+                &g,
+                SimConfig::for_graph(&g).with_trace().with_threads(threads),
+            );
+            let outcome = sim
+                .run(|_| FloodOnce {
+                    received: 0,
+                    started: false,
+                })
+                .unwrap();
+            // One round, all 2m messages delivered in it, one bit each.
+            assert_eq!(outcome.trace.len(), 1);
+            assert_eq!(outcome.trace[0].round, 1);
+            assert_eq!(outcome.trace[0].messages, 2 * g.edge_count() as u64);
+            assert_eq!(outcome.trace[0].bits, outcome.stats.total_bits);
+            // The trace totals always reconcile with the aggregate stats.
+            let traced: u64 = outcome.trace.iter().map(|t| t.messages).sum();
+            assert_eq!(traced, outcome.stats.messages);
+        }
     }
 
     #[test]
@@ -721,6 +631,70 @@ mod tests {
             })
             .unwrap();
         assert!(outcome.trace.is_empty());
+    }
+
+    #[test]
+    fn run_serial_ignores_the_thread_count() {
+        let g = generators::cycle(9);
+        let sim = Simulator::new(&g, SimConfig::for_graph(&g).with_threads(4));
+        let sharded = sim
+            .run(|_| FloodOnce {
+                received: 0,
+                started: false,
+            })
+            .unwrap();
+        let serial = sim
+            .run_serial(|_| FloodOnce {
+                received: 0,
+                started: false,
+            })
+            .unwrap();
+        assert_eq!(sharded.stats, serial.stats);
+    }
+
+    /// A protocol panic must propagate out of the sharded engine as a
+    /// panic (not a barrier deadlock): workers catch it, the coordinator
+    /// stops the fleet, and the payload is re-raised on the caller's
+    /// thread.
+    #[test]
+    fn protocol_panics_propagate_from_the_sharded_engine() {
+        #[derive(Debug)]
+        struct Panicky {
+            id: usize,
+        }
+        impl NodeProtocol for Panicky {
+            type Message = ();
+            fn init(&mut self, ctx: &NodeContext<'_>) -> Vec<Outgoing<()>> {
+                ctx.neighbor_ids()
+                    .iter()
+                    .map(|&v| Outgoing::new(v, ()))
+                    .collect()
+            }
+            fn on_round(
+                &mut self,
+                _: &NodeContext<'_>,
+                _: u64,
+                _: &[Incoming<()>],
+            ) -> Vec<Outgoing<()>> {
+                if self.id == 5 {
+                    panic!("protocol invariant violated at node {}", self.id);
+                }
+                Vec::new()
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = generators::cycle(8);
+        let sim = Simulator::new(&g, SimConfig::for_graph(&g).with_threads(4));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = sim.run(|ctx| Panicky {
+                id: ctx.node.index(),
+            });
+        }))
+        .expect_err("the protocol panic must resurface");
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("protocol invariant violated"), "{msg}");
     }
 
     #[test]

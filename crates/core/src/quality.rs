@@ -59,39 +59,88 @@ impl ShortcutQuality {
 /// supplied by the `edges_of` accessor (a borrowed slice — no copy) so the
 /// same routine serves both shortcut representations. Repeated edges within
 /// one part's slice are counted once (a per-edge part stamp, no sorting).
-/// Runs in `O(m + Σ|H_i|)`.
-pub(crate) fn congestion<'a, F>(graph: &Graph, partition: &Partition, edges_of: F) -> usize
+/// Runs in `O(m + Σ|H_i|)` work; with `threads > 1` the per-part pass is
+/// split over contiguous part ranges on scoped workers (each with its own
+/// stamp and counter arrays, merged by summation — per-edge use counts are
+/// sums of per-part indicators, so the split cannot change the result).
+pub(crate) fn congestion<'a, F>(
+    graph: &Graph,
+    partition: &Partition,
+    edges_of: F,
+    threads: usize,
+) -> usize
 where
-    F: Fn(PartId) -> &'a [EdgeId],
+    F: Fn(PartId) -> &'a [EdgeId] + Sync,
 {
     // users[e] = number of distinct parts using edge e. A part uses e either
     // because e ∈ H_i or because both endpoints of e lie in P_i; count each
     // part at most once per edge.
-    let mut users = vec![0usize; graph.edge_count()];
-    let mut induced_part = vec![None; graph.edge_count()];
+    let m = graph.edge_count();
+    let mut users = vec![0u32; m];
+    // The part an edge is induced in (u32::MAX = none) — computed once,
+    // reused by every worker.
+    let mut induced_part = vec![u32::MAX; m];
     for (e, edge) in graph.edges() {
-        let pu = partition.part_of(edge.u);
-        if pu.is_some() && pu == partition.part_of(edge.v) {
-            users[e.index()] += 1;
-            induced_part[e.index()] = pu;
+        if let Some(pu) = partition.part_of(edge.u) {
+            if Some(pu) == partition.part_of(edge.v) {
+                users[e.index()] += 1;
+                induced_part[e.index()] = pu.index() as u32;
+            }
         }
     }
+
+    // Adds the slice contributions of the parts in `range` to `users`.
     // last_part[e] = 1 + index of the last part whose slice listed e; the
     // stamp deduplicates within a part without sorting the slice.
-    let mut last_part = vec![0u32; graph.edge_count()];
-    for p in partition.parts() {
-        let stamp = p.index() as u32 + 1;
-        for &e in edges_of(p) {
-            if last_part[e.index()] == stamp {
-                continue;
+    let count_range = |range: std::ops::Range<usize>, users: &mut [u32], last_part: &mut [u32]| {
+        for pi in range {
+            let p = PartId::new(pi);
+            let stamp = pi as u32 + 1;
+            for &e in edges_of(p) {
+                if last_part[e.index()] == stamp {
+                    continue;
+                }
+                last_part[e.index()] = stamp;
+                if induced_part[e.index()] != pi as u32 {
+                    users[e.index()] += 1;
+                }
             }
-            last_part[e.index()] = stamp;
-            if induced_part[e.index()] != Some(p) {
-                users[e.index()] += 1;
+        }
+    };
+
+    let parts = partition.part_count();
+    let t = threads.max(1).min(parts.max(1));
+    if t <= 1 {
+        let mut last_part = vec![0u32; m];
+        count_range(0..parts, &mut users, &mut last_part);
+    } else {
+        let mut partial: Vec<Vec<u32>> = Vec::with_capacity(t);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(t);
+            for k in 0..t {
+                let count_range = &count_range;
+                handles.push(scope.spawn(move || {
+                    let mut users = vec![0u32; m];
+                    let mut last_part = vec![0u32; m];
+                    count_range(
+                        parts * k / t..parts * (k + 1) / t,
+                        &mut users,
+                        &mut last_part,
+                    );
+                    users
+                }));
+            }
+            for h in handles {
+                partial.push(h.join().expect("quality workers do not panic"));
+            }
+        });
+        for worker_users in partial {
+            for (acc, w) in users.iter_mut().zip(worker_users) {
+                *acc += w;
             }
         }
     }
-    users.into_iter().max().unwrap_or(0)
+    users.into_iter().max().unwrap_or(0) as usize
 }
 
 /// Nodes of the subgraph `G[P_p] + H_p`: the members of the part plus every
@@ -127,8 +176,11 @@ pub(crate) struct QualityWorkspace {
     visit_epoch: u32,
     dist: Vec<u32>,
     queue: VecDeque<NodeId>,
-    /// Nodes of the current part's subgraph.
+    /// Nodes of the current part's subgraph (also the intern list of the
+    /// current [`QualityWorkspace::begin_local`] epoch).
     nodes: Vec<NodeId>,
+    /// Local index assigned to each node in the current interning epoch.
+    node_pos: Vec<u32>,
 }
 
 impl QualityWorkspace {
@@ -142,7 +194,33 @@ impl QualityWorkspace {
             dist: vec![0; graph.node_count()],
             queue: VecDeque::new(),
             nodes: Vec::new(),
+            node_pos: vec![0; graph.node_count()],
         }
+    }
+
+    /// Opens a fresh node-interning epoch (used by the block-component
+    /// sweep of `TreeShortcut`, which maps the nodes relevant to one part
+    /// onto dense local indices without a per-part hash map).
+    pub(crate) fn begin_local(&mut self) {
+        self.epoch += 1;
+        self.nodes.clear();
+    }
+
+    /// Dense local index of `v` in the current interning epoch, assigning
+    /// the next free index on first sight.
+    pub(crate) fn intern(&mut self, v: NodeId) -> usize {
+        if self.node_mark[v.index()] != self.epoch {
+            self.node_mark[v.index()] = self.epoch;
+            self.node_pos[v.index()] = self.nodes.len() as u32;
+            self.nodes.push(v);
+        }
+        self.node_pos[v.index()] as usize
+    }
+
+    /// The nodes interned since [`QualityWorkspace::begin_local`], in
+    /// interning order (their local indices).
+    pub(crate) fn local_nodes(&self) -> &[NodeId] {
+        &self.nodes
     }
 
     /// Diameter of the subgraph `G[P_p] + H_p` (see
@@ -253,18 +331,57 @@ pub(crate) fn part_subgraph_diameter(
     QualityWorkspace::new(graph).part_diameter(graph, partition, p, shortcut_edges)
 }
 
-/// Computes dilation: the maximum subgraph diameter over all parts. The
-/// BFS scratch is allocated once and shared by every part.
-pub(crate) fn dilation<'a, F>(graph: &Graph, partition: &Partition, edges_of: F) -> u32
+/// Computes dilation: the maximum subgraph diameter over all parts — the
+/// dominant cost of a quality measurement (a BFS from every subgraph
+/// node). With `threads <= 1` one [`QualityWorkspace`] is shared by every
+/// part; with more, scoped workers pull parts off a shared counter, each
+/// reusing its own workspace, and the per-worker maxima are combined — a
+/// max of maxima, identical for every thread count and schedule.
+pub(crate) fn dilation<'a, F>(
+    graph: &Graph,
+    partition: &Partition,
+    edges_of: F,
+    threads: usize,
+) -> u32
 where
-    F: Fn(PartId) -> &'a [EdgeId],
+    F: Fn(PartId) -> &'a [EdgeId] + Sync,
 {
-    let mut ws = QualityWorkspace::new(graph);
-    partition
-        .parts()
-        .map(|p| ws.part_diameter(graph, partition, p, edges_of(p)))
-        .max()
-        .unwrap_or(0)
+    let parts = partition.part_count();
+    let t = threads.max(1).min(parts.max(1));
+    if t <= 1 {
+        let mut ws = QualityWorkspace::new(graph);
+        return partition
+            .parts()
+            .map(|p| ws.part_diameter(graph, partition, p, edges_of(p)))
+            .max()
+            .unwrap_or(0);
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut best = 0u32;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(t);
+        for _ in 0..t {
+            let next = &next;
+            let edges_of = &edges_of;
+            handles.push(scope.spawn(move || {
+                let mut ws = QualityWorkspace::new(graph);
+                let mut local = 0u32;
+                loop {
+                    let pi = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if pi >= parts {
+                        break;
+                    }
+                    let p = PartId::new(pi);
+                    local = local.max(ws.part_diameter(graph, partition, p, edges_of(p)));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            best = best.max(h.join().expect("quality workers do not panic"));
+        }
+    });
+    best
 }
 
 #[cfg(test)]
@@ -278,7 +395,7 @@ mod tests {
         let p = generators::partitions::grid_rows(3, 5);
         // No shortcut edges at all: row edges have congestion 1, column
         // edges 0, so the measured congestion is 1.
-        assert_eq!(congestion(&g, &p, |_| &[][..]), 1);
+        assert_eq!(congestion(&g, &p, |_| &[][..], 1), 1);
     }
 
     #[test]
@@ -294,7 +411,7 @@ mod tests {
         // Listing an induced edge in the part's own shortcut must not
         // double-count it; listing it twice in one slice counts once.
         let sets: Vec<Vec<EdgeId>> = vec![vec![shared], vec![shared, shared]];
-        let c = congestion(&g, &p, |part| sets[part.index()].as_slice());
+        let c = congestion(&g, &p, |part| sets[part.index()].as_slice(), 1);
         assert_eq!(c, 2);
     }
 
@@ -345,6 +462,37 @@ mod tests {
         for part in p.parts() {
             let again = ws.part_diameter(&g, &p, part, &[]);
             assert_eq!(again, part_subgraph_diameter(&g, &p, part, &[]));
+        }
+    }
+
+    #[test]
+    fn parallel_quality_matches_serial_for_every_thread_count() {
+        // Congestion and dilation are reductions (sum-of-indicators max,
+        // max-of-maxima), so any worker split must reproduce the serial
+        // values exactly.
+        let g = generators::grid(6, 6);
+        let p = generators::partitions::random_bfs_balls(&g, 7, 3);
+        let tree = lcs_graph::RootedTree::bfs(&g, NodeId::new(0));
+        let sets: Vec<Vec<EdgeId>> = p
+            .parts()
+            .map(|part| {
+                // An arbitrary but deterministic per-part edge set: the
+                // members' parent edges.
+                let mut edges: Vec<EdgeId> = p
+                    .members(part)
+                    .iter()
+                    .filter_map(|&v| tree.parent_edge(v))
+                    .collect();
+                edges.sort();
+                edges
+            })
+            .collect();
+        let edges_of = |part: PartId| sets[part.index()].as_slice();
+        let c1 = congestion(&g, &p, edges_of, 1);
+        let d1 = dilation(&g, &p, edges_of, 1);
+        for threads in [2usize, 3, 8, 64] {
+            assert_eq!(congestion(&g, &p, edges_of, threads), c1, "t={threads}");
+            assert_eq!(dilation(&g, &p, edges_of, threads), d1, "t={threads}");
         }
     }
 

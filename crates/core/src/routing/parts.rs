@@ -10,8 +10,6 @@
 //! of supersteps actually performed times the exact Lemma 2 schedule length
 //! measured on the actual block family.
 
-use std::collections::HashMap;
-
 use lcs_congest::RoundCost;
 use lcs_graph::{Graph, NodeId, PartId, Partition, RootedTree};
 
@@ -55,18 +53,20 @@ impl<'a> PartRouter<'a> {
         partition: &'a Partition,
         shortcut: &TreeShortcut,
     ) -> Self {
-        let mut blocks = Vec::with_capacity(partition.part_count());
-        let mut block_of = Vec::with_capacity(partition.part_count());
-        for p in partition.parts() {
-            let part_blocks = shortcut.block_components(graph, tree, partition, p);
-            let mut map = HashMap::new();
+        let active = vec![true; partition.part_count()];
+        let blocks = shortcut.active_block_components(graph, tree, partition, &active);
+        // A part member belongs to exactly one block of its own part, so a
+        // flat node-indexed map answers the per-edge lookups below (Steiner
+        // nodes never carry induced part edges and need no entry).
+        let mut member_block = vec![u32::MAX; graph.node_count()];
+        for (p, part_blocks) in blocks.iter().enumerate() {
             for (i, b) in part_blocks.iter().enumerate() {
                 for &v in &b.nodes {
-                    map.insert(v, i);
+                    if partition.part_of(v) == Some(PartId::new(p)) {
+                        member_block[v.index()] = i as u32;
+                    }
                 }
             }
-            blocks.push(part_blocks);
-            block_of.push(map);
         }
 
         // Supergraph adjacency through induced part edges.
@@ -78,7 +78,10 @@ impl<'a> PartRouter<'a> {
                 continue;
             }
             let p = pu.expect("checked above").index();
-            let (bu, bv) = (block_of[p][&edge.u], block_of[p][&edge.v]);
+            let (bu, bv) = (
+                member_block[edge.u.index()] as usize,
+                member_block[edge.v.index()] as usize,
+            );
             if bu != bv {
                 if !super_adj[p][bu].contains(&bv) {
                     super_adj[p][bu].push(bv);

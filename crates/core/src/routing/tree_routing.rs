@@ -8,7 +8,8 @@
 //! schedule edge-by-edge and round-by-round, so the reported round count is
 //! the exact behaviour of the deterministic algorithm rather than the bound.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use lcs_graph::{NodeId, RootedTree};
 
@@ -114,6 +115,18 @@ pub struct RoutingSchedule {
 /// its tree parent edge. The broadcast direction is symmetric, so the same
 /// count applies to broadcasts (Lemma 2 states both).
 ///
+/// The simulation is event-driven in flat, node-indexed scratch: every
+/// `(subtree, node)` pair is forwarded exactly once, becoming *ready* the
+/// moment its last in-subtree child is heard from, so a per-node heap of
+/// ready subtrees replaces the seed implementation's per-round rescan of
+/// the whole family through hash maps. Readiness gained during a round is
+/// deferred to the next round — exactly the synchronous-rounds semantics —
+/// so the reported schedule is unchanged; only the cost of computing it
+/// drops from `O(rounds · Σ|subtrees|)` hash operations to
+/// `O(Σ|subtrees| · log)` heap operations. (This is what un-bottlenecks
+/// the centralized `WholeTree` MST baseline of experiment E4, whose block
+/// family is `N` copies of the entire spanning tree.)
+///
 /// # Panics
 ///
 /// Panics if a subtree is not actually a subtree of `tree` (a non-root node
@@ -131,19 +144,35 @@ pub fn convergecast_rounds(
         };
     }
 
-    // Per subtree: the number of in-subtree children of every node, and the
-    // set of nodes that still have to forward (every non-root node forwards
-    // exactly once).
-    //
-    // pending[(subtree, node)] = number of children not yet heard from.
-    let mut pending: HashMap<(usize, NodeId), usize> = HashMap::new();
-    // not_sent[(subtree, node)] = node still has to forward for subtree.
-    let mut remaining_senders: Vec<Vec<NodeId>> = vec![Vec::new(); subtrees.len()];
-    // Edge load: how many subtrees contain each node's parent edge.
-    let mut edge_load: HashMap<NodeId, usize> = HashMap::new();
+    let n = tree.node_count();
+    // pending[offsets[s] + i] = number of in-subtree children of
+    // subtrees[s].nodes[i] not yet heard from (the flat stand-in for the
+    // seed's pending[(subtree, node)] hash map).
+    let mut offsets: Vec<usize> = Vec::with_capacity(subtrees.len() + 1);
+    offsets.push(0);
+    for spec in subtrees {
+        offsets.push(offsets.last().expect("nonempty") + spec.nodes.len());
+    }
+    let mut pending: Vec<u32> = vec![0; *offsets.last().expect("nonempty")];
+    // How many subtrees contain each node's parent edge.
+    let mut edge_load: Vec<u32> = vec![0; n];
+    // ready[v]: min-heap of the priority keys of the subtrees node v has
+    // fully heard and not yet forwarded. Keys embed the subtree index, so
+    // popping the minimum reproduces the seed's "best key wins" scan.
+    let mut ready: Vec<BinaryHeap<Reverse<(i64, usize)>>> = vec![BinaryHeap::new(); n];
+    let mut active: Vec<NodeId> = Vec::new();
+    let mut on_active: Vec<bool> = vec![false; n];
+    let mut total_to_send: usize = 0;
 
     for (s_idx, spec) in subtrees.iter().enumerate() {
-        for &v in &spec.nodes {
+        let base = offsets[s_idx];
+        for (i, &v) in spec.nodes.iter().enumerate() {
+            let children_in_subtree = tree
+                .children(v)
+                .iter()
+                .filter(|c| spec.contains(**c))
+                .count();
+            pending[base + i] = children_in_subtree as u32;
             if v == spec.root {
                 continue;
             }
@@ -154,69 +183,67 @@ pub fn convergecast_rounds(
                 spec.contains(parent),
                 "node {v} of subtree {s_idx} has its tree parent outside the subtree"
             );
-            let children_in_subtree = tree
-                .children(v)
-                .iter()
-                .filter(|c| spec.contains(**c))
-                .count();
-            pending.insert((s_idx, v), children_in_subtree);
-            remaining_senders[s_idx].push(v);
-            *edge_load.entry(v).or_insert(0) += 1;
-        }
-        // The root also waits for its children but never forwards.
-        let root_children = tree
-            .children(spec.root)
-            .iter()
-            .filter(|c| spec.contains(**c))
-            .count();
-        pending.insert((s_idx, spec.root), root_children);
-    }
-
-    let max_edge_load = edge_load.values().copied().max().unwrap_or(0);
-    let mut deliveries: u64 = 0;
-    let mut rounds: u64 = 0;
-    let total_to_send: usize = remaining_senders.iter().map(Vec::len).sum();
-    let mut sent = 0usize;
-
-    // Map node -> list of (priority key, subtree index) still to be sent by
-    // that node, kept implicitly; we recompute readiness each round, which
-    // is fast enough at experiment scale.
-    while sent < total_to_send {
-        rounds += 1;
-        // Collect this round's sends based on start-of-round state.
-        let mut sends: Vec<(usize, NodeId)> = Vec::new();
-        let mut chosen_for_node: HashMap<NodeId, ((i64, usize), usize)> = HashMap::new();
-        for (s_idx, spec) in subtrees.iter().enumerate() {
-            for &v in &remaining_senders[s_idx] {
-                if pending[&(s_idx, v)] != 0 {
-                    continue;
-                }
-                let key = priority.key(spec, s_idx);
-                match chosen_for_node.get(&v) {
-                    Some((best, _)) if *best <= key => {}
-                    _ => {
-                        chosen_for_node.insert(v, (key, s_idx));
-                    }
+            edge_load[v.index()] += 1;
+            total_to_send += 1;
+            if children_in_subtree == 0 {
+                ready[v.index()].push(Reverse(priority.key(spec, s_idx)));
+                if !on_active[v.index()] {
+                    on_active[v.index()] = true;
+                    active.push(v);
                 }
             }
         }
-        for (v, (_, s_idx)) in &chosen_for_node {
-            sends.push((*s_idx, *v));
-        }
-        if sends.is_empty() {
+    }
+
+    let max_edge_load = edge_load.iter().copied().max().unwrap_or(0) as usize;
+    let mut deliveries: u64 = 0;
+    let mut rounds: u64 = 0;
+    let mut sent = 0usize;
+    // Readiness earned during a round only takes effect next round; the
+    // deferral buffer is what keeps the event-driven loop synchronous.
+    let mut deferred: Vec<(NodeId, (i64, usize))> = Vec::new();
+
+    while sent < total_to_send {
+        rounds += 1;
+        if active.is_empty() {
             // No node can make progress: the family was malformed. The
             // subtree assertion above should prevent this.
             panic!("routing schedule stalled before completion");
         }
-        // Apply the sends simultaneously.
-        for (s_idx, v) in sends {
+        let round_nodes = std::mem::take(&mut active);
+        for &v in &round_nodes {
+            let Reverse((_, s_idx)) = ready[v.index()]
+                .pop()
+                .expect("active nodes have a ready subtree");
             let parent = tree.parent(v).expect("senders are non-root nodes");
-            *pending
-                .get_mut(&(s_idx, parent))
-                .expect("parent is in the subtree") -= 1;
-            remaining_senders[s_idx].retain(|&u| u != v);
+            let spec = &subtrees[s_idx];
+            let pi = spec
+                .nodes
+                .binary_search(&parent)
+                .expect("parent is in the subtree");
+            let slot = &mut pending[offsets[s_idx] + pi];
+            *slot = slot.checked_sub(1).expect("no surplus child messages");
+            if *slot == 0 && parent != spec.root {
+                deferred.push((parent, priority.key(spec, s_idx)));
+            }
             deliveries += 1;
             sent += 1;
+        }
+        for &v in &round_nodes {
+            on_active[v.index()] = false;
+        }
+        for &v in &round_nodes {
+            if !ready[v.index()].is_empty() && !on_active[v.index()] {
+                on_active[v.index()] = true;
+                active.push(v);
+            }
+        }
+        for (v, key) in deferred.drain(..) {
+            ready[v.index()].push(Reverse(key));
+            if !on_active[v.index()] {
+                on_active[v.index()] = true;
+                active.push(v);
+            }
         }
     }
 

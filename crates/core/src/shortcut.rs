@@ -79,15 +79,29 @@ impl Shortcut {
 
     /// The congestion of the shortcut with respect to `partition`
     /// (Definition 1(i)): the maximum over edges `e` of the number of
-    /// subgraphs `G[P_i] + H_i` containing `e`.
+    /// subgraphs `G[P_i] + H_i` containing `e`. Measured over the parts in
+    /// parallel when `LCS_THREADS` is set (the result is identical for
+    /// every thread count).
     pub fn congestion(&self, graph: &Graph, partition: &Partition) -> usize {
-        quality::congestion(graph, partition, |p| self.edges_of(p))
+        quality::congestion(
+            graph,
+            partition,
+            |p| self.edges_of(p),
+            lcs_graph::configured_threads(),
+        )
     }
 
     /// The dilation of the shortcut (Definition 1(ii)): the maximum over
-    /// parts of the diameter of `G[P_i] + H_i`.
+    /// parts of the diameter of `G[P_i] + H_i`. Measured over the parts in
+    /// parallel when `LCS_THREADS` is set (the result is identical for
+    /// every thread count).
     pub fn dilation(&self, graph: &Graph, partition: &Partition) -> u32 {
-        quality::dilation(graph, partition, |p| self.edges_of(p))
+        quality::dilation(
+            graph,
+            partition,
+            |p| self.edges_of(p),
+            lcs_graph::configured_threads(),
+        )
     }
 
     /// Nodes spanned by `G[P_p] + H_p`: the part members plus every endpoint

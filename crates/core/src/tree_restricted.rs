@@ -1,7 +1,5 @@
 //! Tree-restricted shortcuts (Definitions 2 and 3 of the paper).
 
-use std::collections::HashMap;
-
 use lcs_graph::{EdgeId, Graph, NodeId, PartId, Partition, RootedTree, UnionFind};
 
 use crate::quality::{self, ShortcutQuality};
@@ -212,14 +210,17 @@ impl TreeShortcut {
     /// components of `(V, H_p)` that intersect `P_p`. Isolated part members
     /// count as singleton blocks.
     pub fn block_count(&self, graph: &Graph, partition: &Partition, p: PartId) -> usize {
-        self.local_components(graph, partition, p).len()
+        let mut ws = quality::QualityWorkspace::new(graph);
+        self.local_components(graph, partition, p, &mut ws).len()
     }
 
-    /// Block-component counts for every part.
+    /// Block-component counts for every part, sharing one epoch-stamped
+    /// scratch across the sweep.
     pub fn block_counts(&self, graph: &Graph, partition: &Partition) -> Vec<usize> {
+        let mut ws = quality::QualityWorkspace::new(graph);
         partition
             .parts()
-            .map(|p| self.block_count(graph, partition, p))
+            .map(|p| self.local_components(graph, partition, p, &mut ws).len())
             .collect()
     }
 
@@ -242,7 +243,53 @@ impl TreeShortcut {
         partition: &Partition,
         p: PartId,
     ) -> Vec<BlockComponent> {
-        let groups = self.local_components(graph, partition, p);
+        let mut ws = quality::QualityWorkspace::new(graph);
+        self.block_components_with(graph, tree, partition, p, &mut ws)
+    }
+
+    /// Block components of every part (inactive parts get an empty list),
+    /// sharing one epoch-stamped scratch across the whole sweep — the bulk
+    /// entry point `lcs_dist::BlockFamily` builds its per-node views from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active.len()` differs from the partition's part count.
+    pub fn active_block_components(
+        &self,
+        graph: &Graph,
+        tree: &RootedTree,
+        partition: &Partition,
+        active: &[bool],
+    ) -> Vec<Vec<BlockComponent>> {
+        assert_eq!(
+            active.len(),
+            partition.part_count(),
+            "one active flag per part is required"
+        );
+        let mut ws = quality::QualityWorkspace::new(graph);
+        partition
+            .parts()
+            .map(|p| {
+                if active[p.index()] {
+                    self.block_components_with(graph, tree, partition, p, &mut ws)
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect()
+    }
+
+    /// [`TreeShortcut::block_components`] against a caller-provided
+    /// scratch workspace (shared across parts by the sweeping callers).
+    pub(crate) fn block_components_with(
+        &self,
+        graph: &Graph,
+        tree: &RootedTree,
+        partition: &Partition,
+        p: PartId,
+        ws: &mut quality::QualityWorkspace,
+    ) -> Vec<BlockComponent> {
+        let groups = self.local_components(graph, partition, p, ws);
         let mut blocks = Vec::with_capacity(groups.len());
         for mut nodes in groups {
             nodes.sort();
@@ -274,12 +321,15 @@ impl TreeShortcut {
         blocks
     }
 
-    /// Measures congestion, dilation and block parameter in one pass.
+    /// Measures congestion, dilation and block parameter in one pass. The
+    /// dilation sweep runs parallel-over-parts when `LCS_THREADS` is set;
+    /// the measured values are identical for every thread count.
     pub fn quality(&self, graph: &Graph, partition: &Partition) -> ShortcutQuality {
+        let threads = lcs_graph::configured_threads();
         let per_part_blocks = self.block_counts(graph, partition);
         ShortcutQuality {
-            congestion: quality::congestion(graph, partition, |p| self.edges_of(p)),
-            dilation: quality::dilation(graph, partition, |p| self.edges_of(p)),
+            congestion: quality::congestion(graph, partition, |p| self.edges_of(p), threads),
+            dilation: quality::dilation(graph, partition, |p| self.edges_of(p), threads),
             block_parameter: per_part_blocks.iter().copied().max().unwrap_or(0),
             per_part_blocks,
         }
@@ -287,43 +337,50 @@ impl TreeShortcut {
 
     /// Groups the nodes relevant to part `p` (members plus `H_p` endpoints)
     /// into connected components of `(V, H_p)`, returning only the
-    /// components that contain at least one part member.
+    /// components that contain at least one part member. The cost is
+    /// proportional to `|P_p| + |H_p|`, not `n`: the node interning runs on
+    /// the workspace's epoch-stamped marks (no per-part hash map or clear).
     fn local_components(
         &self,
         graph: &Graph,
         partition: &Partition,
         p: PartId,
+        ws: &mut quality::QualityWorkspace,
     ) -> Vec<Vec<NodeId>> {
-        // Local index over the relevant nodes only, so the cost is
-        // proportional to |P_p| + |H_p| rather than n.
-        let mut index: HashMap<NodeId, usize> = HashMap::new();
-        let mut nodes: Vec<NodeId> = Vec::new();
-        let intern = |v: NodeId, nodes: &mut Vec<NodeId>, index: &mut HashMap<NodeId, usize>| {
-            *index.entry(v).or_insert_with(|| {
-                nodes.push(v);
-                nodes.len() - 1
-            })
-        };
+        ws.begin_local();
         for &v in partition.members(p) {
-            intern(v, &mut nodes, &mut index);
+            ws.intern(v);
         }
         for &e in self.edges_of(p) {
             let edge = graph.edge(e);
-            intern(edge.u, &mut nodes, &mut index);
-            intern(edge.v, &mut nodes, &mut index);
+            ws.intern(edge.u);
+            ws.intern(edge.v);
         }
-        let mut uf = UnionFind::new(nodes.len());
+        let count = ws.local_nodes().len();
+        let mut uf = UnionFind::new(count);
         for &e in self.edges_of(p) {
             let edge = graph.edge(e);
-            uf.union(index[&edge.u], index[&edge.v]);
+            let (u, v) = (ws.intern(edge.u), ws.intern(edge.v));
+            uf.union(u, v);
         }
-        // Collect components that contain a part member.
-        let mut groups: HashMap<usize, Vec<NodeId>> = HashMap::new();
-        for (i, &v) in nodes.iter().enumerate() {
-            groups.entry(uf.find(i)).or_default().push(v);
+        // Collect components that contain a part member, grouped by
+        // union-find representative in first-seen order (the final order is
+        // fixed by the sort below, exactly as the seed implementation's).
+        let mut group_of_rep: Vec<u32> = vec![u32::MAX; count];
+        let mut groups: Vec<Vec<NodeId>> = Vec::new();
+        for i in 0..count {
+            let rep = uf.find(i);
+            let g = if group_of_rep[rep] == u32::MAX {
+                group_of_rep[rep] = groups.len() as u32;
+                groups.push(Vec::new());
+                groups.len() - 1
+            } else {
+                group_of_rep[rep] as usize
+            };
+            groups[g].push(ws.local_nodes()[i]);
         }
         let mut result: Vec<Vec<NodeId>> = groups
-            .into_values()
+            .into_iter()
             .filter(|group| group.iter().any(|&v| partition.part_of(v) == Some(p)))
             .collect();
         result.sort_by_key(|g| g.iter().min().copied());

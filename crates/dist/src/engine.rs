@@ -41,11 +41,11 @@ use crate::Result;
 /// The per-node logic of a superstep protocol. One instance runs per node;
 /// it may only consult the node's [`NodeInfo`] and the messages the engine
 /// hands it.
-pub(crate) trait NodeProgram {
+pub(crate) trait NodeProgram: Send {
     /// Block-level value: convergecast up, combined, broadcast down.
-    type Val: Clone + std::fmt::Debug;
+    type Val: Clone + std::fmt::Debug + Send;
     /// Payload exchanged across same-part graph edges between supersteps.
-    type Cross: Clone + std::fmt::Debug;
+    type Cross: Clone + std::fmt::Debug + Send;
 
     /// The node's contribution for membership `m` at the start of superstep
     /// `step` (Steiner nodes contribute an identity element).

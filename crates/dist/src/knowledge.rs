@@ -109,14 +109,11 @@ impl BlockFamily {
         );
         // Flatten per-part blocks in partition order — the exact family
         // ordering `PartRouter` and `verification` use, so schedule lengths
-        // and tie-breaks agree bit for bit.
+        // and tie-breaks agree bit for bit. The bulk accessor shares one
+        // epoch-stamped scratch across the whole partition.
         let mut blocks: Vec<BlockComponent> = Vec::new();
         let mut block_parameter = 0usize;
-        for p in partition.parts() {
-            if !active[p.index()] {
-                continue;
-            }
-            let part_blocks = shortcut.block_components(graph, tree, partition, p);
+        for part_blocks in shortcut.active_block_components(graph, tree, partition, active) {
             block_parameter = block_parameter.max(part_blocks.len());
             blocks.extend(part_blocks);
         }

@@ -11,6 +11,8 @@
 //!   framework,
 //! * [`Partition`] — disjoint, individually connected node parts
 //!   (the objects that shortcuts are built *for*),
+//! * [`ShardMap`] — contiguous node sharding for the parallel engines
+//!   (plus [`configured_threads`], the `LCS_THREADS` workspace knob),
 //! * [`generators`] — synthetic network families used throughout the
 //!   experiments (grids, tori, genus-`g` handle graphs, wheels, paths,
 //!   random graphs, and the classic lower-bound construction),
@@ -43,6 +45,7 @@ mod graph;
 mod ids;
 mod mst;
 mod partition;
+mod sharding;
 mod traversal;
 mod tree;
 mod union_find;
@@ -57,6 +60,7 @@ pub use graph::{Edge, Graph};
 pub use ids::{EdgeId, NodeId, PartId};
 pub use mst::{kruskal_mst, mst_weight, prim_mst};
 pub use partition::{Partition, PartitionBuilder};
+pub use sharding::{configured_threads, ShardMap};
 pub use traversal::{bfs_distances, bfs_order, connected_components, is_connected, BfsResult};
 pub use tree::RootedTree;
 pub use union_find::UnionFind;
