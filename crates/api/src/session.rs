@@ -1,0 +1,767 @@
+//! The two-phase front door: [`Pipeline`] (configure once) →
+//! [`Session`] (query many times).
+//!
+//! A `Session` is bound to one graph and owns everything that is reusable
+//! across queries on that graph: the rooted spanning tree, the epoch-stamped
+//! [`lcs_core::QualityPool`] of the quality measurements, the resolved
+//! [`SimConfig`] (bandwidth, tracing, engine thread count), and a
+//! precomputed [`ShardMap`] describing the shard layout `Simulated`
+//! queries execute on (the engine derives the identical volume-balanced
+//! layout per run; the session's copy exposes it for introspection).
+//! Repeated queries — `shortcut`, `quality`, `verify`, `mst`, and the
+//! multi-query [`Session::batch`] — therefore allocate only their
+//! per-query results, never per-graph state; that is the serving posture
+//! the experiment tables measure in E11.
+
+use std::time::Instant;
+
+use lcs_congest::{RoundCost, RoundTrace, SimConfig};
+use lcs_core::construction::{
+    core_fast, core_slow, verification, CoreFastConfig, CoreOutcome, FindShortcut,
+    FindShortcutConfig, FindShortcutResult,
+};
+use lcs_core::routing::ExecutionMode;
+use lcs_core::{QualityPool, ShortcutQuality, TreeShortcut};
+use lcs_dist::verification_simulated;
+use lcs_graph::{
+    is_connected, EdgeId, EdgeWeights, Graph, GraphError, LcsError, Partition, RootedTree,
+    ShardMap, Threads,
+};
+use lcs_mst::ShortcutStrategy;
+
+use crate::{Attempt, CoreKind, Report, Strategy, TreeSpec};
+
+/// Convenience result alias of the façade.
+pub type Result<T> = std::result::Result<T, LcsError>;
+
+/// The entry point of the façade: a builder that fixes the per-graph
+/// choices (tree, thread count, execution mode, seed, tracing) and
+/// [`Pipeline::build`]s a [`Session`].
+///
+/// ```
+/// use lcs_api::{Pipeline, Strategy};
+/// use lcs_graph::generators;
+///
+/// let graph = generators::grid(8, 8);
+/// let partition = generators::partitions::grid_columns(8, 8);
+/// let mut session = Pipeline::on(&graph).build().unwrap();
+/// let run = session.shortcut(&partition, Strategy::doubling()).unwrap();
+/// assert!(run.report.all_parts_good);
+/// let quality = session.quality(&run.shortcut, &partition).unwrap();
+/// assert!(quality.block_parameter <= 3 * run.winning_guess().unwrap().1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipeline<'g> {
+    graph: &'g Graph,
+    tree: TreeSpec,
+    threads: Threads,
+    execution: ExecutionMode,
+    seed: u64,
+    trace: bool,
+}
+
+impl<'g> Pipeline<'g> {
+    /// Starts a pipeline on `graph` with the defaults: BFS tree rooted at
+    /// node 0, `Threads::Auto`, scheduled execution, seed 0, no tracing.
+    pub fn on(graph: &'g Graph) -> Self {
+        Pipeline {
+            graph,
+            tree: TreeSpec::default(),
+            threads: Threads::Auto,
+            execution: ExecutionMode::Scheduled,
+            seed: 0,
+            trace: false,
+        }
+    }
+
+    /// Chooses how the spanning tree is obtained (see [`TreeSpec`]).
+    pub fn tree(mut self, tree: TreeSpec) -> Self {
+        self.tree = tree;
+        self
+    }
+
+    /// Sets the worker-thread count as a value ([`Threads::Auto`] defers
+    /// to the `LCS_THREADS` environment variable at build time). This is
+    /// the only thread knob of a session: it selects the simulator's round
+    /// engine and sizes the quality pool.
+    pub fn threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the execution mode: `Scheduled` charges the exact centralized
+    /// schedules (the default), `Simulated` runs the distributed protocols
+    /// as real message passing.
+    pub fn execution(mut self, execution: ExecutionMode) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Sets the random seed used by randomized constructions and MST coin
+    /// flips.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables per-round simulator tracing for `Simulated` queries; the
+    /// trace surfaces on [`VerifyRun::trace`].
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Validates the configuration and builds the [`Session`], performing
+    /// the one-time per-graph work (BFS tree unless provided, shard map,
+    /// quality pool).
+    ///
+    /// # Errors
+    ///
+    /// [`LcsError::InconsistentInputs`] for an empty or disconnected graph
+    /// or a provided tree over a different node count;
+    /// [`LcsError::Graph`] for a BFS root out of range;
+    /// [`LcsError::Config`] for a fixed thread count of zero.
+    pub fn build(self) -> Result<Session<'g>> {
+        let graph = self.graph;
+        if graph.node_count() == 0 {
+            return Err(LcsError::InconsistentInputs {
+                reason: "a session needs a nonempty graph".to_string(),
+            });
+        }
+        if !is_connected(graph) {
+            return Err(LcsError::InconsistentInputs {
+                reason:
+                    "a session needs a connected graph (shortcuts route over one spanning tree)"
+                        .to_string(),
+            });
+        }
+        if let Threads::Fixed(0) = self.threads {
+            return Err(LcsError::Config {
+                reason: "thread count must be at least 1 (got 0)".to_string(),
+            });
+        }
+        let tree = match self.tree {
+            TreeSpec::Bfs(root) => {
+                if root.index() >= graph.node_count() {
+                    return Err(LcsError::Graph(GraphError::NodeOutOfRange {
+                        node: root,
+                        node_count: graph.node_count(),
+                    }));
+                }
+                RootedTree::bfs(graph, root)
+            }
+            TreeSpec::Provided(tree) => {
+                if tree.node_count() != graph.node_count() {
+                    return Err(LcsError::InconsistentInputs {
+                        reason: format!(
+                            "provided tree spans {} nodes but the graph has {}",
+                            tree.node_count(),
+                            graph.node_count()
+                        ),
+                    });
+                }
+                tree
+            }
+        };
+        let threads = self.threads.resolve();
+        let mut sim_config = SimConfig::for_graph(graph).with_threads(threads);
+        if self.trace {
+            sim_config = sim_config.with_trace();
+        }
+        Ok(Session {
+            graph,
+            tree,
+            shards: ShardMap::by_volume(graph, threads),
+            pool: QualityPool::new(graph, threads),
+            threads,
+            execution: self.execution,
+            seed: self.seed,
+            sim_config,
+        })
+    }
+}
+
+/// A per-graph serving session: the owner of every piece of state that can
+/// be amortized across queries. Created by [`Pipeline::build`].
+pub struct Session<'g> {
+    graph: &'g Graph,
+    tree: RootedTree,
+    shards: ShardMap,
+    pool: QualityPool,
+    threads: usize,
+    execution: ExecutionMode,
+    seed: u64,
+    sim_config: SimConfig,
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("nodes", &self.graph.node_count())
+            .field("edges", &self.graph.edge_count())
+            .field("threads", &self.threads)
+            .field("execution", &self.execution)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Result of a [`Session::shortcut`] (or one [`Session::batch`] entry):
+/// the constructed shortcut plus its unified [`Report`].
+#[derive(Debug, Clone)]
+pub struct ShortcutRun {
+    /// The constructed tree-restricted shortcut.
+    pub shortcut: TreeShortcut,
+    /// The unified query report. Construction queries always record at
+    /// least one [`Attempt`]; batch entries additionally fill
+    /// [`Report::quality`].
+    pub report: Report,
+}
+
+impl ShortcutRun {
+    /// The `(congestion, block)` guess of the successful attempt, `None`
+    /// if the construction did not succeed.
+    pub fn winning_guess(&self) -> Option<(usize, usize)> {
+        self.report
+            .attempts
+            .iter()
+            .rev()
+            .find(|a| a.succeeded)
+            .map(|a| (a.congestion_guess, a.block_guess))
+    }
+
+    /// Total CONGEST rounds charged for the construction.
+    pub fn total_rounds(&self) -> u64 {
+        self.report.rounds_charged
+    }
+}
+
+/// Result of a [`Session::verify`] query.
+#[derive(Debug, Clone)]
+pub struct VerifyRun {
+    /// `good[p]` — part `p` has at most the threshold number of block
+    /// components.
+    pub good: Vec<bool>,
+    /// Measured block-component count per part (0 for parts classified
+    /// bad by the simulated protocol).
+    pub block_counts: Vec<usize>,
+    /// Per-round simulator trace (`Simulated` execution with
+    /// [`Pipeline::trace`] enabled; empty otherwise).
+    pub trace: Vec<RoundTrace>,
+    /// The unified query report (`rounds_executed` and `sim` are filled in
+    /// `Simulated` mode).
+    pub report: Report,
+}
+
+/// Result of a [`Session::mst`] query.
+#[derive(Debug, Clone)]
+pub struct MstRun {
+    /// The MST edges, sorted by edge id.
+    pub edges: Vec<EdgeId>,
+    /// Total weight of the returned edges.
+    pub weight: u64,
+    /// Number of Boruvka phases executed.
+    pub phases: usize,
+    /// Exact round cost, broken down per phase and per step.
+    pub cost: RoundCost,
+    /// The unified query report (`metrics` records `phases` and `weight`).
+    pub report: Report,
+}
+
+impl<'g> Session<'g> {
+    /// The graph the session serves.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The spanning tree every tree-restricted query routes over.
+    pub fn tree(&self) -> &RootedTree {
+        &self.tree
+    }
+
+    /// The resolved worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The contiguous shard layout `Simulated` queries execute on (one
+    /// shard per worker thread, volume-balanced). This is introspection
+    /// state: the sharded engine derives the identical
+    /// [`ShardMap::by_volume`] layout internally for each run (and the
+    /// serial engine does not shard at all); the session's copy lets
+    /// callers inspect the layout without running a protocol.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shards
+    }
+
+    /// The execution mode queries currently run under.
+    pub fn execution(&self) -> ExecutionMode {
+        self.execution
+    }
+
+    /// Switches the execution mode for subsequent queries (cached state is
+    /// unaffected — the mode only selects how communication executes).
+    pub fn set_execution(&mut self, execution: ExecutionMode) {
+        self.execution = execution;
+    }
+
+    /// The random seed subsequent queries use.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Replaces the seed for subsequent queries.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
+    /// The simulator configuration `Simulated` queries run with.
+    pub fn sim_config(&self) -> SimConfig {
+        self.sim_config
+    }
+
+    fn check_partition(&self, partition: &Partition) -> Result<()> {
+        if partition.node_count() != self.graph.node_count() {
+            return Err(LcsError::InconsistentInputs {
+                reason: format!(
+                    "partition defined over {} nodes but the session's graph has {}",
+                    partition.node_count(),
+                    self.graph.node_count()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the Theorem 3 driver once with the session's execution mode:
+    /// `Scheduled` uses the centralized Lemma 3 verification, `Simulated`
+    /// drops in the message-passing block counting with the session's
+    /// simulator configuration (threads and tracing included).
+    fn run_find_shortcut(
+        &self,
+        partition: &Partition,
+        config: FindShortcutConfig,
+    ) -> Result<FindShortcutResult> {
+        let driver = FindShortcut::new(config);
+        let result = match self.execution {
+            ExecutionMode::Scheduled => driver.run_with_verifier(
+                self.graph,
+                &self.tree,
+                partition,
+                |g, t, p, s, threshold, active| Ok(verification(g, t, p, s, threshold, active)),
+            ),
+            ExecutionMode::Simulated => {
+                let sim_config = self.sim_config;
+                driver.run_with_verifier(
+                    self.graph,
+                    &self.tree,
+                    partition,
+                    move |g, t, p, s, threshold, active| {
+                        let outcome =
+                            verification_simulated(g, t, p, s, threshold, active, Some(sim_config))
+                                .map_err(lcs_core::CoreError::from)?;
+                        Ok(outcome.outcome)
+                    },
+                )
+            }
+        };
+        result.map_err(LcsError::from)
+    }
+
+    /// Constructs a tree-restricted shortcut for `partition` with the
+    /// given [`Strategy`]. The session's tree, seed and execution mode
+    /// apply; no per-graph state is allocated.
+    ///
+    /// # Errors
+    ///
+    /// [`LcsError::InconsistentInputs`] for a partition over a different
+    /// node count, [`LcsError::BudgetExhausted`] when a doubling search
+    /// ([`Strategy::Doubling`] / [`Strategy::SlowCore`]) exhausts its
+    /// doubling budget, and simulation errors from `Simulated` execution.
+    /// A [`Strategy::Fixed`] run whose parameters turn out too small is
+    /// *not* an error (mirroring the legacy driver): it returns `Ok` with
+    /// [`Report::all_parts_good`] `false` and the partial shortcut.
+    pub fn shortcut(&mut self, partition: &Partition, strategy: Strategy) -> Result<ShortcutRun> {
+        self.check_partition(partition)?;
+        let start = Instant::now();
+        let mut report = Report::new("shortcut");
+        report.strategy = Some(strategy.label().to_string());
+
+        let (initial, use_fast_core, max_doublings) = match strategy {
+            Strategy::Doubling(spec) => (
+                (spec.initial_congestion, spec.initial_block),
+                true,
+                spec.max_doublings,
+            ),
+            Strategy::SlowCore(spec) => (
+                (spec.initial_congestion, spec.initial_block),
+                false,
+                spec.max_doublings,
+            ),
+            Strategy::Fixed { congestion, block } => {
+                // A single attempt at the known parameters; the iteration
+                // budget of the driver itself still applies.
+                let config = FindShortcutConfig::new(congestion, block).with_seed(self.seed);
+                let result = self.run_find_shortcut(partition, config)?;
+                report.attempts.push(Attempt {
+                    congestion_guess: congestion,
+                    block_guess: block,
+                    succeeded: result.all_parts_good,
+                    rounds: result.total_rounds(),
+                });
+                report.iterations = result.iterations;
+                report.all_parts_good = result.all_parts_good;
+                report.rounds_charged = result.total_rounds();
+                report.wall_millis = start.elapsed().as_secs_f64() * 1e3;
+                return Ok(ShortcutRun {
+                    shortcut: result.shortcut,
+                    report,
+                });
+            }
+        };
+
+        // The Appendix A doubling loop, attempt seeds identical to the
+        // legacy `doubling_search` (`seed + attempt · 7919`).
+        let mut congestion = initial.0.max(1);
+        let mut block = initial.1.max(1);
+        for attempt_index in 0..=max_doublings {
+            let mut config = FindShortcutConfig::new(congestion, block)
+                .with_seed(self.seed.wrapping_add(attempt_index as u64 * 7919));
+            if !use_fast_core {
+                config = config.with_slow_core();
+            }
+            let result = self.run_find_shortcut(partition, config)?;
+            report.attempts.push(Attempt {
+                congestion_guess: congestion,
+                block_guess: block,
+                succeeded: result.all_parts_good,
+                rounds: result.total_rounds(),
+            });
+            report.rounds_charged += result.total_rounds();
+            if result.all_parts_good {
+                report.iterations = result.iterations;
+                report.all_parts_good = true;
+                report.wall_millis = start.elapsed().as_secs_f64() * 1e3;
+                return Ok(ShortcutRun {
+                    shortcut: result.shortcut,
+                    report,
+                });
+            }
+            congestion = congestion.saturating_mul(2);
+            block = block.saturating_mul(2);
+        }
+        Err(LcsError::BudgetExhausted {
+            iterations: report.attempts.len(),
+            remaining_bad: partition.part_count(),
+        })
+    }
+
+    /// Measures congestion, dilation and block parameter of `shortcut`
+    /// against `partition`, reusing the session's quality pool (no
+    /// allocation on the warm path). The values are identical for every
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`LcsError::InconsistentInputs`] for a partition over a different
+    /// node count.
+    pub fn quality(
+        &mut self,
+        shortcut: &TreeShortcut,
+        partition: &Partition,
+    ) -> Result<ShortcutQuality> {
+        self.check_partition(partition)?;
+        Ok(shortcut.quality_with(self.graph, partition, &mut self.pool))
+    }
+
+    /// Classifies every part of `partition` against `threshold` block
+    /// components (the Lemma 3 verification): `Scheduled` execution charges
+    /// the exact centralized schedule, `Simulated` runs the distributed
+    /// counting protocol and fills [`Report::sim`] /
+    /// [`Report::rounds_executed`].
+    ///
+    /// # Errors
+    ///
+    /// [`LcsError::InconsistentInputs`] for a mismatched partition;
+    /// simulation errors in `Simulated` mode.
+    pub fn verify(
+        &mut self,
+        shortcut: &TreeShortcut,
+        partition: &Partition,
+        threshold: usize,
+    ) -> Result<VerifyRun> {
+        self.check_partition(partition)?;
+        let start = Instant::now();
+        let mut report = Report::new("verify");
+        let active = vec![true; partition.part_count()];
+        match self.execution {
+            ExecutionMode::Scheduled => {
+                let outcome = verification(
+                    self.graph, &self.tree, partition, shortcut, threshold, &active,
+                );
+                report.all_parts_good = outcome.good.iter().all(|&g| g);
+                report.rounds_charged = outcome.rounds;
+                report.wall_millis = start.elapsed().as_secs_f64() * 1e3;
+                Ok(VerifyRun {
+                    good: outcome.good,
+                    block_counts: outcome.block_counts,
+                    trace: Vec::new(),
+                    report,
+                })
+            }
+            ExecutionMode::Simulated => {
+                let ver = verification_simulated(
+                    self.graph,
+                    &self.tree,
+                    partition,
+                    shortcut,
+                    threshold,
+                    &active,
+                    Some(self.sim_config),
+                )?;
+                report.all_parts_good = ver.outcome.good.iter().all(|&g| g);
+                report.rounds_charged = ver.outcome.rounds;
+                report.rounds_executed = Some(ver.stats.rounds);
+                report.sim = Some(ver.stats);
+                report.wall_millis = start.elapsed().as_secs_f64() * 1e3;
+                Ok(VerifyRun {
+                    good: ver.outcome.good,
+                    block_counts: ver.outcome.block_counts,
+                    trace: ver.trace,
+                    report,
+                })
+            }
+        }
+    }
+
+    /// Runs one core subroutine step (Lemma 5 / Lemma 7) on all parts with
+    /// congestion parameter `congestion` — the building block the
+    /// construction experiments compare. `Fast` uses the session seed and
+    /// the legacy sampling constant `γ = 2`.
+    ///
+    /// # Errors
+    ///
+    /// [`LcsError::InconsistentInputs`] for a mismatched partition.
+    pub fn core(
+        &mut self,
+        partition: &Partition,
+        kind: CoreKind,
+        congestion: usize,
+    ) -> Result<CoreOutcome> {
+        self.check_partition(partition)?;
+        let active = vec![true; partition.part_count()];
+        Ok(match kind {
+            CoreKind::Slow => core_slow(self.graph, &self.tree, partition, congestion, &active),
+            CoreKind::Fast => core_fast(
+                self.graph,
+                &self.tree,
+                partition,
+                &CoreFastConfig::new(congestion).with_seed(self.seed),
+                &active,
+            ),
+        })
+    }
+
+    /// Runs distributed Boruvka MST (Lemma 4) over the session's graph
+    /// with the given per-phase shortcut strategy, the session's seed and
+    /// execution mode, and the session's simulator configuration for
+    /// `Simulated` phases.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors and reports
+    /// [`LcsError::BudgetExhausted`] if the phase cap is hit.
+    pub fn mst(&mut self, weights: &EdgeWeights, strategy: ShortcutStrategy) -> Result<MstRun> {
+        let start = Instant::now();
+        #[allow(deprecated)]
+        let config = lcs_mst::BoruvkaConfig::new(strategy)
+            .with_seed(self.seed)
+            .with_execution(self.execution)
+            .with_sim_config(self.sim_config);
+        #[allow(deprecated)]
+        let outcome = lcs_mst::boruvka_mst(self.graph, weights, &config)?;
+        let mut report = Report::new("mst");
+        report.strategy = Some(format!("{strategy:?}"));
+        report.all_parts_good = true;
+        report.rounds_charged = outcome.total_rounds();
+        report
+            .metrics
+            .push(("phases".to_string(), outcome.phases as u64));
+        report.metrics.push(("weight".to_string(), outcome.weight));
+        report.wall_millis = start.elapsed().as_secs_f64() * 1e3;
+        Ok(MstRun {
+            edges: outcome.edges,
+            weight: outcome.weight,
+            phases: outcome.phases,
+            cost: outcome.cost,
+            report,
+        })
+    }
+
+    /// Serves a batch of shortcut queries — one per partition, all with
+    /// the same strategy — reusing the session's workspaces across the
+    /// whole slice and measuring each result's quality into its report.
+    /// Equivalent to calling [`Session::shortcut`] then
+    /// [`Session::quality`] per partition (the batch does not advance the
+    /// seed between entries), just without any per-query setup.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first query that fails, with that query's error.
+    pub fn batch(
+        &mut self,
+        partitions: &[&Partition],
+        strategy: Strategy,
+    ) -> Result<Vec<ShortcutRun>> {
+        let mut runs = Vec::with_capacity(partitions.len());
+        for &partition in partitions {
+            let mut run = self.shortcut(partition, strategy)?;
+            run.report.quality = Some(self.quality(&run.shortcut, partition)?);
+            runs.push(run);
+        }
+        Ok(runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DoublingSpec;
+    use lcs_graph::{generators, NodeId};
+
+    #[test]
+    fn build_rejects_bad_inputs() {
+        let g = generators::grid(4, 4);
+        let err = Pipeline::on(&g)
+            .tree(TreeSpec::Bfs(NodeId::new(99)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, LcsError::Graph(_)));
+
+        let err = Pipeline::on(&g)
+            .threads(Threads::Fixed(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, LcsError::Config { .. }));
+
+        let other = generators::grid(3, 3);
+        let err = Pipeline::on(&g)
+            .tree(TreeSpec::Provided(RootedTree::bfs(&other, NodeId::new(0))))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, LcsError::InconsistentInputs { .. }));
+
+        let disconnected = Graph::from_edges(3, &[(NodeId::new(0), NodeId::new(1))]).unwrap();
+        let err = Pipeline::on(&disconnected).build().unwrap_err();
+        assert!(matches!(err, LcsError::InconsistentInputs { .. }));
+    }
+
+    #[test]
+    fn queries_reject_a_mismatched_partition() {
+        let g = generators::grid(4, 4);
+        let p_other = generators::partitions::grid_columns(3, 3);
+        let mut session = Pipeline::on(&g).build().unwrap();
+        let err = session
+            .shortcut(&p_other, Strategy::doubling())
+            .unwrap_err();
+        assert!(matches!(err, LcsError::InconsistentInputs { .. }));
+        let empty = TreeShortcut::empty(&g, &generators::partitions::grid_columns(4, 4));
+        assert!(session.quality(&empty, &p_other).is_err());
+        assert!(session.verify(&empty, &p_other, 1).is_err());
+    }
+
+    #[test]
+    fn doubling_budget_exhaustion_maps_to_the_unified_error() {
+        let (g, layout) = generators::lower_bound_graph(8, 16);
+        let p = generators::partitions::lower_bound_paths(&layout);
+        let mut session = Pipeline::on(&g)
+            .tree(TreeSpec::Bfs(layout.connector(0)))
+            .build()
+            .unwrap();
+        let err = session
+            .shortcut(
+                &p,
+                Strategy::Doubling(DoublingSpec {
+                    max_doublings: 0,
+                    ..DoublingSpec::default()
+                }),
+            )
+            .unwrap_err();
+        assert!(matches!(err, LcsError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn session_accessors_expose_the_cached_state() {
+        let g = generators::grid(6, 6);
+        let mut session = Pipeline::on(&g)
+            .threads(Threads::Fixed(3))
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(session.threads(), 3);
+        assert_eq!(session.shard_map().shard_count(), 3);
+        assert_eq!(session.tree().node_count(), g.node_count());
+        assert_eq!(session.seed(), 7);
+        assert_eq!(session.execution(), ExecutionMode::Scheduled);
+        assert_eq!(session.sim_config().threads, 3);
+        session.set_seed(9);
+        session.set_execution(ExecutionMode::Simulated);
+        assert_eq!(session.seed(), 9);
+        assert_eq!(session.execution(), ExecutionMode::Simulated);
+    }
+
+    #[test]
+    fn fixed_strategy_records_a_single_attempt() {
+        let g = generators::wheel(33);
+        let p = generators::partitions::wheel_arcs(33, 4);
+        let mut session = Pipeline::on(&g).build().unwrap();
+        let run = session
+            .shortcut(
+                &p,
+                Strategy::Fixed {
+                    congestion: 1,
+                    block: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(run.report.attempts.len(), 1);
+        assert_eq!(run.winning_guess(), Some((1, 1)));
+        assert!(run.report.all_parts_good);
+        assert_eq!(run.total_rounds(), run.report.rounds_charged);
+        assert_eq!(run.report.strategy.as_deref(), Some("fixed"));
+    }
+
+    #[test]
+    fn slow_core_strategy_is_deterministic_across_seeds() {
+        let g = generators::grid(5, 5);
+        let p = generators::partitions::grid_columns(5, 5);
+        let mut a = Pipeline::on(&g).seed(1).build().unwrap();
+        let mut b = Pipeline::on(&g).seed(99).build().unwrap();
+        let run_a = a.shortcut(&p, Strategy::slow_core()).unwrap();
+        let run_b = b.shortcut(&p, Strategy::slow_core()).unwrap();
+        assert_eq!(run_a.shortcut, run_b.shortcut);
+    }
+
+    #[test]
+    fn verify_simulated_fills_sim_stats_and_trace() {
+        let g = generators::grid(5, 5);
+        let p = generators::partitions::grid_columns(5, 5);
+        let mut session = Pipeline::on(&g)
+            .execution(ExecutionMode::Simulated)
+            .trace(true)
+            .build()
+            .unwrap();
+        let run = session.shortcut(&p, Strategy::doubling()).unwrap();
+        let guess = run.winning_guess().unwrap();
+        let ver = session.verify(&run.shortcut, &p, 3 * guess.1).unwrap();
+        assert!(ver.report.all_parts_good);
+        let stats = ver.report.sim.expect("simulated verify records stats");
+        assert!(stats.rounds > 0);
+        assert_eq!(ver.report.rounds_executed, Some(stats.rounds));
+        assert!(!ver.trace.is_empty(), "tracing was enabled");
+        assert_eq!(
+            ver.trace.iter().map(|t| t.messages).sum::<u64>(),
+            stats.messages
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based test: a `Session::batch` over a slice of partitions is
+//! exactly a sequence of single `shortcut` + `quality` queries — the
+//! workspace reuse across the batch must never leak state between entries.
+
+use proptest::prelude::*;
+
+use lcs_api::{ExecutionMode, Pipeline, Strategy, Threads};
+use lcs_graph::{generators, Graph, Partition};
+
+/// One of the generator families with a few different partitions over it.
+fn serving_instance(
+    which: usize,
+    size: usize,
+    queries: usize,
+    seed: u64,
+) -> (Graph, Vec<Partition>) {
+    let graph = match which % 3 {
+        0 => generators::grid(size, size),
+        1 => generators::torus(size, size),
+        _ => generators::wheel(4 * size * size + 1),
+    };
+    let partitions = (0..queries as u64)
+        .map(|k| {
+            let parts = 2 + ((seed ^ k) % 5) as usize;
+            generators::partitions::random_bfs_balls(&graph, parts, seed.wrapping_add(k))
+        })
+        .collect();
+    (graph, partitions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `batch(partitions)` equals sequential single queries: the same
+    /// shortcuts, the same attempts, the same measured quality — for both
+    /// engine thread counts and both execution modes.
+    #[test]
+    fn batch_equals_sequential_single_queries(
+        which in 0usize..3,
+        size in 4usize..7,
+        queries in 1usize..5,
+        seed in 0u64..200,
+        threads_pick in 0usize..2,
+        simulated in 0usize..2,
+    ) {
+        let threads = [1usize, 4][threads_pick];
+        let (graph, partitions) = serving_instance(which, size, queries, seed);
+        let refs: Vec<&Partition> = partitions.iter().collect();
+        let mode = if simulated == 1 {
+            ExecutionMode::Simulated
+        } else {
+            ExecutionMode::Scheduled
+        };
+
+        let mut batch_session = Pipeline::on(&graph)
+            .threads(Threads::Fixed(threads))
+            .execution(mode)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let batched = batch_session.batch(&refs, Strategy::doubling()).unwrap();
+
+        // The sequential reference uses a fresh session per query: if the
+        // batch (or the shared session state) leaked anything between
+        // entries, some entry would differ from its isolated run.
+        let mut singles = Vec::with_capacity(partitions.len());
+        for partition in &partitions {
+            let mut one_shot = Pipeline::on(&graph)
+                .threads(Threads::Fixed(threads))
+                .execution(mode)
+                .seed(seed)
+                .build()
+                .unwrap();
+            let mut run = one_shot.shortcut(partition, Strategy::doubling()).unwrap();
+            run.report.quality = Some(one_shot.quality(&run.shortcut, partition).unwrap());
+            singles.push(run);
+        }
+
+        prop_assert_eq!(batched.len(), singles.len());
+        for (i, (b, s)) in batched.iter().zip(&singles).enumerate() {
+            prop_assert_eq!(&b.shortcut, &s.shortcut, "entry {}", i);
+            prop_assert_eq!(&b.report.attempts, &s.report.attempts, "entry {}", i);
+            prop_assert_eq!(&b.report.quality, &s.report.quality, "entry {}", i);
+            prop_assert_eq!(b.report.rounds_charged, s.report.rounds_charged, "entry {}", i);
+            prop_assert_eq!(b.report.iterations, s.report.iterations, "entry {}", i);
+        }
+    }
+}

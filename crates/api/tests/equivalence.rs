@@ -1,0 +1,423 @@
+//! API-equivalence suite: every `Session` query must be byte-identical to
+//! the direct legacy call it replaces — same shortcuts, same statistics,
+//! same traces, same quality, same MST edges — across the generator
+//! families, engine thread counts {1, 4}, and both execution modes. This
+//! is the contract that lets the experiment tables (and any downstream
+//! caller) migrate to the façade without a single value changing.
+//!
+//! The legacy entry points are deliberately called here despite their
+//! deprecation: they are the reference.
+#![allow(deprecated)]
+
+use lcs_api::{
+    CoreKind, DoublingSpec, ExecutionMode, Pipeline, Session, Strategy, Threads, TreeSpec,
+};
+use lcs_congest::SimConfig;
+use lcs_core::construction::{
+    core_fast, core_slow, doubling_search, verification, CoreFastConfig, DoublingConfig,
+    FindShortcut, FindShortcutConfig,
+};
+use lcs_dist::verification_simulated;
+use lcs_graph::{generators, EdgeWeights, Graph, NodeId, Partition, RootedTree};
+use lcs_mst::{boruvka_mst, BoruvkaConfig, ShortcutStrategy};
+
+/// The instance families the suite sweeps: one representative per
+/// generator shape (grid/columns, torus/balls, wheel/arcs, caterpillar,
+/// random), sized so the full matrix stays fast.
+fn families() -> Vec<(&'static str, Graph, Partition)> {
+    let torus = generators::torus(6, 6);
+    let torus_balls = generators::partitions::random_bfs_balls(&torus, 6, 2);
+    let caterpillar = generators::caterpillar(12, 3);
+    let cat_balls = generators::partitions::random_bfs_balls(&caterpillar, 5, 4);
+    let random = generators::random_connected(60, 60, 9);
+    let random_balls = generators::partitions::random_bfs_balls(&random, 8, 6);
+    vec![
+        (
+            "grid6x6/columns",
+            generators::grid(6, 6),
+            generators::partitions::grid_columns(6, 6),
+        ),
+        ("torus6x6/balls", torus, torus_balls),
+        (
+            "wheel33/arcs",
+            generators::wheel(33),
+            generators::partitions::wheel_arcs(33, 4),
+        ),
+        ("caterpillar12x3/balls", caterpillar, cat_balls),
+        ("random60/balls", random, random_balls),
+    ]
+}
+
+fn session(graph: &Graph, threads: usize, mode: ExecutionMode, seed: u64) -> Session<'_> {
+    Pipeline::on(graph)
+        .threads(Threads::Fixed(threads))
+        .execution(mode)
+        .seed(seed)
+        .build()
+        .expect("equivalence families are connected")
+}
+
+/// The matrix every check runs over.
+const THREADS: [usize; 2] = [1, 4];
+const MODES: [ExecutionMode; 2] = [ExecutionMode::Scheduled, ExecutionMode::Simulated];
+
+#[test]
+fn doubling_strategy_equals_legacy_doubling_search() {
+    for (name, graph, partition) in families() {
+        let tree = RootedTree::bfs(&graph, NodeId::new(0));
+        let legacy = doubling_search(
+            &graph,
+            &tree,
+            &partition,
+            DoublingConfig::new().with_seed(3),
+        )
+        .expect("families admit shortcuts");
+        for threads in THREADS {
+            for mode in MODES {
+                let mut s = session(&graph, threads, mode, 3);
+                let run = s.shortcut(&partition, Strategy::doubling()).unwrap();
+                assert_eq!(run.shortcut, legacy.shortcut, "{name} t={threads} {mode:?}");
+                assert_eq!(
+                    run.report.attempts.len(),
+                    legacy.attempts.len(),
+                    "{name} t={threads} {mode:?}"
+                );
+                for (a, l) in run.report.attempts.iter().zip(&legacy.attempts) {
+                    assert_eq!(a.congestion_guess, l.congestion_guess, "{name}");
+                    assert_eq!(a.block_guess, l.block_guess, "{name}");
+                    assert_eq!(a.succeeded, l.succeeded, "{name}");
+                    // Scheduled rounds must match exactly; simulated
+                    // verification legitimately charges different (real)
+                    // round counts.
+                    if mode == ExecutionMode::Scheduled {
+                        assert_eq!(a.rounds, l.rounds, "{name} t={threads}");
+                    }
+                }
+                if mode == ExecutionMode::Scheduled {
+                    assert_eq!(
+                        run.total_rounds(),
+                        legacy.total_rounds(),
+                        "{name} t={threads}"
+                    );
+                }
+                assert_eq!(
+                    run.winning_guess(),
+                    Some((legacy.congestion_guess, legacy.block_guess)),
+                    "{name}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fixed_strategy_equals_legacy_find_shortcut_run() {
+    for (name, graph, partition) in families() {
+        let tree = RootedTree::bfs(&graph, NodeId::new(0));
+        let (c, b) = (partition.part_count().max(2), 2);
+        let config = FindShortcutConfig::new(c, b).with_seed(5);
+        let legacy = FindShortcut::new(config)
+            .run(&graph, &tree, &partition)
+            .unwrap();
+        for threads in THREADS {
+            for mode in MODES {
+                let mut s = session(&graph, threads, mode, 5);
+                let run = s
+                    .shortcut(
+                        &partition,
+                        Strategy::Fixed {
+                            congestion: c,
+                            block: b,
+                        },
+                    )
+                    .unwrap();
+                // The simulated verifier classifies identically (it is a
+                // sound and complete drop-in), so the shortcut and the
+                // iteration trajectory agree in every mode; the charged
+                // rounds agree in scheduled mode.
+                assert_eq!(run.shortcut, legacy.shortcut, "{name} t={threads} {mode:?}");
+                assert_eq!(run.report.iterations, legacy.iterations, "{name} {mode:?}");
+                assert_eq!(
+                    run.report.all_parts_good, legacy.all_parts_good,
+                    "{name} {mode:?}"
+                );
+                if mode == ExecutionMode::Scheduled {
+                    assert_eq!(
+                        run.total_rounds(),
+                        legacy.total_rounds(),
+                        "{name} t={threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn slow_core_strategy_equals_legacy_slow_doubling() {
+    for (name, graph, partition) in families() {
+        let tree = RootedTree::bfs(&graph, NodeId::new(0));
+        let legacy = doubling_search(
+            &graph,
+            &tree,
+            &partition,
+            DoublingConfig::new().with_slow_core().with_seed(1),
+        )
+        .unwrap();
+        for threads in THREADS {
+            let mut s = session(&graph, threads, ExecutionMode::Scheduled, 1);
+            let run = s.shortcut(&partition, Strategy::slow_core()).unwrap();
+            assert_eq!(run.shortcut, legacy.shortcut, "{name} t={threads}");
+            assert_eq!(run.total_rounds(), legacy.total_rounds(), "{name}");
+        }
+
+        // Custom starting guesses keep working through the slow-core
+        // strategy too (the capability `DoublingConfig::starting_at`
+        // + `with_slow_core` had).
+        let legacy = doubling_search(
+            &graph,
+            &tree,
+            &partition,
+            DoublingConfig::new()
+                .starting_at(2, 2)
+                .with_slow_core()
+                .with_seed(1),
+        )
+        .unwrap();
+        let mut s = session(&graph, 1, ExecutionMode::Scheduled, 1);
+        let run = s
+            .shortcut(
+                &partition,
+                Strategy::SlowCore(DoublingSpec {
+                    initial_congestion: 2,
+                    initial_block: 2,
+                    ..DoublingSpec::default()
+                }),
+            )
+            .unwrap();
+        assert_eq!(
+            run.shortcut, legacy.shortcut,
+            "{name} slow-core starting_at"
+        );
+        assert_eq!(run.total_rounds(), legacy.total_rounds(), "{name}");
+    }
+}
+
+#[test]
+fn session_quality_equals_legacy_quality() {
+    for (name, graph, partition) in families() {
+        let tree = RootedTree::bfs(&graph, NodeId::new(0));
+        let legacy_run = doubling_search(&graph, &tree, &partition, DoublingConfig::new()).unwrap();
+        let legacy_q = legacy_run.shortcut.quality(&graph, &partition);
+        for threads in THREADS {
+            let mut s = session(&graph, threads, ExecutionMode::Scheduled, 0);
+            // Quality measured twice through the same pool: warm reuse must
+            // not drift.
+            for round in 0..2 {
+                let q = s.quality(&legacy_run.shortcut, &partition).unwrap();
+                assert_eq!(q, legacy_q, "{name} t={threads} round={round}");
+            }
+        }
+    }
+}
+
+#[test]
+fn session_verify_equals_legacy_verification_in_both_modes() {
+    for (name, graph, partition) in families() {
+        let tree = RootedTree::bfs(&graph, NodeId::new(0));
+        let shortcut = doubling_search(&graph, &tree, &partition, DoublingConfig::new())
+            .unwrap()
+            .shortcut;
+        let active = vec![true; partition.part_count()];
+        for threshold in [1usize, 3] {
+            let scheduled_legacy =
+                verification(&graph, &tree, &partition, &shortcut, threshold, &active);
+            for threads in THREADS {
+                let mut s = session(&graph, threads, ExecutionMode::Scheduled, 0);
+                let run = s.verify(&shortcut, &partition, threshold).unwrap();
+                assert_eq!(run.good, scheduled_legacy.good, "{name} th={threshold}");
+                assert_eq!(
+                    run.block_counts, scheduled_legacy.block_counts,
+                    "{name} th={threshold}"
+                );
+                assert_eq!(
+                    run.report.rounds_charged, scheduled_legacy.rounds,
+                    "{name} th={threshold}"
+                );
+
+                let simulated_legacy = verification_simulated(
+                    &graph,
+                    &tree,
+                    &partition,
+                    &shortcut,
+                    threshold,
+                    &active,
+                    Some(SimConfig::for_graph(&graph).with_threads(threads)),
+                )
+                .unwrap();
+                let mut s = session(&graph, threads, ExecutionMode::Simulated, 0);
+                let run = s.verify(&shortcut, &partition, threshold).unwrap();
+                assert_eq!(
+                    run.good, simulated_legacy.outcome.good,
+                    "{name} t={threads} th={threshold}"
+                );
+                assert_eq!(
+                    run.block_counts, simulated_legacy.outcome.block_counts,
+                    "{name} t={threads} th={threshold}"
+                );
+                assert_eq!(
+                    run.report.sim,
+                    Some(simulated_legacy.stats),
+                    "{name} t={threads} th={threshold}"
+                );
+                assert_eq!(
+                    run.report.rounds_charged, simulated_legacy.outcome.rounds,
+                    "{name} t={threads} th={threshold}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn session_verify_trace_equals_legacy_trace() {
+    let graph = generators::grid(5, 5);
+    let partition = generators::partitions::grid_columns(5, 5);
+    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    let shortcut = doubling_search(&graph, &tree, &partition, DoublingConfig::new())
+        .unwrap()
+        .shortcut;
+    let active = vec![true; partition.part_count()];
+    for threads in THREADS {
+        let legacy = verification_simulated(
+            &graph,
+            &tree,
+            &partition,
+            &shortcut,
+            2,
+            &active,
+            Some(
+                SimConfig::for_graph(&graph)
+                    .with_threads(threads)
+                    .with_trace(),
+            ),
+        )
+        .unwrap();
+        let mut s = Pipeline::on(&graph)
+            .threads(Threads::Fixed(threads))
+            .execution(ExecutionMode::Simulated)
+            .trace(true)
+            .build()
+            .unwrap();
+        let run = s.verify(&shortcut, &partition, 2).unwrap();
+        assert!(!run.trace.is_empty());
+        assert_eq!(run.trace, legacy.trace, "t={threads}");
+    }
+}
+
+#[test]
+fn session_core_equals_legacy_core_subroutines() {
+    for (name, graph, partition) in families() {
+        let tree = RootedTree::bfs(&graph, NodeId::new(0));
+        let active = vec![true; partition.part_count()];
+        let c = partition.part_count().max(2) / 2 + 1;
+        let legacy_slow = core_slow(&graph, &tree, &partition, c, &active);
+        let legacy_fast = core_fast(
+            &graph,
+            &tree,
+            &partition,
+            &CoreFastConfig::new(c).with_seed(8),
+            &active,
+        );
+        for threads in THREADS {
+            let mut s = session(&graph, threads, ExecutionMode::Scheduled, 8);
+            let slow = s.core(&partition, CoreKind::Slow, c).unwrap();
+            let fast = s.core(&partition, CoreKind::Fast, c).unwrap();
+            assert_eq!(slow.shortcut, legacy_slow.shortcut, "{name} t={threads}");
+            assert_eq!(slow.rounds, legacy_slow.rounds, "{name}");
+            assert_eq!(fast.shortcut, legacy_fast.shortcut, "{name} t={threads}");
+            assert_eq!(fast.rounds, legacy_fast.rounds, "{name}");
+        }
+    }
+}
+
+#[test]
+fn session_mst_equals_legacy_boruvka_in_both_modes() {
+    for (name, graph, partition) in families() {
+        // MST runs over the whole graph; the partition only proves the
+        // family admits one (unused here).
+        let _ = partition;
+        let weights = EdgeWeights::random_permutation(&graph, 7);
+        for mode in MODES {
+            let legacy = boruvka_mst(
+                &graph,
+                &weights,
+                &BoruvkaConfig::new(ShortcutStrategy::Doubling)
+                    .with_seed(7)
+                    .with_execution(mode),
+            )
+            .unwrap();
+            for threads in THREADS {
+                let mut s = session(&graph, threads, mode, 7);
+                let run = s.mst(&weights, ShortcutStrategy::Doubling).unwrap();
+                assert_eq!(run.edges, legacy.edges, "{name} t={threads} {mode:?}");
+                assert_eq!(run.weight, legacy.weight, "{name}");
+                assert_eq!(run.phases, legacy.phases, "{name}");
+                assert_eq!(
+                    run.cost.entries(),
+                    legacy.cost.entries(),
+                    "{name} t={threads} {mode:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn provided_tree_equals_bfs_tree_from_the_same_root() {
+    let graph = generators::grid(6, 6);
+    let partition = generators::partitions::grid_columns(6, 6);
+    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    let mut via_bfs = Pipeline::on(&graph).build().unwrap();
+    let mut via_provided = Pipeline::on(&graph)
+        .tree(TreeSpec::Provided(tree))
+        .build()
+        .unwrap();
+    let a = via_bfs.shortcut(&partition, Strategy::doubling()).unwrap();
+    let b = via_provided
+        .shortcut(&partition, Strategy::doubling())
+        .unwrap();
+    assert_eq!(a.shortcut, b.shortcut);
+    assert_eq!(a.total_rounds(), b.total_rounds());
+}
+
+#[test]
+fn doubling_spec_initial_guesses_equal_legacy_starting_at() {
+    let graph = generators::grid(6, 6);
+    let partition = generators::partitions::grid_columns(6, 6);
+    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    let legacy = doubling_search(
+        &graph,
+        &tree,
+        &partition,
+        DoublingConfig::new().starting_at(2, 2).with_seed(4),
+    )
+    .unwrap();
+    let mut s = session(&graph, 1, ExecutionMode::Scheduled, 4);
+    let run = s
+        .shortcut(
+            &partition,
+            Strategy::Doubling(DoublingSpec {
+                initial_congestion: 2,
+                initial_block: 2,
+                ..DoublingSpec::default()
+            }),
+        )
+        .unwrap();
+    assert_eq!(run.shortcut, legacy.shortcut);
+    assert_eq!(run.total_rounds(), legacy.total_rounds());
+    assert_eq!(
+        run.winning_guess(),
+        Some((legacy.congestion_guess, legacy.block_guess))
+    );
+}

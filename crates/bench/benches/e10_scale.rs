@@ -5,10 +5,8 @@
 //! the table/CI smoke, where one run per thread count suffices).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lcs_congest::SimConfig;
-use lcs_core::construction::{FindShortcut, FindShortcutConfig};
-use lcs_dist::verification_simulated;
-use lcs_graph::{generators, NodeId, RootedTree};
+use lcs_api::graph::generators;
+use lcs_api::{ExecutionMode, Pipeline, Strategy, Threads};
 
 fn bench_e10_scale(c: &mut Criterion) {
     let mut group = c.benchmark_group("e10_scale");
@@ -16,32 +14,33 @@ fn bench_e10_scale(c: &mut Criterion) {
 
     let graph = generators::grid(320, 320);
     let partition = generators::partitions::grid_columns(320, 320);
-    let tree = RootedTree::bfs(&graph, NodeId::new(0));
     let (cc, bb) = (319usize, 1usize);
-    let shortcut = FindShortcut::new(FindShortcutConfig::new(cc, bb).with_seed(42))
-        .run(&graph, &tree, &partition)
-        .unwrap()
-        .shortcut;
-    let active = vec![true; partition.part_count()];
+    let shortcut = {
+        let mut session = Pipeline::on(&graph).seed(42).build().unwrap();
+        session
+            .shortcut(
+                &partition,
+                Strategy::Fixed {
+                    congestion: cc,
+                    block: bb,
+                },
+            )
+            .unwrap()
+            .shortcut
+    };
 
     for threads in [1usize, 2, 4] {
-        let config = SimConfig::for_graph(&graph).with_threads(threads);
+        let mut session = Pipeline::on(&graph)
+            .seed(42)
+            .threads(Threads::Fixed(threads))
+            .execution(ExecutionMode::Simulated)
+            .build()
+            .unwrap();
         group.bench_with_input(
             BenchmarkId::new("verification_grid320", threads),
             &threads,
             |b, _| {
-                b.iter(|| {
-                    verification_simulated(
-                        &graph,
-                        &tree,
-                        &partition,
-                        &shortcut,
-                        3 * bb,
-                        &active,
-                        Some(config),
-                    )
-                    .unwrap()
-                });
+                b.iter(|| session.verify(&shortcut, &partition, 3 * bb).unwrap());
             },
         );
     }

@@ -1,0 +1,87 @@
+//! E11 benchmark: multi-query serving throughput through the `lcs_api`
+//! façade (the table itself is produced by the `experiments` binary; this
+//! bench times both query shapes):
+//!
+//! * `warm_batch` vs `cold_per_query` — shortcut+quality construction
+//!   queries with and without session reuse (setup amortization only;
+//!   construction dominates, so the two are close);
+//! * `warm_consume` vs `cold_consume` — verification queries answered from
+//!   the session's prebuilt decomposition corpus versus a cold consumer
+//!   re-running setup + construction per query ("one decomposition, many
+//!   consumers" — where serving wins big).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_api::graph::{generators, Partition};
+use lcs_api::{Pipeline, Strategy, TreeShortcut};
+
+fn serving_partitions(graph: &lcs_api::graph::Graph, count: usize) -> Vec<Partition> {
+    (0..count as u64)
+        .map(|seed| generators::partitions::random_bfs_balls(graph, 24, seed))
+        .collect()
+}
+
+fn bench_e11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_serving");
+    group.sample_size(10);
+    for side in [24usize, 32] {
+        let graph = generators::grid(side, side);
+        let partitions = serving_partitions(&graph, 8);
+        let refs: Vec<&Partition> = partitions.iter().collect();
+
+        // Warm: the session (tree, shard map, quality pool) is built once
+        // and reused by every query of every iteration.
+        let mut session = Pipeline::on(&graph).build().unwrap();
+        group.bench_with_input(BenchmarkId::new("warm_batch", side), &side, |b, _| {
+            b.iter(|| session.batch(&refs, Strategy::doubling()).unwrap())
+        });
+
+        // Cold: every query pays the full per-graph setup again.
+        group.bench_with_input(BenchmarkId::new("cold_per_query", side), &side, |b, _| {
+            b.iter(|| {
+                let mut runs = Vec::with_capacity(partitions.len());
+                for partition in &partitions {
+                    let mut one_shot = Pipeline::on(&graph).build().unwrap();
+                    let mut run = one_shot.shortcut(partition, Strategy::doubling()).unwrap();
+                    run.report.quality = Some(one_shot.quality(&run.shortcut, partition).unwrap());
+                    runs.push(run);
+                }
+                runs
+            })
+        });
+
+        // Consume: verification against the cached decomposition corpus,
+        // vs a cold consumer that reconstructs it per query.
+        let corpus: Vec<TreeShortcut> = {
+            let mut prep = Pipeline::on(&graph).build().unwrap();
+            partitions
+                .iter()
+                .map(|p| prep.shortcut(p, Strategy::doubling()).unwrap().shortcut)
+                .collect()
+        };
+        group.bench_with_input(BenchmarkId::new("warm_consume", side), &side, |b, _| {
+            b.iter(|| {
+                partitions
+                    .iter()
+                    .zip(&corpus)
+                    .map(|(p, sc)| session.verify(sc, p, 3).unwrap().good)
+                    .collect::<Vec<_>>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cold_consume", side), &side, |b, _| {
+            b.iter(|| {
+                partitions
+                    .iter()
+                    .map(|p| {
+                        let mut one_shot = Pipeline::on(&graph).build().unwrap();
+                        let run = one_shot.shortcut(p, Strategy::doubling()).unwrap();
+                        one_shot.verify(&run.shortcut, p, 3).unwrap().good
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e11);
+criterion_main!(benches);

@@ -3,26 +3,26 @@
 //! binary; this bench times the dominant computation).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lcs_core::construction::{doubling_search, DoublingConfig};
-use lcs_graph::{generators, NodeId, RootedTree};
+use lcs_api::graph::generators;
+use lcs_api::{Pipeline, Strategy};
 
 fn bench_e1(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_quality");
     group.sample_size(10);
     for side in [8usize, 12, 16] {
         let graph = generators::grid(side, side);
-        let tree = RootedTree::bfs(&graph, NodeId::new(0));
         let partition = generators::partitions::grid_columns(side, side);
+        let mut session = Pipeline::on(&graph).build().unwrap();
         group.bench_with_input(BenchmarkId::new("grid_doubling", side), &side, |b, _| {
-            b.iter(|| doubling_search(&graph, &tree, &partition, DoublingConfig::new()).unwrap())
+            b.iter(|| session.shortcut(&partition, Strategy::doubling()).unwrap())
         });
     }
     for genus in [1usize, 4] {
         let graph = generators::genus_handles(12, 12, genus);
-        let tree = RootedTree::bfs(&graph, NodeId::new(0));
         let partition = generators::partitions::grid_columns(12, 12);
+        let mut session = Pipeline::on(&graph).build().unwrap();
         group.bench_with_input(BenchmarkId::new("genus_doubling", genus), &genus, |b, _| {
-            b.iter(|| doubling_search(&graph, &tree, &partition, DoublingConfig::new()).unwrap())
+            b.iter(|| session.shortcut(&partition, Strategy::doubling()).unwrap())
         });
     }
     group.finish();

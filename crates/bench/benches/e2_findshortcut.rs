@@ -2,28 +2,24 @@
 //! grows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lcs_core::construction::{FindShortcut, FindShortcutConfig};
-use lcs_core::existential::reference_parameters;
-use lcs_graph::{generators, NodeId, RootedTree};
+use lcs_api::existential::reference_parameters;
+use lcs_api::graph::generators;
+use lcs_api::{Pipeline, Strategy};
 
 fn bench_e2(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_findshortcut");
     group.sample_size(10);
     for side in [8usize, 16, 24] {
         let graph = generators::grid(side, side);
-        let tree = RootedTree::bfs(&graph, NodeId::new(0));
         let partition = generators::partitions::grid_columns(side, side);
-        let (_, reference) = reference_parameters(&graph, &tree, &partition);
-        let config = FindShortcutConfig::new(
-            reference.congestion.max(1),
-            reference.block_parameter.max(1),
-        );
+        let mut session = Pipeline::on(&graph).build().unwrap();
+        let (_, reference) = reference_parameters(&graph, session.tree(), &partition);
+        let strategy = Strategy::Fixed {
+            congestion: reference.congestion.max(1),
+            block: reference.block_parameter.max(1),
+        };
         group.bench_with_input(BenchmarkId::new("grid_columns", side), &side, |b, _| {
-            b.iter(|| {
-                FindShortcut::new(config)
-                    .run(&graph, &tree, &partition)
-                    .unwrap()
-            })
+            b.iter(|| session.shortcut(&partition, strategy).unwrap())
         });
     }
     group.finish();

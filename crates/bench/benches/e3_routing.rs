@@ -2,8 +2,8 @@
 //! families of growing congestion.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lcs_core::routing::{convergecast_rounds, RoutingPriority, SubtreeSpec};
-use lcs_graph::{generators, NodeId, RootedTree};
+use lcs_api::graph::{generators, NodeId, RootedTree};
+use lcs_api::routing::{convergecast_rounds, RoutingPriority, SubtreeSpec};
 
 fn bench_e3(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_routing");

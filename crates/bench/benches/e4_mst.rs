@@ -1,8 +1,8 @@
 //! E4 benchmark: distributed Boruvka MST, shortcut strategies vs baselines.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lcs_graph::{generators, EdgeWeights};
-use lcs_mst::{boruvka_mst, BoruvkaConfig, ShortcutStrategy};
+use lcs_api::graph::{generators, EdgeWeights};
+use lcs_api::{Pipeline, ShortcutStrategy};
 
 fn bench_e4(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_mst");
@@ -11,16 +11,18 @@ fn bench_e4(c: &mut Criterion) {
     let wheel_weights = EdgeWeights::random_permutation(&wheel, 3);
     let grid = generators::grid(10, 10);
     let grid_weights = EdgeWeights::random_permutation(&grid, 4);
+    let mut wheel_session = Pipeline::on(&wheel).build().unwrap();
+    let mut grid_session = Pipeline::on(&grid).build().unwrap();
     for (name, strategy) in [
         ("doubling", ShortcutStrategy::Doubling),
         ("no_shortcut", ShortcutStrategy::NoShortcut),
         ("whole_tree", ShortcutStrategy::WholeTree),
     ] {
         group.bench_with_input(BenchmarkId::new("wheel_129", name), &strategy, |b, s| {
-            b.iter(|| boruvka_mst(&wheel, &wheel_weights, &BoruvkaConfig::new(*s)).unwrap())
+            b.iter(|| wheel_session.mst(&wheel_weights, *s).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("grid_10x10", name), &strategy, |b, s| {
-            b.iter(|| boruvka_mst(&grid, &grid_weights, &BoruvkaConfig::new(*s)).unwrap())
+            b.iter(|| grid_session.mst(&grid_weights, *s).unwrap())
         });
     }
     group.finish();

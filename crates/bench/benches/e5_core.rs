@@ -1,30 +1,29 @@
 //! E5 benchmark: CoreSlow (Algorithm 1) vs CoreFast (Algorithm 2).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lcs_core::construction::{core_fast, core_slow, CoreFastConfig};
-use lcs_graph::{generators, NodeId, RootedTree};
+use lcs_api::graph::generators;
+use lcs_api::{CoreKind, Pipeline};
 
 fn bench_e5(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_core");
     group.sample_size(10);
     let graph = generators::grid(20, 20);
-    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    let mut session = Pipeline::on(&graph).build().unwrap();
     for parts in [20usize, 100] {
         let partition = generators::partitions::random_bfs_balls(&graph, parts, 3);
-        let active = vec![true; partition.part_count()];
         let congestion = parts / 2;
         group.bench_with_input(BenchmarkId::new("core_slow", parts), &parts, |b, _| {
-            b.iter(|| core_slow(&graph, &tree, &partition, congestion, &active))
+            b.iter(|| {
+                session
+                    .core(&partition, CoreKind::Slow, congestion)
+                    .unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("core_fast", parts), &parts, |b, _| {
             b.iter(|| {
-                core_fast(
-                    &graph,
-                    &tree,
-                    &partition,
-                    &CoreFastConfig::new(congestion),
-                    &active,
-                )
+                session
+                    .core(&partition, CoreKind::Fast, congestion)
+                    .unwrap()
             })
         });
     }

@@ -1,31 +1,27 @@
 //! E6 benchmark: the Appendix A doubling search vs known parameters.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lcs_core::construction::{doubling_search, DoublingConfig, FindShortcut, FindShortcutConfig};
-use lcs_core::existential::reference_parameters;
-use lcs_graph::{generators, NodeId, RootedTree};
+use lcs_api::existential::reference_parameters;
+use lcs_api::graph::generators;
+use lcs_api::{Pipeline, Strategy};
 
 fn bench_e6(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_doubling");
     group.sample_size(10);
     for side in [8usize, 16] {
         let graph = generators::grid(side, side);
-        let tree = RootedTree::bfs(&graph, NodeId::new(0));
         let partition = generators::partitions::grid_columns(side, side);
-        let (_, reference) = reference_parameters(&graph, &tree, &partition);
-        let config = FindShortcutConfig::new(
-            reference.congestion.max(1),
-            reference.block_parameter.max(1),
-        );
+        let mut session = Pipeline::on(&graph).build().unwrap();
+        let (_, reference) = reference_parameters(&graph, session.tree(), &partition);
+        let known = Strategy::Fixed {
+            congestion: reference.congestion.max(1),
+            block: reference.block_parameter.max(1),
+        };
         group.bench_with_input(BenchmarkId::new("known_parameters", side), &side, |b, _| {
-            b.iter(|| {
-                FindShortcut::new(config)
-                    .run(&graph, &tree, &partition)
-                    .unwrap()
-            })
+            b.iter(|| session.shortcut(&partition, known).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("doubling", side), &side, |b, _| {
-            b.iter(|| doubling_search(&graph, &tree, &partition, DoublingConfig::new()).unwrap())
+            b.iter(|| session.shortcut(&partition, Strategy::doubling()).unwrap())
         });
     }
     group.finish();

@@ -3,22 +3,26 @@
 //! counts centrally, on the same instances as the E8 table.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lcs_core::construction::verification;
-use lcs_core::existential::ancestor_shortcut;
-use lcs_core::routing::PartRouter;
-use lcs_dist::{part_leaders, verification_simulated, BlockFamily};
-use lcs_graph::{generators, NodeId, RootedTree};
+use lcs_api::dist::{part_leaders, BlockFamily};
+use lcs_api::existential::ancestor_shortcut;
+use lcs_api::graph::generators;
+use lcs_api::routing::PartRouter;
+use lcs_api::{ExecutionMode, Pipeline};
 
 fn bench_e7_dist(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_dist");
     group.sample_size(10);
     for side in [8usize, 12, 16] {
         let graph = generators::grid(side, side);
-        let tree = RootedTree::bfs(&graph, NodeId::new(0));
         let partition = generators::partitions::grid_columns(side, side);
+        let mut scheduled = Pipeline::on(&graph).build().unwrap();
+        let mut simulated = Pipeline::on(&graph)
+            .execution(ExecutionMode::Simulated)
+            .build()
+            .unwrap();
+        let tree = scheduled.tree().clone();
         let shortcut = ancestor_shortcut(&graph, &tree, &partition);
         let family = BlockFamily::new(&graph, &tree, &partition, &shortcut);
-        let active = vec![true; partition.part_count()];
 
         group.bench_with_input(
             BenchmarkId::new("leaders_simulated", side),
@@ -38,17 +42,14 @@ fn bench_e7_dist(c: &mut Criterion) {
             BenchmarkId::new("verification_simulated", side),
             &side,
             |b, _| {
-                b.iter(|| {
-                    verification_simulated(&graph, &tree, &partition, &shortcut, 3, &active, None)
-                        .unwrap()
-                });
+                b.iter(|| simulated.verify(&shortcut, &partition, 3).unwrap());
             },
         );
         group.bench_with_input(
             BenchmarkId::new("verification_scheduled", side),
             &side,
             |b, _| {
-                b.iter(|| verification(&graph, &tree, &partition, &shortcut, 3, &active));
+                b.iter(|| scheduled.verify(&shortcut, &partition, 3).unwrap());
             },
         );
     }

@@ -4,10 +4,9 @@
 //! `n = 10⁵` row is left to the table/CI smoke, where one run suffices).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lcs_core::construction::{FindShortcut, FindShortcutConfig};
-use lcs_core::existential::reference_parameters;
-use lcs_dist::verification_simulated;
-use lcs_graph::{generators, Graph, NodeId, Partition, RootedTree};
+use lcs_api::existential::reference_parameters;
+use lcs_api::graph::{generators, Graph, Partition};
+use lcs_api::{ExecutionMode, Pipeline, Strategy};
 
 fn instances() -> Vec<(&'static str, Graph, Partition)> {
     let torus = generators::torus(64, 64);
@@ -26,40 +25,25 @@ fn bench_e9_scale(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_scale");
     group.sample_size(10);
     for (name, graph, partition) in instances() {
-        let tree = RootedTree::bfs(&graph, NodeId::new(0));
-        let (_, reference) = reference_parameters(&graph, &tree, &partition);
-        let cc = reference.congestion.max(1);
+        let mut session = Pipeline::on(&graph).seed(42).build().unwrap();
+        let (_, reference) = reference_parameters(&graph, session.tree(), &partition);
+        let strategy = Strategy::Fixed {
+            congestion: reference.congestion.max(1),
+            block: reference.block_parameter.max(1),
+        };
         let bb = reference.block_parameter.max(1);
 
         group.bench_with_input(BenchmarkId::new("find_shortcut", name), &name, |b, _| {
-            b.iter(|| {
-                FindShortcut::new(FindShortcutConfig::new(cc, bb).with_seed(42))
-                    .run(&graph, &tree, &partition)
-                    .unwrap()
-            });
+            b.iter(|| session.shortcut(&partition, strategy).unwrap());
         });
 
-        let shortcut = FindShortcut::new(FindShortcutConfig::new(cc, bb).with_seed(42))
-            .run(&graph, &tree, &partition)
-            .unwrap()
-            .shortcut;
-        let active = vec![true; partition.part_count()];
+        let shortcut = session.shortcut(&partition, strategy).unwrap().shortcut;
+        session.set_execution(ExecutionMode::Simulated);
         group.bench_with_input(
             BenchmarkId::new("verification_simulated", name),
             &name,
             |b, _| {
-                b.iter(|| {
-                    verification_simulated(
-                        &graph,
-                        &tree,
-                        &partition,
-                        &shortcut,
-                        3 * bb,
-                        &active,
-                        None,
-                    )
-                    .unwrap()
-                });
+                b.iter(|| session.verify(&shortcut, &partition, 3 * bb).unwrap());
             },
         );
     }

@@ -1,7 +1,7 @@
 //! Prints every experiment table of the reproduction (see EXPERIMENTS.md).
 //!
 //! Usage:
-//!   experiments                      # run the standard experiments (e1-e9)
+//!   experiments                      # run the standard experiments (e1-e9, e11)
 //!   experiments e1 e4                # run a subset
 //!   experiments e10                  # the 10^6-node tier (opt-in: heavy)
 //!   experiments --threads 4 e10      # ... on the sharded engine
@@ -12,12 +12,14 @@
 //! table runs, which selects the simulator's round engine (and the
 //! parallel quality sweeps) for the whole process; the count is recorded in
 //! the JSON output. Every table's values are identical for every thread
-//! count — only the wall-clock columns move.
+//! count — only the wall-clock columns move. The flag is parsed by
+//! [`lcs_api::Threads::parse`], so zero and non-numeric counts are rejected
+//! with a clear error instead of silently defaulting.
 
 use lcs_bench::{
-    e10_scale_table, e1_quality_table, e2_findshortcut_table, e3_routing_table, e4_mst_table,
-    e5_core_table, e6_doubling_table, e7_guarantees_table, e8_dist_table, e9_scale_table,
-    render_table, tables_to_json, timed_table, Table, TimedTable,
+    e10_scale_table, e11_serving_table, e1_quality_table, e2_findshortcut_table, e3_routing_table,
+    e4_mst_table, e5_core_table, e6_doubling_table, e7_guarantees_table, e8_dist_table,
+    e9_scale_table, render_table, tables_to_json, timed_table, Table, TimedTable,
 };
 
 type TableBuilder = fn() -> Table;
@@ -36,15 +38,16 @@ fn main() {
                 }
             }
         } else if arg == "--threads" {
-            let Some(n) = args
-                .next()
-                .and_then(|v| v.parse::<usize>().ok())
-                .filter(|&n| n >= 1)
-            else {
-                eprintln!("--threads requires a positive integer argument");
-                std::process::exit(2);
-            };
-            std::env::set_var("LCS_THREADS", n.to_string());
+            let value = args.next().unwrap_or_default();
+            match lcs_api::Threads::parse(&value) {
+                Ok(threads) => {
+                    std::env::set_var("LCS_THREADS", threads.resolve().to_string());
+                }
+                Err(err) => {
+                    eprintln!("--threads: {err}");
+                    std::process::exit(2);
+                }
+            }
         } else {
             requested.push(arg.to_lowercase());
         }
@@ -61,6 +64,7 @@ fn main() {
         ("e8", e8_dist_table),
         ("e9", e9_scale_table),
         ("e10", e10_scale_table),
+        ("e11", e11_serving_table),
     ];
     // Fail loudly on anything that is not a known experiment id — a typoed
     // flag must not silently produce an empty run (CI consumes the JSON).
@@ -92,7 +96,7 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json = tables_to_json(&built, lcs_graph::configured_threads());
+        let json = tables_to_json(&built, lcs_api::graph::configured_threads());
         if let Err(err) = std::fs::write(&path, json) {
             eprintln!("failed to write {path}: {err}");
             std::process::exit(1);

@@ -1,15 +1,24 @@
-//! The experiment tables E1–E10.
+//! The experiment tables E1–E11.
+//!
+//! Every table is produced through the `lcs_api` façade: one
+//! [`Pipeline`]-built [`Session`] per instance graph, queried for
+//! shortcuts, quality, verification and MST. The façade dispatches to the
+//! same underlying algorithms as the legacy entry points (the
+//! API-equivalence suite in `crates/api/tests` pins this), so the table
+//! values are unchanged; what changed is that per-graph state (tree,
+//! shard map, quality workspaces) is built once per session instead of
+//! once per measurement.
 
-use lcs_congest::primitives::AggregateOp;
-use lcs_core::construction::{
-    core_fast, core_slow, doubling_search, CoreFastConfig, DoublingConfig, FindShortcut,
-    FindShortcutConfig,
+use lcs_api::congest::primitives::AggregateOp;
+use lcs_api::existential::reference_parameters;
+use lcs_api::graph::{
+    diameter_exact, generators, EdgeWeights, Graph, NodeId, Partition, RootedTree,
 };
-use lcs_core::existential::reference_parameters;
-use lcs_core::routing::{convergecast_rounds, RoutingPriority, SubtreeSpec};
-use lcs_dist::CrossCheck;
-use lcs_graph::{diameter_exact, generators, EdgeWeights, NodeId, Partition, RootedTree};
-use lcs_mst::{boruvka_mst, BoruvkaConfig, ShortcutStrategy};
+use lcs_api::routing::{convergecast_rounds, RoutingPriority, SubtreeSpec};
+use lcs_api::{
+    CoreKind, CoreOutcome, CrossCheck, ExecutionMode, MstRun, Pipeline, Session, ShortcutStrategy,
+    Strategy,
+};
 
 /// A rendered experiment table: a title, column headers and string rows.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,11 +60,19 @@ pub fn render_table(table: &Table) -> String {
     out
 }
 
-fn grid_instance(side: usize) -> (lcs_graph::Graph, RootedTree, Partition) {
+fn grid_instance(side: usize) -> (Graph, Partition) {
     let graph = generators::grid(side, side);
-    let tree = RootedTree::bfs(&graph, NodeId::new(0));
     let partition = generators::partitions::grid_columns(side, side);
-    (graph, tree, partition)
+    (graph, partition)
+}
+
+/// A session with the experiments' standard shape: BFS tree rooted at node
+/// 0, auto threads, scheduled execution, the given seed.
+fn session_on(graph: &Graph, seed: u64) -> Session<'_> {
+    Pipeline::on(graph)
+        .seed(seed)
+        .build()
+        .expect("experiment instances are nonempty and connected")
 }
 
 /// E1 — Theorem 1 / Corollary 1 shape: quality of constructed shortcuts on
@@ -63,11 +80,14 @@ fn grid_instance(side: usize) -> (lcs_graph::Graph, RootedTree, Partition) {
 /// construction).
 pub fn e1_quality_table() -> Table {
     let mut rows = Vec::new();
-    let mut push_row = |family: String, graph: &lcs_graph::Graph, partition: &Partition| {
-        let tree = RootedTree::bfs(graph, NodeId::new(0));
-        let result = doubling_search(graph, &tree, partition, DoublingConfig::new())
+    let mut push_row = |family: String, graph: &Graph, partition: &Partition| {
+        let mut session = session_on(graph, 0);
+        let run = session
+            .shortcut(partition, Strategy::doubling())
             .expect("families in E1 admit shortcuts");
-        let q = result.shortcut.quality(graph, partition);
+        let q = session
+            .quality(&run.shortcut, partition)
+            .expect("partition matches the session graph");
         rows.push(vec![
             family,
             graph.node_count().to_string(),
@@ -76,13 +96,12 @@ pub fn e1_quality_table() -> Table {
             q.congestion.to_string(),
             q.block_parameter.to_string(),
             q.dilation.to_string(),
-            result.total_rounds().to_string(),
+            run.total_rounds().to_string(),
         ]);
     };
 
     for side in [8usize, 12, 16, 24] {
-        let graph = generators::grid(side, side);
-        let partition = generators::partitions::grid_columns(side, side);
+        let (graph, partition) = grid_instance(side);
         push_row(format!("grid {side}x{side} (genus 0)"), &graph, &partition);
     }
     for genus in [1usize, 2, 4, 8] {
@@ -130,57 +149,69 @@ pub fn e1_quality_table() -> Table {
 pub fn e2_findshortcut_table() -> Table {
     let mut rows = Vec::new();
     for side in [8usize, 12, 16, 24, 32] {
-        let (graph, tree, partition) = grid_instance(side);
-        let (_, reference) = reference_parameters(&graph, &tree, &partition);
-        let config = FindShortcutConfig::new(
+        let (graph, partition) = grid_instance(side);
+        let mut session = session_on(&graph, 1);
+        let (_, reference) = reference_parameters(&graph, session.tree(), &partition);
+        let (c, b) = (
             reference.congestion.max(1),
             reference.block_parameter.max(1),
-        )
-        .with_seed(1);
-        let result = FindShortcut::new(config)
-            .run(&graph, &tree, &partition)
+        );
+        let run = session
+            .shortcut(
+                &partition,
+                Strategy::Fixed {
+                    congestion: c,
+                    block: b,
+                },
+            )
             .unwrap();
-        let q = result.shortcut.quality(&graph, &partition);
+        let q = session.quality(&run.shortcut, &partition).unwrap();
         rows.push(vec![
             format!("grid {side}x{side}, columns"),
             graph.node_count().to_string(),
-            tree.depth_of_tree().to_string(),
+            session.tree().depth_of_tree().to_string(),
             partition.part_count().to_string(),
             format!("({}, {})", reference.congestion, reference.block_parameter),
-            result.iterations.to_string(),
-            result.total_rounds().to_string(),
+            run.report.iterations.to_string(),
+            run.total_rounds().to_string(),
             q.congestion.to_string(),
             q.block_parameter.to_string(),
-            result.all_parts_good.to_string(),
+            run.report.all_parts_good.to_string(),
         ]);
     }
-    // Part-count sweep at fixed size: random BFS-ball partitions.
+    // Part-count sweep at fixed size: random BFS-ball partitions, all rows
+    // served by one session (the multi-query shape the façade exists for).
     let side = 20usize;
     let graph = generators::grid(side, side);
-    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    let mut session = session_on(&graph, 2);
     for parts in [5usize, 10, 20, 40, 80] {
         let partition = generators::partitions::random_bfs_balls(&graph, parts, 7);
-        let (_, reference) = reference_parameters(&graph, &tree, &partition);
-        let config = FindShortcutConfig::new(
+        let (_, reference) = reference_parameters(&graph, session.tree(), &partition);
+        let (c, b) = (
             reference.congestion.max(1),
             reference.block_parameter.max(1),
-        )
-        .with_seed(2);
-        let result = FindShortcut::new(config)
-            .run(&graph, &tree, &partition)
+        );
+        let run = session
+            .shortcut(
+                &partition,
+                Strategy::Fixed {
+                    congestion: c,
+                    block: b,
+                },
+            )
             .unwrap();
-        let q = result.shortcut.quality(&graph, &partition);
+        let q = session.quality(&run.shortcut, &partition).unwrap();
         rows.push(vec![
             format!("grid {side}x{side}, {parts} BFS balls"),
             graph.node_count().to_string(),
-            tree.depth_of_tree().to_string(),
+            session.tree().depth_of_tree().to_string(),
             parts.to_string(),
             format!("({}, {})", reference.congestion, reference.block_parameter),
-            result.iterations.to_string(),
-            result.total_rounds().to_string(),
+            run.report.iterations.to_string(),
+            run.total_rounds().to_string(),
             q.congestion.to_string(),
             q.block_parameter.to_string(),
-            result.all_parts_good.to_string(),
+            run.report.all_parts_good.to_string(),
         ]);
     }
     Table {
@@ -262,7 +293,7 @@ pub fn e3_routing_table() -> Table {
 /// about: `O(D·polylog)` with shortcuts versus the part diameter without).
 pub fn e4_mst_table() -> Table {
     /// Sum of the "min-outgoing-edge" entries of a run's cost breakdown.
-    fn routing_rounds(outcome: &lcs_mst::MstOutcome) -> u64 {
+    fn routing_rounds(outcome: &MstRun) -> u64 {
         outcome
             .cost
             .entries()
@@ -273,9 +304,10 @@ pub fn e4_mst_table() -> Table {
     }
 
     let mut rows = Vec::new();
-    let mut push_row = |family: &str, graph: &lcs_graph::Graph, seed: u64| {
+    let mut push_row = |family: &str, graph: &Graph, seed: u64| {
         let weights = EdgeWeights::random_permutation(graph, seed);
-        let reference = lcs_graph::kruskal_mst(graph, &weights);
+        let reference = lcs_api::graph::kruskal_mst(graph, &weights);
+        let mut session = session_on(graph, seed);
         let mut cells = vec![
             family.to_string(),
             graph.node_count().to_string(),
@@ -287,17 +319,12 @@ pub fn e4_mst_table() -> Table {
             ShortcutStrategy::NoShortcut,
             ShortcutStrategy::WholeTree,
         ] {
-            let outcome = boruvka_mst(
-                graph,
-                &weights,
-                &BoruvkaConfig::new(strategy).with_seed(seed),
-            )
-            .expect("MST succeeds");
+            let outcome = session.mst(&weights, strategy).expect("MST succeeds");
             assert_eq!(
                 outcome.edges, reference,
                 "distributed MST must match Kruskal"
             );
-            cells.push(outcome.total_rounds().to_string());
+            cells.push(outcome.report.rounds_charged.to_string());
             if matches!(strategy, ShortcutStrategy::Doubling) {
                 cells.push(outcome.phases.to_string());
             }
@@ -338,29 +365,22 @@ pub fn e5_core_table() -> Table {
     let mut rows = Vec::new();
     let side = 20usize;
     let graph = generators::grid(side, side);
-    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    let mut session = session_on(&graph, 5);
     for parts in [10usize, 25, 50, 100, 200] {
         let partition = generators::partitions::random_bfs_balls(&graph, parts, 3);
-        let active = vec![true; partition.part_count()];
-        let (_, reference) = reference_parameters(&graph, &tree, &partition);
+        let (_, reference) = reference_parameters(&graph, session.tree(), &partition);
         let c = reference.congestion.max(1);
         let b = reference.block_parameter.max(1);
-        let slow = core_slow(&graph, &tree, &partition, c, &active);
-        let fast = core_fast(
-            &graph,
-            &tree,
-            &partition,
-            &CoreFastConfig::new(c).with_seed(5),
-            &active,
-        );
-        let good = |shortcut: &lcs_core::TreeShortcut| {
+        let slow = session.core(&partition, CoreKind::Slow, c).unwrap();
+        let fast = session.core(&partition, CoreKind::Fast, c).unwrap();
+        let good = |shortcut: &lcs_api::TreeShortcut| {
             shortcut
                 .block_counts(&graph, &partition)
                 .iter()
                 .filter(|&&k| k <= 3 * b)
                 .count()
         };
-        let max_assign = |outcome: &lcs_core::construction::CoreOutcome| {
+        let max_assign = |outcome: &CoreOutcome| {
             graph
                 .edge_ids()
                 .map(|e| outcome.shortcut.parts_on_edge(e).len())
@@ -404,30 +424,28 @@ pub fn e5_core_table() -> Table {
 pub fn e6_doubling_table() -> Table {
     let mut rows = Vec::new();
     for side in [8usize, 16, 24] {
-        let (graph, tree, partition) = grid_instance(side);
-        let (_, reference) = reference_parameters(&graph, &tree, &partition);
-        let known = FindShortcut::new(
-            FindShortcutConfig::new(
-                reference.congestion.max(1),
-                reference.block_parameter.max(1),
+        let (graph, partition) = grid_instance(side);
+        let mut session = session_on(&graph, 3);
+        let (_, reference) = reference_parameters(&graph, session.tree(), &partition);
+        let known = session
+            .shortcut(
+                &partition,
+                Strategy::Fixed {
+                    congestion: reference.congestion.max(1),
+                    block: reference.block_parameter.max(1),
+                },
             )
-            .with_seed(3),
-        )
-        .run(&graph, &tree, &partition)
-        .unwrap();
-        let unknown = doubling_search(
-            &graph,
-            &tree,
-            &partition,
-            DoublingConfig::new().with_seed(3),
-        )
-        .unwrap();
+            .unwrap();
+        let unknown = session.shortcut(&partition, Strategy::doubling()).unwrap();
+        let (found_c, found_b) = unknown
+            .winning_guess()
+            .expect("the doubling search succeeded");
         rows.push(vec![
             format!("grid {side}x{side}, columns"),
             format!("({}, {})", reference.congestion, reference.block_parameter),
             known.total_rounds().to_string(),
-            format!("({}, {})", unknown.congestion_guess, unknown.block_guess),
-            unknown.attempts.len().to_string(),
+            format!("({found_c}, {found_b})"),
+            unknown.report.attempts.len().to_string(),
             unknown.total_rounds().to_string(),
             format!(
                 "{:.2}",
@@ -457,60 +475,58 @@ pub fn e6_doubling_table() -> Table {
 /// block ≤ 3b, dilation ≤ b(2D+1).
 pub fn e7_guarantees_table() -> Table {
     let mut rows = Vec::new();
-    let mut check =
-        |family: &str, graph: &lcs_graph::Graph, tree: &RootedTree, partition: &Partition| {
-            let (_, reference) = reference_parameters(graph, tree, partition);
-            let c = reference.congestion.max(1);
-            let b = reference.block_parameter.max(1);
-            let result = FindShortcut::new(FindShortcutConfig::new(c, b).with_seed(9))
-                .run(graph, tree, partition)
-                .unwrap();
-            let q = result.shortcut.quality(graph, partition);
-            let congestion_bound = 8 * c * result.iterations.max(1) + 1;
-            rows.push(vec![
-                family.to_string(),
-                format!("({c}, {b})"),
-                result.all_parts_good.to_string(),
-                format!("{} <= {}", q.block_parameter, 3 * b),
-                (q.block_parameter <= 3 * b).to_string(),
-                format!("{} <= {}", q.congestion, congestion_bound),
-                (q.congestion <= congestion_bound).to_string(),
-                q.satisfies_lemma1(tree.depth_of_tree()).to_string(),
-            ]);
-        };
+    let mut check = |family: &str, graph: &Graph, partition: &Partition| {
+        let mut session = session_on(graph, 9);
+        let (_, reference) = reference_parameters(graph, session.tree(), partition);
+        let c = reference.congestion.max(1);
+        let b = reference.block_parameter.max(1);
+        let run = session
+            .shortcut(
+                partition,
+                Strategy::Fixed {
+                    congestion: c,
+                    block: b,
+                },
+            )
+            .unwrap();
+        let q = session.quality(&run.shortcut, partition).unwrap();
+        let congestion_bound = 8 * c * run.report.iterations.max(1) + 1;
+        rows.push(vec![
+            family.to_string(),
+            format!("({c}, {b})"),
+            run.report.all_parts_good.to_string(),
+            format!("{} <= {}", q.block_parameter, 3 * b),
+            (q.block_parameter <= 3 * b).to_string(),
+            format!("{} <= {}", q.congestion, congestion_bound),
+            (q.congestion <= congestion_bound).to_string(),
+            q.satisfies_lemma1(session.tree().depth_of_tree())
+                .to_string(),
+        ]);
+    };
 
     for side in [8usize, 16] {
-        let (graph, tree, partition) = grid_instance(side);
-        check(
-            &format!("grid {side}x{side}, columns"),
-            &graph,
-            &tree,
-            &partition,
-        );
+        let (graph, partition) = grid_instance(side);
+        check(&format!("grid {side}x{side}, columns"), &graph, &partition);
     }
     {
         let graph = generators::torus(12, 12);
-        let tree = RootedTree::bfs(&graph, NodeId::new(0));
         let partition = generators::partitions::random_bfs_balls(&graph, 12, 2);
-        check("torus 12x12, 12 BFS balls", &graph, &tree, &partition);
+        check("torus 12x12, 12 BFS balls", &graph, &partition);
     }
     {
         let graph = generators::wheel(129);
-        let tree = RootedTree::bfs(&graph, NodeId::new(0));
         let partition = generators::partitions::wheel_arcs(129, 8);
-        check("wheel W_129, 8 arcs", &graph, &tree, &partition);
+        check("wheel W_129, 8 arcs", &graph, &partition);
     }
     {
         let graph = generators::genus_handles(16, 16, 4);
-        let tree = RootedTree::bfs(&graph, NodeId::new(0));
         let partition = generators::partitions::grid_columns(16, 16);
-        check("16x16 + 4 handles, columns", &graph, &tree, &partition);
+        check("16x16 + 4 handles, columns", &graph, &partition);
     }
     {
         let graph = generators::caterpillar(40, 3);
-        let tree = RootedTree::bfs(&graph, NodeId::new(0));
         let partition = generators::partitions::random_bfs_balls(&graph, 10, 4);
-        check("caterpillar 40x3, 10 BFS balls", &graph, &tree, &partition);
+        check("caterpillar 40x3, 10 BFS balls", &graph, &partition);
     }
 
     Table {
@@ -541,12 +557,13 @@ pub fn e7_guarantees_table() -> Table {
 /// schedules.
 pub fn e8_dist_table() -> Table {
     let mut rows = Vec::new();
-    let mut push_row = |family_name: &str, graph: &lcs_graph::Graph, partition: &Partition| {
-        let tree = RootedTree::bfs(graph, NodeId::new(0));
-        let constructed = doubling_search(graph, &tree, partition, DoublingConfig::new())
-            .expect("families in E8 admit shortcuts");
-        let shortcut = constructed.shortcut;
-        let check = CrossCheck::new(graph, &tree, partition, &shortcut)
+    let mut push_row = |family_name: &str, graph: &Graph, partition: &Partition| {
+        let mut session = session_on(graph, 0);
+        let shortcut = session
+            .shortcut(partition, Strategy::doubling())
+            .expect("families in E8 admit shortcuts")
+            .shortcut;
+        let check = CrossCheck::new(graph, session.tree(), partition, &shortcut)
             .expect("the measured schedule respects Lemma 2");
         let b = check.family().block_parameter();
         let c = check.family().schedule().max_edge_load;
@@ -568,7 +585,7 @@ pub fn e8_dist_table() -> Table {
         rows.push(vec![
             family_name.to_string(),
             graph.node_count().to_string(),
-            u64::from(tree.depth_of_tree()).to_string(),
+            u64::from(session.tree().depth_of_tree()).to_string(),
             partition.part_count().to_string(),
             format!("({c}, {b})"),
             format!("{}/{}", conv.charged, conv.executed),
@@ -632,6 +649,57 @@ pub fn e8_dist_table() -> Table {
     }
 }
 
+/// Builds the shared E9/E10 row shape: FindShortcut (scheduled) timed,
+/// then the Lemma 3 verification as real message passing timed, on one
+/// session per instance.
+fn scale_row(
+    session: &mut Session<'_>,
+    partition: &Partition,
+    (c, b): (usize, usize),
+) -> (Vec<String>, u64) {
+    let graph = session.graph();
+    let fs_start = std::time::Instant::now();
+    let run = session
+        .shortcut(
+            partition,
+            Strategy::Fixed {
+                congestion: c,
+                block: b,
+            },
+        )
+        .expect("scale families admit shortcuts");
+    let fs_ms = fs_start.elapsed().as_secs_f64() * 1e3;
+
+    session.set_execution(ExecutionMode::Simulated);
+    let ver_start = std::time::Instant::now();
+    let ver = session
+        .verify(&run.shortcut, partition, 3 * b)
+        .expect("verification protocol respects the CONGEST constraints");
+    let ver_ms = ver_start.elapsed().as_secs_f64() * 1e3;
+    session.set_execution(ExecutionMode::Scheduled);
+    let stats = ver
+        .report
+        .sim
+        .expect("simulated verification records stats");
+    let good = ver.good.iter().filter(|&&g| g).count();
+
+    (
+        vec![
+            graph.node_count().to_string(),
+            graph.edge_count().to_string(),
+            partition.part_count().to_string(),
+            format!("({c}, {b})"),
+            run.total_rounds().to_string(),
+            format!("{fs_ms:.0}"),
+            stats.rounds.to_string(),
+            stats.messages.to_string(),
+            format!("{ver_ms:.0}"),
+            format!("{}/{}", good, partition.part_count()),
+        ],
+        stats.rounds,
+    )
+}
+
 /// E9 — the scale tier: FindShortcut plus the Lemma 3 distributed
 /// verification protocol (real message passing) on instances two orders of
 /// magnitude beyond E1–E8, with wall-clock columns. These are the rows the
@@ -644,56 +712,22 @@ pub fn e8_dist_table() -> Table {
 /// shortcut's quality costs far more than the protocols themselves at
 /// `n = 10⁵` and is not what this table times.
 pub fn e9_scale_table() -> Table {
-    use lcs_dist::verification_simulated;
-
     let mut rows = Vec::new();
-    let mut push_row = |family: &str,
-                        graph: &lcs_graph::Graph,
-                        partition: &Partition,
-                        cb: Option<(usize, usize)>| {
-        let tree = RootedTree::bfs(graph, NodeId::new(0));
-        let (c, b) = cb.unwrap_or_else(|| {
-            let (_, reference) = reference_parameters(graph, &tree, partition);
-            (
-                reference.congestion.max(1),
-                reference.block_parameter.max(1),
-            )
-        });
-        let fs_start = std::time::Instant::now();
-        let result = FindShortcut::new(FindShortcutConfig::new(c, b).with_seed(42))
-            .run(graph, &tree, partition)
-            .expect("scale families admit shortcuts");
-        let fs_ms = fs_start.elapsed().as_secs_f64() * 1e3;
-
-        let active = vec![true; partition.part_count()];
-        let ver_start = std::time::Instant::now();
-        let ver = verification_simulated(
-            graph,
-            &tree,
-            partition,
-            &result.shortcut,
-            3 * b,
-            &active,
-            None,
-        )
-        .expect("verification protocol respects the CONGEST constraints");
-        let ver_ms = ver_start.elapsed().as_secs_f64() * 1e3;
-        let good = ver.outcome.good.iter().filter(|&&g| g).count();
-
-        rows.push(vec![
-            family.to_string(),
-            graph.node_count().to_string(),
-            graph.edge_count().to_string(),
-            partition.part_count().to_string(),
-            format!("({c}, {b})"),
-            result.total_rounds().to_string(),
-            format!("{fs_ms:.0}"),
-            ver.stats.rounds.to_string(),
-            ver.stats.messages.to_string(),
-            format!("{ver_ms:.0}"),
-            format!("{}/{}", good, partition.part_count()),
-        ]);
-    };
+    let mut push_row =
+        |family: &str, graph: &Graph, partition: &Partition, cb: Option<(usize, usize)>| {
+            let mut session = session_on(graph, 42);
+            let (c, b) = cb.unwrap_or_else(|| {
+                let (_, reference) = reference_parameters(graph, session.tree(), partition);
+                (
+                    reference.congestion.max(1),
+                    reference.block_parameter.max(1),
+                )
+            });
+            let (cells, _) = scale_row(&mut session, partition, (c, b));
+            let mut row = vec![family.to_string()];
+            row.extend(cells);
+            rows.push(row);
+        };
 
     {
         let graph = generators::grid(100, 100);
@@ -754,48 +788,18 @@ pub fn e9_scale_table() -> Table {
 /// admit `(side - 1, 1)` (the measured E9 pattern); the ball partitions
 /// use the trivially feasible `(N, 1)`.
 pub fn e10_scale_table() -> Table {
-    use lcs_dist::verification_simulated;
-
-    let threads = lcs_graph::configured_threads();
+    let mut threads = 0usize;
     let mut rows = Vec::new();
     let mut push_row =
-        |family: &str, graph: &lcs_graph::Graph, partition: &Partition, (c, b): (usize, usize)| {
-            let tree = RootedTree::bfs(graph, NodeId::new(0));
-            let fs_start = std::time::Instant::now();
-            let result = FindShortcut::new(FindShortcutConfig::new(c, b).with_seed(42))
-                .run(graph, &tree, partition)
-                .expect("scale families admit shortcuts");
-            let fs_ms = fs_start.elapsed().as_secs_f64() * 1e3;
-
-            let active = vec![true; partition.part_count()];
-            let ver_start = std::time::Instant::now();
-            let ver = verification_simulated(
-                graph,
-                &tree,
-                partition,
-                &result.shortcut,
-                3 * b,
-                &active,
-                None,
-            )
-            .expect("verification protocol respects the CONGEST constraints");
-            let ver_ms = ver_start.elapsed().as_secs_f64() * 1e3;
-            let good = ver.outcome.good.iter().filter(|&&g| g).count();
-
-            rows.push(vec![
-                family.to_string(),
-                graph.node_count().to_string(),
-                graph.edge_count().to_string(),
-                partition.part_count().to_string(),
-                threads.to_string(),
-                format!("({c}, {b})"),
-                result.total_rounds().to_string(),
-                format!("{fs_ms:.0}"),
-                ver.stats.rounds.to_string(),
-                ver.stats.messages.to_string(),
-                format!("{ver_ms:.0}"),
-                format!("{}/{}", good, partition.part_count()),
-            ]);
+        |family: &str, graph: &Graph, partition: &Partition, (c, b): (usize, usize)| {
+            let mut session = session_on(graph, 42);
+            threads = session.threads();
+            let (cells, _) = scale_row(&mut session, partition, (c, b));
+            let mut row = vec![family.to_string()];
+            row.extend(cells[..3].iter().cloned());
+            row.push(session.threads().to_string());
+            row.extend(cells[3..].iter().cloned());
+            rows.push(row);
         };
 
     {
@@ -851,11 +855,176 @@ pub fn e10_scale_table() -> Table {
     }
 }
 
+/// E11 — the serving tier: many queries over partitions of one graph,
+/// answered *warm* (one [`Session`] serving the whole slice — tree, shard
+/// map and quality workspaces built once and reused) versus *cold* (a
+/// fresh pipeline per query, the shape E1–E10 rows used to emulate). Two
+/// query shapes per family:
+///
+/// * **construct** — [`Session::batch`]: doubling construction plus
+///   quality per partition. Construction dominates each query, so session
+///   reuse only amortizes the per-graph setup — warm and cold should be
+///   close, with warm never meaningfully behind.
+/// * **consume** — the "one decomposition, many consumers" posture the
+///   redesign exists for: verification queries answered from the
+///   session's already-built decomposition corpus, versus a cold consumer
+///   that must re-run the whole pipeline (setup + construction) before it
+///   can answer. Reusing the decomposition is where serving wins big.
+///
+/// Every row warms up untimed first (both paths run identical code; the
+/// warmup removes first-touch bias), and the warm/cold results are
+/// asserted byte-identical — only the wall-clock may move.
+pub fn e11_serving_table() -> Table {
+    use std::time::Instant;
+
+    let mut rows = Vec::new();
+    let mut push_family = |family: &str, graph: &Graph, partitions: &[Partition]| {
+        let refs: Vec<&Partition> = partitions.iter().collect();
+        let queries = partitions.len();
+
+        // -------- construct shape: Session::batch vs per-query sessions.
+        let warmup = session_on(graph, 0)
+            .batch(&refs, Strategy::doubling())
+            .expect("serving families admit shortcuts");
+
+        let warm_start = Instant::now();
+        let mut session = session_on(graph, 0);
+        let warm = session.batch(&refs, Strategy::doubling()).unwrap();
+        let warm_ms = warm_start.elapsed().as_secs_f64() * 1e3;
+
+        let cold_start = Instant::now();
+        let mut cold = Vec::with_capacity(queries);
+        for partition in partitions {
+            let mut one_shot = session_on(graph, 0);
+            let mut run = one_shot.shortcut(partition, Strategy::doubling()).unwrap();
+            run.report.quality = Some(one_shot.quality(&run.shortcut, partition).unwrap());
+            cold.push(run);
+        }
+        let cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+
+        let construct_equal = warm.iter().zip(&cold).zip(&warmup).all(|((w, c), u)| {
+            w.shortcut == c.shortcut
+                && w.shortcut == u.shortcut
+                && w.report.quality == c.report.quality
+                && w.report.attempts == c.report.attempts
+                && w.report.rounds_charged == c.report.rounds_charged
+        });
+        rows.push(vec![
+            family.to_string(),
+            "construct".to_string(),
+            graph.node_count().to_string(),
+            queries.to_string(),
+            format!("{:.2}", warm_ms / queries as f64),
+            format!("{:.2}", cold_ms / queries as f64),
+            format!("{:.2}", cold_ms / warm_ms.max(f64::MIN_POSITIVE)),
+            construct_equal.to_string(),
+        ]);
+
+        // -------- consume shape: "one decomposition, many consumers".
+        // The warm session answers verification queries against the
+        // decomposition corpus it already built (the shortcuts from the
+        // batch above); the cold consumer re-runs the whole pipeline —
+        // session setup plus shortcut construction — before it can verify.
+        let corpus: Vec<_> = warmup.iter().map(|run| &run.shortcut).collect();
+        let threshold = 3;
+
+        // Warmup pass (untimed) doubles as the reference results.
+        let mut reference_session = session_on(graph, 0);
+        let reference: Vec<_> = partitions
+            .iter()
+            .zip(&corpus)
+            .map(|(p, sc)| {
+                let v = reference_session.verify(sc, p, threshold).unwrap();
+                (v.good, v.block_counts)
+            })
+            .collect();
+
+        let warm_start = Instant::now();
+        let mut session = session_on(graph, 0);
+        let warm: Vec<_> = partitions
+            .iter()
+            .zip(&corpus)
+            .map(|(p, sc)| {
+                let v = session.verify(sc, p, threshold).unwrap();
+                (v.good, v.block_counts)
+            })
+            .collect();
+        let warm_ms = warm_start.elapsed().as_secs_f64() * 1e3;
+
+        let cold_start = Instant::now();
+        let cold: Vec<_> = partitions
+            .iter()
+            .map(|p| {
+                let mut one_shot = session_on(graph, 0);
+                let run = one_shot.shortcut(p, Strategy::doubling()).unwrap();
+                let v = one_shot.verify(&run.shortcut, p, threshold).unwrap();
+                (v.good, v.block_counts)
+            })
+            .collect();
+        let cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+
+        let consume_equal = warm == cold && warm == reference;
+        rows.push(vec![
+            family.to_string(),
+            "consume".to_string(),
+            graph.node_count().to_string(),
+            queries.to_string(),
+            format!("{:.2}", warm_ms / queries as f64),
+            format!("{:.2}", cold_ms / queries as f64),
+            format!("{:.2}", cold_ms / warm_ms.max(f64::MIN_POSITIVE)),
+            consume_equal.to_string(),
+        ]);
+    };
+
+    {
+        let graph = generators::grid(32, 32);
+        let mut partitions = vec![generators::partitions::grid_columns(32, 32)];
+        for seed in 0..7u64 {
+            partitions.push(generators::partitions::random_bfs_balls(&graph, 32, seed));
+        }
+        push_family("grid 32x32, 8 partitions", &graph, &partitions);
+    }
+    {
+        let graph = generators::torus(24, 24);
+        let partitions: Vec<Partition> = (0..8u64)
+            .map(|seed| generators::partitions::random_bfs_balls(&graph, 24, seed))
+            .collect();
+        push_family("torus 24x24, 8 ball partitions", &graph, &partitions);
+    }
+    {
+        let graph = generators::wheel(257);
+        let partitions: Vec<Partition> = [4usize, 8, 12, 16, 20, 24, 28, 32]
+            .iter()
+            .map(|&arcs| generators::partitions::wheel_arcs(257, arcs))
+            .collect();
+        push_family("wheel W_257, 8 arc partitions", &graph, &partitions);
+    }
+
+    Table {
+        title: "E11: serving — warm Session reuse vs cold per-query pipeline setup (results asserted byte-identical; wall-clock ms per query)"
+            .to_string(),
+        headers: [
+            "family",
+            "shape",
+            "n",
+            "queries",
+            "warm ms/q",
+            "cold ms/q",
+            "cold/warm",
+            "equal",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows,
+    }
+}
+
 /// A built table together with the wall-clock time it took to build — the
 /// quantity the bench trajectory (`BENCH_SCALE.json`) tracks across PRs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimedTable {
-    /// Experiment id (`"e1"` … `"e9"`).
+    /// Experiment id (`"e1"` … `"e11"`).
     pub id: String,
     /// The rendered table.
     pub table: Table,
@@ -925,7 +1094,6 @@ pub fn tables_to_json(tables: &[TimedTable], threads: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lcs_mst::ExecutionMode;
 
     #[test]
     fn render_table_aligns_columns() {
@@ -992,17 +1160,25 @@ mod tests {
     #[test]
     fn e8_simulated_boruvka_agrees_end_to_end() {
         // The acceptance check behind E8's contract: Boruvka with simulated
-        // execution still verifies against Kruskal.
+        // execution still verifies against Kruskal — through the façade.
         let g = generators::grid(4, 4);
         let w = EdgeWeights::random_permutation(&g, 2);
-        let outcome = boruvka_mst(
-            &g,
-            &w,
-            &BoruvkaConfig::new(ShortcutStrategy::Doubling)
-                .with_seed(1)
-                .with_execution(ExecutionMode::Simulated),
-        )
-        .unwrap();
-        assert_eq!(outcome.edges, lcs_graph::kruskal_mst(&g, &w));
+        let mut session = Pipeline::on(&g)
+            .seed(1)
+            .execution(ExecutionMode::Simulated)
+            .build()
+            .unwrap();
+        let outcome = session.mst(&w, ShortcutStrategy::Doubling).unwrap();
+        assert_eq!(outcome.edges, lcs_api::graph::kruskal_mst(&g, &w));
+    }
+
+    #[test]
+    fn e11_serving_results_are_identical_warm_and_cold() {
+        let table = e11_serving_table();
+        // Three families, two query shapes each.
+        assert_eq!(table.rows.len(), 6);
+        for row in &table.rows {
+            assert_eq!(row.last().map(String::as_str), Some("true"), "{row:?}");
+        }
     }
 }

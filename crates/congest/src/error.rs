@@ -75,6 +75,14 @@ impl fmt::Display for SimError {
 
 impl Error for SimError {}
 
+impl From<SimError> for lcs_graph::LcsError {
+    fn from(err: SimError) -> Self {
+        lcs_graph::LcsError::Simulation {
+            reason: err.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -109,11 +109,24 @@ impl DoublingResult {
 
 /// Runs the Appendix A doubling search.
 ///
+/// # Migration
+///
+/// This is a legacy entry point kept for downstream code; new code should
+/// go through the façade: build a session with `lcs_api::Pipeline::on`
+/// (re-exported as `low_congestion_shortcuts::api`) and call
+/// `Session::shortcut` with `Strategy::Doubling(..)` — same attempt seeds,
+/// same results, one error type, and the session reuses its workspaces
+/// across queries.
+///
 /// # Errors
 ///
 /// Returns [`CoreError::IterationBudgetExhausted`] if no parameter guess up
 /// to `max_doublings` doublings produced a shortcut with every part good,
 /// and propagates input-validation errors from `FindShortcut`.
+#[deprecated(
+    since = "0.1.0",
+    note = "migrate to `api::Pipeline` / `api::Session::shortcut(.., Strategy::Doubling(..))`"
+)]
 pub fn doubling_search(
     graph: &Graph,
     tree: &RootedTree,

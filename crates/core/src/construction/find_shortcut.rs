@@ -125,10 +125,24 @@ impl FindShortcut {
     /// Runs the construction on `(graph, tree, partition)` with the default
     /// scheduled verification subroutine.
     ///
+    /// # Migration
+    ///
+    /// This is a legacy entry point kept for downstream code; new code
+    /// should go through the façade: build a session with
+    /// `lcs_api::Pipeline::on` (re-exported as
+    /// `low_congestion_shortcuts::api`) and call `Session::shortcut` with
+    /// `Strategy::Fixed { congestion, block }` — identical results, one
+    /// error type, and the execution mode is a session property instead of
+    /// a per-call dispatch.
+    ///
     /// # Errors
     ///
     /// Returns [`crate::CoreError::InconsistentInputs`] if the tree does not
     /// span the graph or the partition was built for a different node count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "migrate to `api::Pipeline` / `api::Session::shortcut(.., Strategy::Fixed { .. })`"
+    )]
     pub fn run(
         &self,
         graph: &Graph,

@@ -75,6 +75,26 @@ impl From<lcs_congest::SimError> for CoreError {
     }
 }
 
+impl From<CoreError> for lcs_graph::LcsError {
+    fn from(err: CoreError) -> Self {
+        use lcs_graph::LcsError;
+        match err {
+            CoreError::IterationBudgetExhausted {
+                iterations,
+                remaining_bad,
+            } => LcsError::BudgetExhausted {
+                iterations,
+                remaining_bad,
+            },
+            CoreError::InconsistentInputs { reason } => LcsError::InconsistentInputs { reason },
+            CoreError::Simulation { reason } => LcsError::Simulation { reason },
+            other => LcsError::Construction {
+                reason: other.to_string(),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

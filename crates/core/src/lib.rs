@@ -56,7 +56,7 @@ pub mod existential;
 pub mod routing;
 
 pub use error::CoreError;
-pub use quality::ShortcutQuality;
+pub use quality::{QualityPool, ShortcutQuality};
 pub use shortcut::Shortcut;
 pub use tree_restricted::{BlockComponent, TreeShortcut};
 

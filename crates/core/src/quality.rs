@@ -54,32 +54,112 @@ impl ShortcutQuality {
     }
 }
 
+/// Per-worker scratch of a [`QualityPool`]: the BFS workspace plus the
+/// counter/stamp arrays of the congestion pass.
+struct WorkerScratch {
+    ws: QualityWorkspace,
+    users: Vec<u32>,
+    last_part: Vec<u32>,
+}
+
+impl WorkerScratch {
+    fn new(graph: &Graph) -> Self {
+        WorkerScratch {
+            ws: QualityWorkspace::new(graph),
+            users: vec![0; graph.edge_count()],
+            last_part: vec![0; graph.edge_count()],
+        }
+    }
+}
+
+/// Reusable scratch for repeated quality measurements over one graph.
+///
+/// A pool is sized once — for a graph and a worker-thread count — and then
+/// serves any number of [`crate::TreeShortcut::quality_with`] calls (and
+/// the crate-internal congestion/dilation passes) without allocating: the
+/// BFS workspaces are epoch-stamped (moving to the next part or query is a
+/// counter bump), and the congestion counters are `O(m)` fills of arrays
+/// that already exist. This is the state a serving `Session` (the
+/// `lcs_api` façade) keeps warm across queries; the partition and shortcut
+/// may differ from call to call, only the graph is fixed.
+pub struct QualityPool {
+    threads: usize,
+    node_count: usize,
+    edge_count: usize,
+    /// One scratch per worker; index 0 doubles as the serial scratch.
+    scratches: Vec<WorkerScratch>,
+    /// `users[e]` accumulator of the congestion pass (also holds the
+    /// induced-edge base counts).
+    users: Vec<u32>,
+    /// The part an edge is induced in (`u32::MAX` = none); per-query
+    /// content, allocated once.
+    induced_part: Vec<u32>,
+}
+
+impl QualityPool {
+    /// Creates a pool for `graph` with `threads` workers (clamped to at
+    /// least 1). The pool is only valid for graphs with the same node and
+    /// edge counts as `graph` (checked at measurement time).
+    pub fn new(graph: &Graph, threads: usize) -> Self {
+        let threads = threads.max(1);
+        QualityPool {
+            threads,
+            node_count: graph.node_count(),
+            edge_count: graph.edge_count(),
+            scratches: (0..threads).map(|_| WorkerScratch::new(graph)).collect(),
+            users: vec![0; graph.edge_count()],
+            induced_part: vec![u32::MAX; graph.edge_count()],
+        }
+    }
+
+    /// The worker-thread count the pool was sized for.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The primary BFS workspace (serial sweeps share this one scratch).
+    pub(crate) fn primary(&mut self) -> &mut QualityWorkspace {
+        &mut self.scratches[0].ws
+    }
+
+    fn assert_graph(&self, graph: &Graph) {
+        assert_eq!(
+            (self.node_count, self.edge_count),
+            (graph.node_count(), graph.edge_count()),
+            "QualityPool was sized for a different graph"
+        );
+    }
+}
+
 /// Computes congestion: for every edge, the number of parts `i` such that
 /// the edge lies in `G[P_i] + H_i`. The per-part shortcut edge sets are
 /// supplied by the `edges_of` accessor (a borrowed slice — no copy) so the
 /// same routine serves both shortcut representations. Repeated edges within
 /// one part's slice are counted once (a per-edge part stamp, no sorting).
-/// Runs in `O(m + Σ|H_i|)` work; with `threads > 1` the per-part pass is
-/// split over contiguous part ranges on scoped workers (each with its own
-/// stamp and counter arrays, merged by summation — per-edge use counts are
-/// sums of per-part indicators, so the split cannot change the result).
-pub(crate) fn congestion<'a, F>(
+/// Runs in `O(m + Σ|H_i|)` work; with more than one pool worker the
+/// per-part pass is split over contiguous part ranges on scoped workers
+/// (each with its own stamp and counter arrays, merged by summation —
+/// per-edge use counts are sums of per-part indicators, so the split
+/// cannot change the result).
+pub(crate) fn congestion_with<'a, F>(
     graph: &Graph,
     partition: &Partition,
     edges_of: F,
-    threads: usize,
+    pool: &mut QualityPool,
 ) -> usize
 where
     F: Fn(PartId) -> &'a [EdgeId] + Sync,
 {
+    pool.assert_graph(graph);
     // users[e] = number of distinct parts using edge e. A part uses e either
     // because e ∈ H_i or because both endpoints of e lie in P_i; count each
     // part at most once per edge.
-    let m = graph.edge_count();
-    let mut users = vec![0u32; m];
+    let users = &mut pool.users;
+    users.fill(0);
     // The part an edge is induced in (u32::MAX = none) — computed once,
     // reused by every worker.
-    let mut induced_part = vec![u32::MAX; m];
+    let induced_part = &mut pool.induced_part;
+    induced_part.fill(u32::MAX);
     for (e, edge) in graph.edges() {
         if let Some(pu) = partition.part_of(edge.u) {
             if Some(pu) == partition.part_of(edge.v) {
@@ -88,6 +168,7 @@ where
             }
         }
     }
+    let induced_part: &[u32] = induced_part;
 
     // Adds the slice contributions of the parts in `range` to `users`.
     // last_part[e] = 1 + index of the last part whose slice listed e; the
@@ -109,38 +190,55 @@ where
     };
 
     let parts = partition.part_count();
-    let t = threads.max(1).min(parts.max(1));
+    let t = pool.threads.min(parts.max(1));
     if t <= 1 {
-        let mut last_part = vec![0u32; m];
-        count_range(0..parts, &mut users, &mut last_part);
+        let scratch = &mut pool.scratches[0];
+        scratch.last_part.fill(0);
+        count_range(0..parts, users, &mut scratch.last_part);
     } else {
-        let mut partial: Vec<Vec<u32>> = Vec::with_capacity(t);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(t);
-            for k in 0..t {
+            for (k, scratch) in pool.scratches[..t].iter_mut().enumerate() {
                 let count_range = &count_range;
                 handles.push(scope.spawn(move || {
-                    let mut users = vec![0u32; m];
-                    let mut last_part = vec![0u32; m];
+                    scratch.users.fill(0);
+                    scratch.last_part.fill(0);
                     count_range(
                         parts * k / t..parts * (k + 1) / t,
-                        &mut users,
-                        &mut last_part,
+                        &mut scratch.users,
+                        &mut scratch.last_part,
                     );
-                    users
                 }));
             }
             for h in handles {
-                partial.push(h.join().expect("quality workers do not panic"));
+                h.join().expect("quality workers do not panic");
             }
         });
-        for worker_users in partial {
-            for (acc, w) in users.iter_mut().zip(worker_users) {
+        for scratch in &pool.scratches[..t] {
+            for (acc, w) in users.iter_mut().zip(&scratch.users) {
                 *acc += w;
             }
         }
     }
-    users.into_iter().max().unwrap_or(0) as usize
+    users.iter().copied().max().unwrap_or(0) as usize
+}
+
+/// One-shot [`congestion_with`] against a freshly allocated pool.
+pub(crate) fn congestion<'a, F>(
+    graph: &Graph,
+    partition: &Partition,
+    edges_of: F,
+    threads: usize,
+) -> usize
+where
+    F: Fn(PartId) -> &'a [EdgeId] + Sync,
+{
+    congestion_with(
+        graph,
+        partition,
+        edges_of,
+        &mut QualityPool::new(graph, threads),
+    )
 }
 
 /// Nodes of the subgraph `G[P_p] + H_p`: the members of the part plus every
@@ -333,23 +431,25 @@ pub(crate) fn part_subgraph_diameter(
 
 /// Computes dilation: the maximum subgraph diameter over all parts — the
 /// dominant cost of a quality measurement (a BFS from every subgraph
-/// node). With `threads <= 1` one [`QualityWorkspace`] is shared by every
-/// part; with more, scoped workers pull parts off a shared counter, each
-/// reusing its own workspace, and the per-worker maxima are combined — a
-/// max of maxima, identical for every thread count and schedule.
-pub(crate) fn dilation<'a, F>(
+/// node). With one pool worker a single [`QualityWorkspace`] is shared by
+/// every part; with more, scoped workers pull parts off a shared counter,
+/// each reusing its own pooled workspace, and the per-worker maxima are
+/// combined — a max of maxima, identical for every thread count and
+/// schedule.
+pub(crate) fn dilation_with<'a, F>(
     graph: &Graph,
     partition: &Partition,
     edges_of: F,
-    threads: usize,
+    pool: &mut QualityPool,
 ) -> u32
 where
     F: Fn(PartId) -> &'a [EdgeId] + Sync,
 {
+    pool.assert_graph(graph);
     let parts = partition.part_count();
-    let t = threads.max(1).min(parts.max(1));
+    let t = pool.threads.min(parts.max(1));
     if t <= 1 {
-        let mut ws = QualityWorkspace::new(graph);
+        let ws = &mut pool.scratches[0].ws;
         return partition
             .parts()
             .map(|p| ws.part_diameter(graph, partition, p, edges_of(p)))
@@ -360,11 +460,11 @@ where
     let mut best = 0u32;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(t);
-        for _ in 0..t {
+        for scratch in pool.scratches[..t].iter_mut() {
             let next = &next;
             let edges_of = &edges_of;
             handles.push(scope.spawn(move || {
-                let mut ws = QualityWorkspace::new(graph);
+                let ws = &mut scratch.ws;
                 let mut local = 0u32;
                 loop {
                     let pi = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -382,6 +482,24 @@ where
         }
     });
     best
+}
+
+/// One-shot [`dilation_with`] against a freshly allocated pool.
+pub(crate) fn dilation<'a, F>(
+    graph: &Graph,
+    partition: &Partition,
+    edges_of: F,
+    threads: usize,
+) -> u32
+where
+    F: Fn(PartId) -> &'a [EdgeId] + Sync,
+{
+    dilation_with(
+        graph,
+        partition,
+        edges_of,
+        &mut QualityPool::new(graph, threads),
+    )
 }
 
 #[cfg(test)]
@@ -494,6 +612,54 @@ mod tests {
             assert_eq!(congestion(&g, &p, edges_of, threads), c1, "t={threads}");
             assert_eq!(dilation(&g, &p, edges_of, threads), d1, "t={threads}");
         }
+    }
+
+    #[test]
+    fn pool_reuse_across_queries_matches_one_shot_measurement() {
+        // One pool serving several different partitions over the same graph
+        // (the façade's serving shape) must reproduce the one-shot values,
+        // serially and with workers.
+        let g = generators::grid(6, 6);
+        let tree = lcs_graph::RootedTree::bfs(&g, NodeId::new(0));
+        for threads in [1usize, 3] {
+            let mut pool = QualityPool::new(&g, threads);
+            for seed in 0..4u64 {
+                let p = generators::partitions::random_bfs_balls(&g, 5 + seed as usize, seed);
+                let sets: Vec<Vec<EdgeId>> = p
+                    .parts()
+                    .map(|part| {
+                        let mut edges: Vec<EdgeId> = p
+                            .members(part)
+                            .iter()
+                            .filter_map(|&v| tree.parent_edge(v))
+                            .collect();
+                        edges.sort();
+                        edges
+                    })
+                    .collect();
+                let edges_of = |part: PartId| sets[part.index()].as_slice();
+                assert_eq!(
+                    congestion_with(&g, &p, edges_of, &mut pool),
+                    congestion(&g, &p, edges_of, 1),
+                    "threads={threads} seed={seed}"
+                );
+                assert_eq!(
+                    dilation_with(&g, &p, edges_of, &mut pool),
+                    dilation(&g, &p, edges_of, 1),
+                    "threads={threads} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sized for a different graph")]
+    fn pool_rejects_a_mismatched_graph() {
+        let g = generators::grid(3, 3);
+        let other = generators::grid(4, 4);
+        let p = generators::partitions::grid_columns(4, 4);
+        let mut pool = QualityPool::new(&g, 1);
+        congestion_with(&other, &p, |_| &[][..], &mut pool);
     }
 
     #[test]

@@ -218,9 +218,19 @@ impl TreeShortcut {
     /// scratch across the sweep.
     pub fn block_counts(&self, graph: &Graph, partition: &Partition) -> Vec<usize> {
         let mut ws = quality::QualityWorkspace::new(graph);
+        self.block_counts_with(graph, partition, &mut ws)
+    }
+
+    /// [`TreeShortcut::block_counts`] against a caller-provided scratch.
+    fn block_counts_with(
+        &self,
+        graph: &Graph,
+        partition: &Partition,
+        ws: &mut quality::QualityWorkspace,
+    ) -> Vec<usize> {
         partition
             .parts()
-            .map(|p| self.local_components(graph, partition, p, &mut ws).len())
+            .map(|p| self.local_components(graph, partition, p, ws).len())
             .collect()
     }
 
@@ -326,10 +336,31 @@ impl TreeShortcut {
     /// the measured values are identical for every thread count.
     pub fn quality(&self, graph: &Graph, partition: &Partition) -> ShortcutQuality {
         let threads = lcs_graph::configured_threads();
-        let per_part_blocks = self.block_counts(graph, partition);
+        self.quality_with(
+            graph,
+            partition,
+            &mut quality::QualityPool::new(graph, threads),
+        )
+    }
+
+    /// [`TreeShortcut::quality`] against a caller-provided
+    /// [`crate::QualityPool`], whose scratch arrays and worker-thread
+    /// count are reused across calls — the measurement path a serving
+    /// session keeps warm. The measured values are identical to
+    /// [`TreeShortcut::quality`] for every pool size.
+    pub fn quality_with(
+        &self,
+        graph: &Graph,
+        partition: &Partition,
+        pool: &mut quality::QualityPool,
+    ) -> ShortcutQuality {
+        let per_part_blocks = {
+            let ws = pool.primary();
+            self.block_counts_with(graph, partition, ws)
+        };
         ShortcutQuality {
-            congestion: quality::congestion(graph, partition, |p| self.edges_of(p), threads),
-            dilation: quality::dilation(graph, partition, |p| self.edges_of(p), threads),
+            congestion: quality::congestion_with(graph, partition, |p| self.edges_of(p), pool),
+            dilation: quality::dilation_with(graph, partition, |p| self.edges_of(p), pool),
             block_parameter: per_part_blocks.iter().copied().max().unwrap_or(0),
             per_part_blocks,
         }

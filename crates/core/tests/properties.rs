@@ -5,6 +5,8 @@
 //! guarantees), Theorem 3 (FindShortcut output quality), and the internal
 //! consistency of the block-component decomposition.
 
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 
 use lcs_core::construction::{

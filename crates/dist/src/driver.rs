@@ -24,6 +24,7 @@ pub fn find_shortcut(
 ) -> lcs_core::Result<FindShortcutResult> {
     let driver = FindShortcut::new(config);
     match mode {
+        #[allow(deprecated)]
         ExecutionMode::Scheduled => driver.run(graph, tree, partition),
         ExecutionMode::Simulated => {
             driver.run_with_verifier(graph, tree, partition, |g, t, p, s, threshold, active| {

@@ -406,8 +406,16 @@ where
     let l = family.schedule().rounds;
     let window = 2 * l + 1;
     let total_rounds = engine_rounds(l, spec);
-    let cfg =
-        config.unwrap_or_else(|| SimConfig::for_graph(graph).with_max_rounds(total_rounds + 2));
+    // A caller-supplied config customizes bandwidth, tracing and the engine
+    // thread count, but the round cap is this entry point's responsibility:
+    // the windowed superstep budget is computed exactly here, so a default
+    // (or too-small) caller cap is raised to it rather than producing a
+    // spurious RoundLimitExceeded. An explicitly larger caller cap is kept.
+    let cfg = match config {
+        Some(c) if c.max_rounds >= total_rounds + 2 => c,
+        Some(c) => c.with_max_rounds(total_rounds + 2),
+        None => SimConfig::for_graph(graph).with_max_rounds(total_rounds + 2),
+    };
     let block_bits = bits_for_count(family.blocks().len().max(2));
     let sim = Simulator::new(graph, cfg);
     let outcome = sim.run(|ctx| {

@@ -64,6 +64,18 @@ impl From<DistError> for lcs_core::CoreError {
     }
 }
 
+impl From<DistError> for lcs_graph::LcsError {
+    fn from(err: DistError) -> Self {
+        use lcs_graph::LcsError;
+        match err {
+            DistError::Simulation(sim) => sim.into(),
+            other => LcsError::Protocol {
+                reason: other.to_string(),
+            },
+        }
+    }
+}
+
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, DistError>;
 

@@ -422,6 +422,9 @@ pub struct DistVerificationOutcome {
     pub outcome: VerificationOutcome,
     /// Simulation statistics of the executed protocol.
     pub stats: SimStats,
+    /// Per-round delivery trace of the executed protocol; empty unless the
+    /// caller passed a [`SimConfig`] with tracing enabled.
+    pub trace: Vec<lcs_congest::RoundTrace>,
     /// Number of supersteps executed (`3·threshold + 2`).
     pub supersteps: u64,
 }
@@ -505,6 +508,7 @@ pub fn verification_simulated(
             rounds,
         },
         stats: outcome.stats,
+        trace: outcome.trace,
         supersteps,
     })
 }

@@ -12,7 +12,11 @@
 //! * [`Partition`] — disjoint, individually connected node parts
 //!   (the objects that shortcuts are built *for*),
 //! * [`ShardMap`] — contiguous node sharding for the parallel engines
-//!   (plus [`configured_threads`], the `LCS_THREADS` workspace knob),
+//!   (plus [`configured_threads`], the `LCS_THREADS` workspace knob, and
+//!   [`Threads`], the value type that carries the count through the
+//!   pipeline),
+//! * [`LcsError`] — the workspace-wide unified error the `lcs_api` façade
+//!   surfaces; every crate converts its own error enum into it,
 //! * [`generators`] — synthetic network families used throughout the
 //!   experiments (grids, tori, genus-`g` handle graphs, wheels, paths,
 //!   random graphs, and the classic lower-bound construction),
@@ -48,6 +52,7 @@ mod partition;
 mod sharding;
 mod traversal;
 mod tree;
+mod unified_error;
 mod union_find;
 mod weights;
 
@@ -60,9 +65,10 @@ pub use graph::{Edge, Graph};
 pub use ids::{EdgeId, NodeId, PartId};
 pub use mst::{kruskal_mst, mst_weight, prim_mst};
 pub use partition::{Partition, PartitionBuilder};
-pub use sharding::{configured_threads, ShardMap};
+pub use sharding::{configured_threads, ShardMap, Threads};
 pub use traversal::{bfs_distances, bfs_order, connected_components, is_connected, BfsResult};
 pub use tree::RootedTree;
+pub use unified_error::{LcsError, LcsResult};
 pub use union_find::UnionFind;
 pub use weights::EdgeWeights;
 

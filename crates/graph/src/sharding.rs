@@ -9,7 +9,7 @@
 //! never *what* is computed: every consumer of a `ShardMap` must produce
 //! results independent of the shard count.
 
-use crate::{Graph, NodeId};
+use crate::{Graph, LcsError, NodeId};
 
 /// A partition of the node ids `0..n` into contiguous shards.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,8 +111,62 @@ impl ShardMap {
 /// the CONGEST simulator's engine selection and the parallel quality
 /// measurements consult this, so one variable switches the whole pipeline —
 /// which is what lets CI run the identical test suite once per engine.
+///
+/// This function is the *only* place in the workspace that reads
+/// `LCS_THREADS`; everything downstream receives the count as a value (a
+/// [`Threads`] or a plain `usize`). Because the ambient environment cannot
+/// report errors to a caller, a malformed value here falls back to serial;
+/// surfaces that *can* reject bad input — CLI flags, the `lcs_api` builder
+/// — parse through [`Threads::parse`], which turns zero or non-numeric
+/// counts into a clear error instead.
 pub fn configured_threads() -> usize {
     threads_from(std::env::var("LCS_THREADS").ok().as_deref())
+}
+
+/// A worker-thread count carried as a value through the pipeline instead
+/// of re-reading `LCS_THREADS` at every call site.
+///
+/// `Auto` defers to [`configured_threads`] at resolution time; `Fixed(n)`
+/// pins the count. Construct a `Fixed` from untrusted text with
+/// [`Threads::parse`], which rejects zero and non-numeric values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Threads {
+    /// Resolve from the `LCS_THREADS` environment variable (the default).
+    #[default]
+    Auto,
+    /// A fixed worker count; must be at least 1 (enforced by
+    /// [`Threads::parse`] and clamped by [`Threads::resolve`]).
+    Fixed(usize),
+}
+
+impl Threads {
+    /// Strictly parses a thread count: a positive integer is accepted,
+    /// anything else — zero, negative, empty, or non-numeric — is a
+    /// [`LcsError::Config`] naming the offending value. This is the
+    /// parsing rule for surfaces that can report errors (the experiments
+    /// binary's `--threads` flag, the `lcs_api` pipeline builder); the
+    /// ambient `LCS_THREADS` fallback in [`configured_threads`] stays
+    /// lenient because the environment has no error channel.
+    pub fn parse(value: &str) -> Result<Threads, LcsError> {
+        match value.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Threads::Fixed(n)),
+            Ok(_) => Err(LcsError::Config {
+                reason: "thread count must be at least 1 (got 0)".to_string(),
+            }),
+            Err(_) => Err(LcsError::Config {
+                reason: format!("thread count must be a positive integer, got `{value}`"),
+            }),
+        }
+    }
+
+    /// Resolves to a concrete worker count: `Auto` consults
+    /// [`configured_threads`], `Fixed(n)` clamps to at least 1.
+    pub fn resolve(self) -> usize {
+        match self {
+            Threads::Auto => configured_threads(),
+            Threads::Fixed(n) => n.max(1),
+        }
+    }
 }
 
 /// The `LCS_THREADS` parsing rule, separated from the ambient environment
@@ -200,6 +254,32 @@ mod tests {
                 assert_eq!(map.node_count(), n);
             }
         }
+    }
+
+    #[test]
+    fn strict_parse_rejects_zero_and_garbage() {
+        assert_eq!(Threads::parse("4"), Ok(Threads::Fixed(4)));
+        assert_eq!(Threads::parse(" 8 "), Ok(Threads::Fixed(8)));
+        for bad in ["0", "", "zero", "-3", "1.5"] {
+            let err = Threads::parse(bad).unwrap_err();
+            assert!(
+                matches!(err, LcsError::Config { .. }),
+                "`{bad}` must be rejected as a config error, got {err:?}"
+            );
+        }
+        assert!(Threads::parse("0")
+            .unwrap_err()
+            .to_string()
+            .contains("got 0"));
+        assert!(Threads::parse("x").unwrap_err().to_string().contains("`x`"));
+    }
+
+    #[test]
+    fn threads_resolution() {
+        assert_eq!(Threads::Fixed(4).resolve(), 4);
+        assert_eq!(Threads::Fixed(0).resolve(), 1);
+        assert!(Threads::Auto.resolve() >= 1);
+        assert_eq!(Threads::default(), Threads::Auto);
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! The workspace-wide unified error type.
+//!
+//! Every crate of the workspace keeps its own precise error enum
+//! ([`GraphError`] here, `SimError` in `lcs_congest`, `CoreError` in
+//! `lcs_core`, `DistError` in `lcs_dist`) — those are the types the
+//! algorithms match on internally. [`LcsError`] is the *façade* error: the
+//! single type that crosses the public boundary of the `lcs_api` crate, so
+//! a caller running the whole pipeline handles one enum instead of four.
+//! Each crate provides the `From` impl for its own error (the unified type
+//! lives here, at the bottom of the dependency graph, so every layer can
+//! name it), which is what lets `?` flow through the façade unchanged.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::GraphError;
+
+/// The unified error of the shortcut pipeline, as surfaced by the
+/// `lcs_api` façade.
+///
+/// The variants mirror the *stages* of the pipeline rather than the crates
+/// that implement them: input validation, configuration, simulation,
+/// construction, distributed protocol, and budget exhaustion. Lower-level
+/// errors convert into these via the `From` impls each crate defines for
+/// its own enum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LcsError {
+    /// Graph or partition construction/validation failed.
+    Graph(GraphError),
+    /// The graph, tree and partition handed to a pipeline stage are
+    /// mutually inconsistent (for example differing node counts).
+    InconsistentInputs {
+        /// Human readable description.
+        reason: String,
+    },
+    /// A configuration value was invalid (for example a zero or
+    /// non-numeric thread count).
+    Config {
+        /// Human readable description.
+        reason: String,
+    },
+    /// The CONGEST simulation failed (bandwidth violation, duplicate send,
+    /// round-cap overflow, malformed send).
+    Simulation {
+        /// Human readable description.
+        reason: String,
+    },
+    /// Shortcut construction failed for a reason other than running out of
+    /// budget (for example a non-tree edge assigned to a tree-restricted
+    /// shortcut).
+    Construction {
+        /// Human readable description.
+        reason: String,
+    },
+    /// A distributed protocol violated one of its invariants or disagreed
+    /// with its centralized reference.
+    Protocol {
+        /// Human readable description.
+        reason: String,
+    },
+    /// A construction stopped at its iteration or doubling budget with
+    /// parts still bad.
+    BudgetExhausted {
+        /// Number of iterations (or doubling attempts) executed.
+        iterations: usize,
+        /// Number of parts still bad when the budget ran out.
+        remaining_bad: usize,
+    },
+}
+
+impl fmt::Display for LcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LcsError::Graph(err) => write!(f, "graph error: {err}"),
+            LcsError::InconsistentInputs { reason } => {
+                write!(f, "inconsistent inputs: {reason}")
+            }
+            LcsError::Config { reason } => write!(f, "invalid configuration: {reason}"),
+            LcsError::Simulation { reason } => write!(f, "simulation error: {reason}"),
+            LcsError::Construction { reason } => write!(f, "construction error: {reason}"),
+            LcsError::Protocol { reason } => write!(f, "protocol error: {reason}"),
+            LcsError::BudgetExhausted {
+                iterations,
+                remaining_bad,
+            } => write!(
+                f,
+                "construction stopped after {iterations} iterations with {remaining_bad} parts still bad"
+            ),
+        }
+    }
+}
+
+impl Error for LcsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LcsError::Graph(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for LcsError {
+    fn from(err: GraphError) -> Self {
+        LcsError::Graph(err)
+    }
+}
+
+/// Convenience result alias for façade-level entry points.
+pub type LcsResult<T> = std::result::Result<T, LcsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn display_and_source() {
+        let err: LcsError = GraphError::SelfLoop {
+            node: NodeId::new(3),
+        }
+        .into();
+        assert!(err.to_string().contains("self-loop at node v3"));
+        assert!(err.source().is_some());
+        let err = LcsError::Config {
+            reason: "threads must be >= 1".to_string(),
+        };
+        assert!(err.to_string().contains("invalid configuration"));
+        assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<LcsError>();
+    }
+}

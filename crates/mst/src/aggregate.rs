@@ -79,6 +79,7 @@ pub fn part_broadcast<T: Clone>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
     use super::*;
     use lcs_core::construction::{FindShortcut, FindShortcutConfig};
     use lcs_graph::generators;

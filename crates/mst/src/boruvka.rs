@@ -61,6 +61,19 @@ pub enum ShortcutStrategy {
 }
 
 /// Configuration of [`boruvka_mst`].
+///
+/// # Migration
+///
+/// This is a legacy configuration kept for downstream code; new code
+/// should go through the façade: build a session with
+/// `lcs_api::Pipeline::on` (re-exported as
+/// `low_congestion_shortcuts::api`) and call `Session::mst(weights,
+/// strategy)` — the seed, execution mode and simulator configuration are
+/// session properties there instead of per-call struct fields.
+#[deprecated(
+    since = "0.1.0",
+    note = "migrate to `api::Pipeline` / `api::Session::mst(weights, strategy)`"
+)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoruvkaConfig {
     /// Shortcut strategy used by every phase.
@@ -78,6 +91,12 @@ pub struct BoruvkaConfig {
     /// The [`ShortcutStrategy::NoShortcut`] baseline always uses its
     /// part-internal schedule.
     pub execution: ExecutionMode,
+    /// Simulator configuration of the [`ExecutionMode::Simulated`] phases
+    /// (bandwidth, tracing, engine thread count). `None` uses the
+    /// per-protocol defaults (`SimConfig::for_graph`, threads from
+    /// `LCS_THREADS`); the `lcs_api` session passes its own so the thread
+    /// count flows as a value.
+    pub sim: Option<lcs_congest::SimConfig>,
 }
 
 impl BoruvkaConfig {
@@ -89,6 +108,7 @@ impl BoruvkaConfig {
             seed: 0,
             max_phases: 400,
             execution: ExecutionMode::Scheduled,
+            sim: None,
         }
     }
 
@@ -101,6 +121,12 @@ impl BoruvkaConfig {
     /// Overrides the execution mode.
     pub fn with_execution(mut self, execution: ExecutionMode) -> Self {
         self.execution = execution;
+        self
+    }
+
+    /// Overrides the simulator configuration of `Simulated` phases.
+    pub fn with_sim_config(mut self, sim: lcs_congest::SimConfig) -> Self {
+        self.sim = Some(sim);
         self
     }
 }
@@ -216,9 +242,9 @@ pub fn boruvka_mst(
                 // runs as its own protocol, mirroring the scheduled cost
                 // structure.
                 let family = BlockFamily::new(graph, &tree, &partition, &shortcut);
-                let (_, leader_stats) = part_leaders(graph, &partition, &family, None)?;
+                let (_, leader_stats) = part_leaders(graph, &partition, &family, config.sim)?;
                 let (per_part, min_stats) =
-                    part_min_edges(graph, &partition, &family, &candidates, None)?;
+                    part_min_edges(graph, &partition, &family, &candidates, config.sim)?;
                 (per_part, leader_stats.rounds + min_stats.rounds)
             }
         };

@@ -2,85 +2,87 @@
 //! wall-clock.
 //!
 //! Runs the Lemma 3 distributed verification protocol (the workspace's
-//! longest superstep pipeline) on a 64×64 grid twice — once on the serial
-//! reference engine, once on the sharded engine with four worker shards —
-//! and asserts that the executed statistics and every per-part verdict are
-//! byte-identical. The shard count is a throughput knob, never a semantic
-//! one; `LCS_THREADS` (or `SimConfig::with_threads`) selects it for a
-//! whole process.
+//! longest superstep pipeline) on a 64×64 grid twice — once through a
+//! session pinned to the serial reference engine, once through a session
+//! with four worker shards — and asserts that the executed statistics and
+//! every per-part verdict are byte-identical. The shard count is a
+//! throughput knob, never a semantic one; `Pipeline::threads` (a value —
+//! `Threads::Auto` defers to `LCS_THREADS`) selects it per session.
 //!
 //! Run with: `cargo run --release --example engine_parallel`
 
 use std::time::Instant;
 
-use low_congestion_shortcuts::congest::{SimConfig, Simulator};
-use low_congestion_shortcuts::core::construction::{FindShortcut, FindShortcutConfig};
-use low_congestion_shortcuts::dist::verification_simulated;
-use low_congestion_shortcuts::graph::{generators, NodeId, RootedTree};
+use low_congestion_shortcuts::api::{ExecutionMode, Pipeline, Strategy, Threads};
+use low_congestion_shortcuts::graph::generators;
 
 fn main() {
-    let (side, parts_cb) = (64usize, (63usize, 1usize));
+    let (side, (c, b)) = (64usize, (63usize, 1usize));
     let graph = generators::grid(side, side);
     let partition = generators::partitions::grid_columns(side, side);
-    let tree = RootedTree::bfs(&graph, NodeId::new(0));
-    let (c, b) = parts_cb;
 
-    let shortcut = FindShortcut::new(FindShortcutConfig::new(c, b).with_seed(42))
-        .run(&graph, &tree, &partition)
-        .expect("grid columns admit shortcuts")
-        .shortcut;
-    let active = vec![true; partition.part_count()];
+    let mut serial = Pipeline::on(&graph)
+        .threads(Threads::Fixed(1))
+        .execution(ExecutionMode::Simulated)
+        .seed(42)
+        .build()
+        .expect("the grid is connected");
+    let mut sharded = Pipeline::on(&graph)
+        .threads(Threads::Fixed(4))
+        .execution(ExecutionMode::Simulated)
+        .seed(42)
+        .build()
+        .expect("the grid is connected");
 
-    // The engine selection is visible on the simulator before running.
-    let serial_sim = Simulator::new(&graph, SimConfig::for_graph(&graph).with_threads(1));
-    let sharded_sim = Simulator::new(&graph, SimConfig::for_graph(&graph).with_threads(4));
+    // The engine selection is visible on the session before running.
     println!(
         "grid {side}x{side}: serial engine = {} shard(s), sharded engine = {} shard(s)",
-        serial_sim.shard_count(),
-        sharded_sim.shard_count()
+        serial.shard_map().shard_count(),
+        sharded.shard_map().shard_count()
     );
 
+    // Construct once (scheduled construction, identical on both sessions).
+    serial.set_execution(ExecutionMode::Scheduled);
+    let shortcut = serial
+        .shortcut(
+            &partition,
+            Strategy::Fixed {
+                congestion: c,
+                block: b,
+            },
+        )
+        .expect("grid columns admit shortcuts")
+        .shortcut;
+    serial.set_execution(ExecutionMode::Simulated);
+
     let start = Instant::now();
-    let serial = verification_simulated(
-        &graph,
-        &tree,
-        &partition,
-        &shortcut,
-        3 * b,
-        &active,
-        Some(serial_sim.config()),
-    )
-    .expect("verification respects the CONGEST constraints");
+    let serial_run = serial
+        .verify(&shortcut, &partition, 3 * b)
+        .expect("verification respects the CONGEST constraints");
     let serial_ms = start.elapsed().as_secs_f64() * 1e3;
 
     let start = Instant::now();
-    let sharded = verification_simulated(
-        &graph,
-        &tree,
-        &partition,
-        &shortcut,
-        3 * b,
-        &active,
-        Some(sharded_sim.config()),
-    )
-    .expect("verification respects the CONGEST constraints");
+    let sharded_run = sharded
+        .verify(&shortcut, &partition, 3 * b)
+        .expect("verification respects the CONGEST constraints");
     let sharded_ms = start.elapsed().as_secs_f64() * 1e3;
 
     // Determinism is the engine's contract: identical statistics and
     // identical results, not merely "close".
-    assert_eq!(serial.stats, sharded.stats);
-    assert_eq!(serial.outcome.good, sharded.outcome.good);
-    assert_eq!(serial.outcome.block_counts, sharded.outcome.block_counts);
+    let stats = serial_run.report.sim.expect("simulated runs record stats");
+    assert_eq!(serial_run.report.sim, sharded_run.report.sim);
+    assert_eq!(serial_run.good, sharded_run.good);
+    assert_eq!(serial_run.block_counts, sharded_run.block_counts);
 
     println!(
         "verification: {} rounds, {} messages, {} bits (identical on both engines)",
-        serial.stats.rounds, serial.stats.messages, serial.stats.total_bits
+        stats.rounds, stats.messages, stats.total_bits
     );
     println!("serial engine:  {serial_ms:.1} ms");
     println!("sharded engine: {sharded_ms:.1} ms (4 worker threads)");
     println!(
         "good parts: {}/{}",
-        serial.outcome.good.iter().filter(|&&g| g).count(),
+        serial_run.good.iter().filter(|&&g| g).count(),
         partition.part_count()
     );
 }

@@ -5,12 +5,12 @@
 //! construction finds shortcuts at most an `O(log N)` factor worse. This
 //! example sweeps the number of handles added to a planar grid and reports
 //! the measured quality and construction cost of the parameter-free doubling
-//! construction.
+//! construction, one `api` session per instance.
 //!
 //! Run with: `cargo run --release --example genus_scaling`
 
-use low_congestion_shortcuts::core::construction::{doubling_search, DoublingConfig};
-use low_congestion_shortcuts::graph::{diameter_exact, generators, NodeId, RootedTree};
+use low_congestion_shortcuts::api::{Pipeline, Strategy};
+use low_congestion_shortcuts::graph::{diameter_exact, generators};
 
 fn main() {
     let (rows, cols) = (16usize, 16usize);
@@ -21,19 +21,24 @@ fn main() {
     for g in [0usize, 1, 2, 4, 8] {
         let graph = generators::genus_handles(rows, cols, g);
         let partition = generators::partitions::grid_columns(rows, cols);
-        let tree = RootedTree::bfs(&graph, NodeId::new(0));
-        let result = doubling_search(&graph, &tree, &partition, DoublingConfig::new())
+        let mut session = Pipeline::on(&graph)
+            .build()
+            .expect("handle graphs are connected");
+        let run = session
+            .shortcut(&partition, Strategy::doubling())
             .expect("handle graphs admit good shortcuts");
-        let quality = result.shortcut.quality(&graph, &partition);
+        let quality = session
+            .quality(&run.shortcut, &partition)
+            .expect("the partition matches the session graph");
         println!(
             "{:>6} {:>6} {:>8} {:>12} {:>8} {:>10} {:>12}",
             g,
             diameter_exact(&graph),
-            tree.depth_of_tree(),
+            session.tree().depth_of_tree(),
             quality.congestion,
             quality.block_parameter,
             quality.dilation,
-            result.total_rounds()
+            run.total_rounds()
         );
     }
 }

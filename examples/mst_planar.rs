@@ -7,12 +7,16 @@
 //!
 //! Run with: `cargo run --release --example mst_planar`
 
+use low_congestion_shortcuts::api::{Pipeline, ShortcutStrategy};
 use low_congestion_shortcuts::graph::{generators, kruskal_mst, EdgeWeights, Graph};
-use low_congestion_shortcuts::mst::{boruvka_mst, BoruvkaConfig, ShortcutStrategy};
 
 fn run(name: &str, graph: &Graph, seed: u64) {
     let weights = EdgeWeights::random_permutation(graph, seed);
     let reference = kruskal_mst(graph, &weights);
+    let mut session = Pipeline::on(graph)
+        .seed(seed)
+        .build()
+        .expect("MST instances are connected");
 
     println!(
         "== {name}: n = {}, m = {} ==",
@@ -28,17 +32,14 @@ fn run(name: &str, graph: &Graph, seed: u64) {
         ("no shortcuts (baseline)", ShortcutStrategy::NoShortcut),
         ("whole-tree shortcut", ShortcutStrategy::WholeTree),
     ] {
-        let outcome = boruvka_mst(
-            graph,
-            &weights,
-            &BoruvkaConfig::new(strategy).with_seed(seed),
-        )
-        .expect("MST computation succeeds");
+        let outcome = session
+            .mst(&weights, strategy)
+            .expect("MST computation succeeds");
         println!(
             "{:<28} {:>8} {:>10} {:>12}",
             label,
             outcome.phases,
-            outcome.total_rounds(),
+            outcome.report.rounds_charged,
             outcome.edges == reference
         );
     }

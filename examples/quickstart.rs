@@ -1,5 +1,5 @@
 //! Quickstart: construct a tree-restricted shortcut on a planar grid and
-//! inspect it.
+//! inspect it — through the `api` front door.
 //!
 //! This example reproduces the situation of Figure 1 of the paper: a part of
 //! a partitioned graph, its shortcut subgraph restricted to a BFS tree, and
@@ -7,15 +7,20 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use low_congestion_shortcuts::core::construction::{doubling_search, DoublingConfig};
-use low_congestion_shortcuts::graph::{generators, NodeId, PartId, RootedTree};
+use low_congestion_shortcuts::api::{Pipeline, Strategy};
+use low_congestion_shortcuts::graph::{generators, PartId};
 
 fn main() {
     // A 16x16 planar grid partitioned into its 16 columns.
     let (rows, cols) = (16usize, 16usize);
     let graph = generators::grid(rows, cols);
     let partition = generators::partitions::grid_columns(rows, cols);
-    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+
+    // One session owns the BFS tree, the shard map and the quality
+    // workspaces; every query below reuses them.
+    let mut session = Pipeline::on(&graph)
+        .build()
+        .expect("the grid is nonempty and connected");
 
     println!(
         "graph: {rows}x{cols} grid, n = {}, m = {}",
@@ -27,23 +32,24 @@ fn main() {
         partition.part_count(),
         partition.max_part_diameter(&graph)
     );
-    println!("BFS tree depth D = {}", tree.depth_of_tree());
+    println!("BFS tree depth D = {}", session.tree().depth_of_tree());
     println!();
 
     // Construct a shortcut without knowing the canonical parameters
     // (Appendix A doubling search over the Theorem 3 construction).
-    let result = doubling_search(&graph, &tree, &partition, DoublingConfig::new())
+    let run = session
+        .shortcut(&partition, Strategy::doubling())
         .expect("the grid admits good tree-restricted shortcuts");
-    let quality = result.shortcut.quality(&graph, &partition);
+    let quality = session
+        .quality(&run.shortcut, &partition)
+        .expect("the partition matches the session graph");
 
-    println!(
-        "doubling search succeeded at guesses (c = {}, b = {})",
-        result.congestion_guess, result.block_guess
-    );
+    let (c, b) = run.winning_guess().expect("the search succeeded");
+    println!("doubling search succeeded at guesses (c = {c}, b = {b})");
     println!(
         "construction cost: {} CONGEST rounds over {} attempt(s)",
-        result.total_rounds(),
-        result.attempts.len()
+        run.total_rounds(),
+        run.report.attempts.len()
     );
     println!(
         "measured quality: congestion = {}, block parameter = {}, dilation = {}",
@@ -51,19 +57,23 @@ fn main() {
     );
     println!(
         "Lemma 1 check (dilation <= b(2D+1)): {}",
-        quality.satisfies_lemma1(tree.depth_of_tree())
+        quality.satisfies_lemma1(session.tree().depth_of_tree())
     );
+    println!();
+
+    // The unified report serializes without any external dependency.
+    println!("report: {}", run.report.to_json());
     println!();
 
     // Figure 1: the block decomposition of one part's shortcut subgraph.
     let part = PartId::new(cols / 2);
-    let blocks = result
+    let blocks = run
         .shortcut
-        .block_components(&graph, &tree, &partition, part);
+        .block_components(&graph, session.tree(), &partition, part);
     println!(
         "part {part} (column {}) uses {} tree edges, decomposed into {} block component(s):",
         cols / 2,
-        result.shortcut.edges_of(part).len(),
+        run.shortcut.edges_of(part).len(),
         blocks.len()
     );
     for (i, block) in blocks.iter().enumerate() {

@@ -5,36 +5,39 @@
 //! difference is the price: `O(D·c)` rounds for the deterministic version
 //! versus `O(D log n + c)` for the sampled one. This example measures both
 //! on grids partitioned into random BFS balls, for growing congestion
-//! parameters.
+//! parameters, all queries served by one `api` session.
 //!
 //! Run with: `cargo run --release --example shortcut_quality`
 
-use low_congestion_shortcuts::core::construction::{core_fast, core_slow, CoreFastConfig};
-use low_congestion_shortcuts::graph::{generators, NodeId, RootedTree};
+use low_congestion_shortcuts::api::{CoreKind, Pipeline};
+use low_congestion_shortcuts::graph::generators;
 
 fn main() {
     let (rows, cols) = (20usize, 20usize);
     let graph = generators::grid(rows, cols);
-    let tree = RootedTree::bfs(&graph, NodeId::new(0));
-    println!("grid {rows}x{cols}, depth(T) = {}", tree.depth_of_tree());
+    let mut session = Pipeline::on(&graph)
+        .seed(1)
+        .build()
+        .expect("the grid is connected");
+    println!(
+        "grid {rows}x{cols}, depth(T) = {}",
+        session.tree().depth_of_tree()
+    );
     println!(
         "{:>6} {:>6} {:>12} {:>12} {:>14} {:>14}",
         "parts", "c", "slow rounds", "fast rounds", "slow good/N", "fast good/N"
     );
     for &parts in &[8usize, 20, 50, 100] {
         let partition = generators::partitions::random_bfs_balls(&graph, parts, 1);
-        let active = vec![true; partition.part_count()];
         let c = parts.max(4) / 2;
         let b = 4usize;
 
-        let slow = core_slow(&graph, &tree, &partition, c, &active);
-        let fast = core_fast(
-            &graph,
-            &tree,
-            &partition,
-            &CoreFastConfig::new(c).with_seed(1),
-            &active,
-        );
+        let slow = session
+            .core(&partition, CoreKind::Slow, c)
+            .expect("the partition matches the session graph");
+        let fast = session
+            .core(&partition, CoreKind::Fast, c)
+            .expect("the partition matches the session graph");
 
         let good = |counts: &[usize]| counts.iter().filter(|&&k| k <= 3 * b).count();
         let slow_counts = slow.shortcut.block_counts(&graph, &partition);

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use lcs_api as api;
 pub use lcs_congest as congest;
 pub use lcs_core as core;
 pub use lcs_dist as dist;

@@ -1,7 +1,13 @@
 //! Cross-crate integration tests: the full pipeline from graph generation
 //! through shortcut construction and routing to the MST application,
 //! validated against centralized references.
+//!
+//! The legacy entry points are exercised on purpose (beyond the façade
+//! tests below): they are the deprecation shims the redesign promised to
+//! keep compiling for downstream code.
+#![allow(deprecated)]
 
+use low_congestion_shortcuts::api;
 use low_congestion_shortcuts::core::construction::{
     doubling_search, DoublingConfig, FindShortcut, FindShortcutConfig,
 };
@@ -247,4 +253,86 @@ fn simulated_execution_pipeline_agrees_with_centralized_references() {
     )
     .unwrap();
     assert_eq!(outcome.edges, kruskal_mst(&graph, &weights));
+}
+
+/// The same full pipeline through the `api` front door: one session serves
+/// construction, quality, verification and MST, and every result agrees
+/// with the direct legacy calls exercised by the tests above.
+#[test]
+fn full_pipeline_through_the_api_facade() {
+    let graph = generators::grid(10, 10);
+    let partition = generators::partitions::grid_columns(10, 10);
+    let mut session = api::Pipeline::on(&graph)
+        .build()
+        .expect("the grid is connected");
+
+    // Construction without knowing (c, b), equal to the legacy search.
+    let run = session
+        .shortcut(&partition, api::Strategy::doubling())
+        .unwrap();
+    let tree = RootedTree::bfs(&graph, NodeId::new(0));
+    let legacy = doubling_search(&graph, &tree, &partition, DoublingConfig::new()).unwrap();
+    assert_eq!(run.shortcut, legacy.shortcut);
+    assert!(run.report.all_parts_good);
+
+    // Quality through the session's reusable workspaces.
+    let quality = session.quality(&run.shortcut, &partition).unwrap();
+    assert_eq!(quality, legacy.shortcut.quality(&graph, &partition));
+    let (_, b) = run.winning_guess().unwrap();
+    assert!(quality.block_parameter <= 3 * b);
+
+    // Verification in both execution modes classifies identically.
+    let scheduled = session.verify(&run.shortcut, &partition, 3 * b).unwrap();
+    session.set_execution(api::ExecutionMode::Simulated);
+    let simulated = session.verify(&run.shortcut, &partition, 3 * b).unwrap();
+    assert_eq!(scheduled.good, simulated.good);
+    assert!(simulated.report.sim.is_some());
+    session.set_execution(api::ExecutionMode::Scheduled);
+
+    // MST through the session equals Kruskal.
+    let weights = EdgeWeights::random_permutation(&graph, 99);
+    let mst = session
+        .mst(&weights, api::ShortcutStrategy::Doubling)
+        .unwrap();
+    assert_eq!(mst.edges, kruskal_mst(&graph, &weights));
+
+    // The unified report serializes as JSON without external dependencies.
+    let json = run.report.to_json();
+    assert!(json.starts_with("{\"operation\":\"shortcut\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
+/// The unified error type carries every layer's failures through one enum.
+#[test]
+fn unified_error_spans_the_pipeline_layers() {
+    use low_congestion_shortcuts::graph::LcsError;
+
+    // Config: zero threads is rejected at the parse surface.
+    let err = low_congestion_shortcuts::graph::Threads::parse("0").unwrap_err();
+    assert!(matches!(err, LcsError::Config { .. }));
+
+    // Budget: the lower-bound instance cannot be served at (1, 1).
+    let (graph, layout) = generators::lower_bound_graph(6, 16);
+    let partition = generators::partitions::lower_bound_paths(&layout);
+    let mut session = api::Pipeline::on(&graph)
+        .tree(api::TreeSpec::Bfs(layout.connector(0)))
+        .build()
+        .unwrap();
+    let err = session
+        .shortcut(
+            &partition,
+            api::Strategy::Doubling(api::DoublingSpec {
+                max_doublings: 0,
+                ..api::DoublingSpec::default()
+            }),
+        )
+        .unwrap_err();
+    assert!(matches!(err, LcsError::BudgetExhausted { .. }));
+
+    // Inconsistent inputs: a partition over the wrong node count.
+    let other = generators::partitions::grid_columns(3, 3);
+    let err = session
+        .shortcut(&other, api::Strategy::doubling())
+        .unwrap_err();
+    assert!(matches!(err, LcsError::InconsistentInputs { .. }));
 }
