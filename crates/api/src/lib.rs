@@ -52,10 +52,12 @@
 
 mod config;
 mod report;
+mod serve;
 mod session;
 
 pub use config::{CoreKind, DoublingSpec, Strategy, TreeSpec};
 pub use report::{Attempt, Report};
+pub use serve::{Query, QueryValue, Served, ValueDigest};
 pub use session::{MstRun, Pipeline, Result, Session, ShortcutRun, VerifyRun};
 
 // The unified error and the thread-count value type live at the bottom of

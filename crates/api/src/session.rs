@@ -607,12 +607,22 @@ impl<'g> Session<'g> {
     ///
     /// # Errors
     ///
-    /// Fails on the first query that fails, with that query's error.
+    /// An empty `partitions` slice is a configuration error
+    /// ([`LcsError::Config`]) — a batch with nothing to serve is always a
+    /// caller bug, and surfacing it beats silently returning an empty
+    /// `Vec`. Otherwise fails on the first query that fails, with that
+    /// query's error.
     pub fn batch(
         &mut self,
         partitions: &[&Partition],
         strategy: Strategy,
     ) -> Result<Vec<ShortcutRun>> {
+        if partitions.is_empty() {
+            return Err(LcsError::Config {
+                reason: "batch requires at least one partition (got an empty query list)"
+                    .to_string(),
+            });
+        }
         let mut runs = Vec::with_capacity(partitions.len());
         for &partition in partitions {
             let mut run = self.shortcut(partition, strategy)?;
@@ -762,6 +772,17 @@ mod tests {
         assert_eq!(
             ver.trace.iter().map(|t| t.messages).sum::<u64>(),
             stats.messages
+        );
+    }
+
+    #[test]
+    fn batch_rejects_an_empty_query_list() {
+        let g = generators::grid(4, 4);
+        let mut session = Pipeline::on(&g).build().unwrap();
+        let err = session.batch(&[], Strategy::doubling()).unwrap_err();
+        assert!(
+            matches!(err, LcsError::Config { .. }),
+            "empty batch must be a typed Config error, got: {err}"
         );
     }
 }

@@ -1,0 +1,61 @@
+//! E13 benchmark: end-to-end workload throughput of the serving harness
+//! (the table itself is produced by the `experiments` binary; this bench
+//! times whole workload runs):
+//!
+//! * `open_consume` / `closed_consume` — read-only traffic (verify +
+//!   quality) against a warm corpus, open loop at maximal pressure vs a
+//!   4-client closed loop;
+//! * `closed_mixed` — the same closed loop with a construct/MST minority,
+//!   showing how much the expensive tail costs in aggregate;
+//! * `trace_generation` — the pure generator, to confirm traffic synthesis
+//!   is noise next to serving.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_workload::{
+    generate_trace, run_workload, Corpus, CorpusSpec, Family, Mode, QueryMix, WorkloadSpec,
+};
+
+const QUERIES: usize = 120;
+
+fn spec(mode: Mode, mix: QueryMix) -> WorkloadSpec {
+    WorkloadSpec::new(mode, QUERIES, 1.0, mix, 17)
+}
+
+fn bench_e13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_workload");
+    group.sample_size(10);
+    for size in [12usize, 16] {
+        let corpus = Corpus::build(&CorpusSpec {
+            family: Family::Grid,
+            size,
+            entries: 6,
+            seed: 42,
+        })
+        .unwrap();
+        let open = Mode::Open {
+            mean_interarrival_nanos: 0,
+        };
+        let closed = Mode::Closed {
+            clients: 4,
+            think_nanos: 0,
+        };
+
+        group.bench_with_input(BenchmarkId::new("open_consume", size), &size, |b, _| {
+            b.iter(|| run_workload(&corpus, &spec(open, QueryMix::consume())).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("closed_consume", size), &size, |b, _| {
+            b.iter(|| run_workload(&corpus, &spec(closed, QueryMix::consume())).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("closed_mixed", size), &size, |b, _| {
+            b.iter(|| run_workload(&corpus, &spec(closed, QueryMix::mixed())).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("trace_generation", size), &size, |b, _| {
+            let s = spec(open, QueryMix::mixed());
+            b.iter(|| generate_trace(&s, corpus.len()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e13);
+criterion_main!(benches);

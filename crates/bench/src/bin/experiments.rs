@@ -1,12 +1,14 @@
 //! Prints every experiment table of the reproduction (see EXPERIMENTS.md).
 //!
 //! Usage:
-//!   experiments                      # run the standard experiments (e1-e9, e11)
+//!   experiments                      # run the standard experiments (e1-e9, e11, e13)
 //!   experiments e1 e4                # run a subset
 //!   experiments e10                  # the 10^6-node tier (opt-in: heavy)
 //!   experiments --threads 4 e10      # ... on the sharded engine
 //!   experiments --json out.json      # also write the tables as JSON
 //!   experiments e8 --json out.json   # subset + JSON
+//!   experiments e13 --json w.json    # workload tier; JSON embeds the full
+//!                                    # latency histograms under "extra"
 //!
 //! `--threads N` sets the `LCS_THREADS` environment variable before any
 //! table runs, which selects the simulator's round engine (and the
@@ -17,12 +19,19 @@
 //! with a clear error instead of silently defaulting.
 
 use lcs_bench::{
-    e10_scale_table, e11_serving_table, e1_quality_table, e2_findshortcut_table, e3_routing_table,
-    e4_mst_table, e5_core_table, e6_doubling_table, e7_guarantees_table, e8_dist_table,
-    e9_scale_table, render_table, tables_to_json, timed_table, Table, TimedTable,
+    e10_scale_table, e11_serving_table, e13_workload_table, e1_quality_table,
+    e2_findshortcut_table, e3_routing_table, e4_mst_table, e5_core_table, e6_doubling_table,
+    e7_guarantees_table, e8_dist_table, e9_scale_table, render_table, tables_to_json, timed_table,
+    timed_table_with_extra, Table, TimedTable,
 };
 
-type TableBuilder = fn() -> Table;
+/// Most tables are plain; E13 additionally returns a JSON payload (its
+/// full latency histograms) that `--json` embeds under `"extra"`.
+#[derive(Clone, Copy)]
+enum TableBuilder {
+    Plain(fn() -> Table),
+    WithExtra(fn() -> (Table, String)),
+}
 
 fn main() {
     let mut json_path: Option<String> = None;
@@ -54,17 +63,18 @@ fn main() {
     }
 
     let all: Vec<(&str, TableBuilder)> = vec![
-        ("e1", e1_quality_table),
-        ("e2", e2_findshortcut_table),
-        ("e3", e3_routing_table),
-        ("e4", e4_mst_table),
-        ("e5", e5_core_table),
-        ("e6", e6_doubling_table),
-        ("e7", e7_guarantees_table),
-        ("e8", e8_dist_table),
-        ("e9", e9_scale_table),
-        ("e10", e10_scale_table),
-        ("e11", e11_serving_table),
+        ("e1", TableBuilder::Plain(e1_quality_table)),
+        ("e2", TableBuilder::Plain(e2_findshortcut_table)),
+        ("e3", TableBuilder::Plain(e3_routing_table)),
+        ("e4", TableBuilder::Plain(e4_mst_table)),
+        ("e5", TableBuilder::Plain(e5_core_table)),
+        ("e6", TableBuilder::Plain(e6_doubling_table)),
+        ("e7", TableBuilder::Plain(e7_guarantees_table)),
+        ("e8", TableBuilder::Plain(e8_dist_table)),
+        ("e9", TableBuilder::Plain(e9_scale_table)),
+        ("e10", TableBuilder::Plain(e10_scale_table)),
+        ("e11", TableBuilder::Plain(e11_serving_table)),
+        ("e13", TableBuilder::WithExtra(e13_workload_table)),
     ];
     // Fail loudly on anything that is not a known experiment id — a typoed
     // flag must not silently produce an empty run (CI consumes the JSON).
@@ -88,7 +98,13 @@ fn main() {
         };
         if selected {
             eprintln!("running {name}...");
-            let timed = timed_table(name, build);
+            let timed = match build {
+                TableBuilder::Plain(build) => timed_table(name, build),
+                TableBuilder::WithExtra(build) => timed_table_with_extra(name, || {
+                    let (table, extra) = build();
+                    (table, Some(extra))
+                }),
+            };
             println!("{}", render_table(&timed.table));
             eprintln!("{name} built in {:.1} ms", timed.millis);
             built.push(timed);

@@ -1020,27 +1020,149 @@ pub fn e11_serving_table() -> Table {
     }
 }
 
+/// E13 — workload-driven serving: open- and closed-loop clients replaying
+/// deterministic Zipf(θ) traffic over pre-built partition corpora, with
+/// tail-latency (p50/p95/p99/max) and throughput columns.
+///
+/// Two corpora (grid 16×16, torus 12×12 — a planar family and a
+/// higher-genus one, six partitions each) × two pacing modes × θ ∈ {0, 1}
+/// × two query mixes ("consume" = verify/quality only; "mixed" adds a
+/// construct/MST minority). Open loop paces Poisson arrivals at a fixed
+/// mean and charges queueing delay to latency, so the expensive minority
+/// of a mixed trace pushes p99 far past p50; the closed loop reports pure
+/// service time for contrast. Every configuration is run twice and the
+/// `det` column asserts the two result-value digests are identical — the
+/// determinism contract the workload layer guarantees at any thread count.
+///
+/// Returns the table plus a JSON document with each row's *full* latency
+/// histogram (the `--json` output embeds it under `"extra"`), because
+/// p50/p95/p99 alone cannot show a bimodal service-time split.
+pub fn e13_workload_table() -> (Table, String) {
+    use lcs_workload::{run_workload, Corpus, CorpusSpec, Family, Mode, QueryMix, WorkloadSpec};
+
+    const QUERIES: usize = 160;
+    const CLIENTS: usize = 4;
+    const MEAN_INTERARRIVAL_NANOS: u64 = 500_000; // 0.5 ms — near saturation
+
+    let corpora = [
+        Corpus::build(&CorpusSpec {
+            family: Family::Grid,
+            size: 16,
+            entries: 6,
+            seed: 42,
+        })
+        .expect("grid corpus builds"),
+        Corpus::build(&CorpusSpec {
+            family: Family::Torus,
+            size: 12,
+            entries: 6,
+            seed: 42,
+        })
+        .expect("torus corpus builds"),
+    ];
+    let modes = [
+        Mode::Open {
+            mean_interarrival_nanos: MEAN_INTERARRIVAL_NANOS,
+        },
+        Mode::Closed {
+            clients: CLIENTS,
+            think_nanos: 0,
+        },
+    ];
+
+    let micros = |nanos: u64| format!("{:.1}", nanos as f64 / 1e3);
+    let mut rows = Vec::new();
+    let mut extras = Vec::new();
+    for corpus in &corpora {
+        for &theta in &[0.0f64, 1.0] {
+            for &mix in &[QueryMix::consume(), QueryMix::mixed()] {
+                for &mode in &modes {
+                    let spec = WorkloadSpec::new(mode, QUERIES, theta, mix, 17);
+                    let outcome = run_workload(corpus, &spec).expect("workload runs");
+                    let rerun = run_workload(corpus, &spec).expect("workload reruns");
+                    let deterministic = outcome.digest == rerun.digest;
+                    let h = &outcome.histogram;
+                    rows.push(vec![
+                        corpus.label().to_string(),
+                        mode.label().to_string(),
+                        format!("{theta:.0}"),
+                        mix.label(),
+                        outcome.queries.to_string(),
+                        mode.clients().to_string(),
+                        micros(h.quantile(0.50)),
+                        micros(h.quantile(0.95)),
+                        micros(h.quantile(0.99)),
+                        micros(h.max()),
+                        format!("{:.0}", outcome.throughput_qps()),
+                        deterministic.to_string(),
+                    ]);
+                    extras.push(format!(
+                        "{{\"family\":\"{}\",\"mode\":\"{}\",\"theta\":{theta:.1},\"mix\":\"{}\",\"clients\":{},\"queries\":{},\"qps\":{:.1},\"deterministic\":{},\"digest\":{},\"histogram\":{}}}",
+                        corpus.label(),
+                        mode.label(),
+                        mix.label(),
+                        mode.clients(),
+                        outcome.queries,
+                        outcome.throughput_qps(),
+                        deterministic,
+                        outcome.digest,
+                        h.to_json(),
+                    ));
+                }
+            }
+        }
+    }
+
+    let table = Table {
+        title: "E13: workload serving — open/closed-loop clients, Zipf(theta) traffic over pre-built corpora (latency in microseconds; det = rerun digests identical)"
+            .to_string(),
+        headers: [
+            "family", "mode", "theta", "mix", "queries", "clients", "p50 us", "p95 us", "p99 us",
+            "max us", "qps", "det",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows,
+    };
+    (table, format!("{{\"rows\":[{}]}}", extras.join(",")))
+}
+
 /// A built table together with the wall-clock time it took to build — the
 /// quantity the bench trajectory (`BENCH_SCALE.json`) tracks across PRs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimedTable {
-    /// Experiment id (`"e1"` … `"e11"`).
+    /// Experiment id (`"e1"` … `"e13"`).
     pub id: String,
     /// The rendered table.
     pub table: Table,
     /// Wall-clock build time in milliseconds.
     pub millis: f64,
+    /// Optional pre-serialized JSON payload the table builder wants
+    /// embedded verbatim in the `--json` output (E13 ships its full
+    /// latency histograms this way).
+    pub extra_json: Option<String>,
 }
 
 /// Builds a table through `build`, measuring the wall-clock time.
 pub fn timed_table(id: &str, build: impl FnOnce() -> Table) -> TimedTable {
+    timed_table_with_extra(id, || (build(), None))
+}
+
+/// [`timed_table`] for builders that also produce an extra JSON payload
+/// (`Some` to embed it under the table's `"extra"` key).
+pub fn timed_table_with_extra(
+    id: &str,
+    build: impl FnOnce() -> (Table, Option<String>),
+) -> TimedTable {
     let start = std::time::Instant::now();
-    let table = build();
+    let (table, extra_json) = build();
     let millis = start.elapsed().as_secs_f64() * 1e3;
     TimedTable {
         id: id.to_string(),
         table,
         millis,
+        extra_json,
     }
 }
 
@@ -1075,13 +1197,20 @@ pub fn tables_to_json(tables: &[TimedTable], threads: usize) -> String {
     for timed in tables {
         let table = &timed.table;
         let rows: Vec<String> = table.rows.iter().map(|r| string_array(r)).collect();
+        // `extra` is a pre-serialized JSON document from the table builder
+        // (e.g. E13's full histograms) and is embedded verbatim.
+        let extra = match &timed.extra_json {
+            Some(extra) => format!(",\"extra\":{extra}"),
+            None => String::new(),
+        };
         entries.push(format!(
-            "{{\"id\":\"{}\",\"title\":\"{}\",\"millis\":{:.3},\"headers\":{},\"rows\":[{}]}}",
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"millis\":{:.3},\"headers\":{},\"rows\":[{}]{}}}",
             esc(&timed.id),
             esc(&table.title),
             timed.millis,
             string_array(&table.headers),
-            rows.join(",")
+            rows.join(","),
+            extra
         ));
     }
     format!(
@@ -1141,6 +1270,7 @@ mod tests {
                 id: "t1".to_string(),
                 table,
                 millis: 12.5,
+                extra_json: None,
             }],
             4,
         );
@@ -1149,12 +1279,33 @@ mod tests {
         assert!(json.contains("x\\\\y"));
         assert!(json.contains("\"millis\":12.500"));
         assert!(json.contains("\"threads\":4"));
+        assert!(!json.contains("\"extra\""));
         assert!(json.starts_with("{\"generator\":\"experiments\""));
         assert!(json.trim_end().ends_with("]}"));
         // Balanced braces/brackets as a cheap well-formedness check.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_writer_embeds_extra_payloads_verbatim() {
+        let timed = timed_table_with_extra("e13", || {
+            (
+                Table {
+                    title: "t".to_string(),
+                    headers: vec!["h".to_string()],
+                    rows: vec![vec!["1".to_string()]],
+                },
+                Some("{\"rows\":[{\"p99\":7}]}".to_string()),
+            )
+        });
+        let json = tables_to_json(&[timed], 1);
+        assert!(
+            json.contains(",\"extra\":{\"rows\":[{\"p99\":7}]}}"),
+            "extra payload missing: {json}"
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

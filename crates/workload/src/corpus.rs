@@ -1,0 +1,240 @@
+//! Pre-built serving corpora: one graph per [`Family`], many entries —
+//! each a partition with its constructed shortcut, a verification
+//! threshold, and an edge-weight permutation — so the drivers serve warm
+//! and the workload measures serving, not setup.
+//!
+//! Entry 0 is the family's *canonical* partition (grid columns, wheel
+//! arcs — the shapes the paper's bounds are stated for); the remaining
+//! entries are seeded random BFS-ball partitions, which is where
+//! construction cost varies. Under Zipf skew rank 0 is the hottest
+//! entry, so θ=1 traffic hammers the canonical decomposition while the
+//! tail occasionally pays for the irregular ones.
+
+use lcs_api::graph::{generators, EdgeWeights, Graph, Partition};
+use lcs_api::{LcsError, Pipeline, Result, Strategy, TreeShortcut};
+
+/// The graph families a corpus can be built over — the same five the
+/// experiment tiers sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Planar `size × size` grid; canonical partition = columns.
+    Grid,
+    /// `size × size` torus (genus grows with size).
+    Torus,
+    /// Random connected graph on `size²` nodes with `size²` extra edges.
+    Random,
+    /// Caterpillar tree on ~`size²` nodes (spine `size²/4`, 3 legs each).
+    Caterpillar,
+    /// Wheel on `size² + 1` nodes; canonical partition = rim arcs.
+    Wheel,
+}
+
+impl Family {
+    /// All five families.
+    pub const ALL: [Family; 5] = [
+        Family::Grid,
+        Family::Torus,
+        Family::Random,
+        Family::Caterpillar,
+        Family::Wheel,
+    ];
+
+    /// Short label for table rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Family::Grid => "grid",
+            Family::Torus => "torus",
+            Family::Random => "random",
+            Family::Caterpillar => "caterpillar",
+            Family::Wheel => "wheel",
+        }
+    }
+}
+
+/// What to build: a family, its size knob (roughly `size²` nodes), how
+/// many partition entries, and the seed the random partitions, weight
+/// permutations, and construction sessions all derive from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusSpec {
+    /// Graph family.
+    pub family: Family,
+    /// Size knob: grids/tori are `size × size`; other families target
+    /// ~`size²` nodes. Must be ≥ 3.
+    pub size: usize,
+    /// Number of corpus entries (partitions). Must be ≥ 1.
+    pub entries: usize,
+    /// Seed for partitions, weights, and the construction session.
+    pub seed: u64,
+}
+
+/// One pre-built serving entry.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The partition queries target.
+    pub partition: Partition,
+    /// The shortcut constructed for it at corpus-build time (what verify
+    /// and quality queries consume).
+    pub shortcut: TreeShortcut,
+    /// Verification threshold: 3× the winning doubling guess's block
+    /// parameter, the same "good" margin the construction proves.
+    pub threshold: usize,
+    /// A seeded weight permutation for MST queries against this entry.
+    pub weights: EdgeWeights,
+}
+
+/// A graph plus its pre-built entries — everything the drivers borrow.
+#[derive(Debug)]
+pub struct Corpus {
+    graph: Graph,
+    entries: Vec<CorpusEntry>,
+    label: String,
+}
+
+impl Corpus {
+    /// Builds the graph, the partitions, and every entry's shortcut /
+    /// threshold / weights. Deterministic in `spec`.
+    ///
+    /// # Errors
+    ///
+    /// [`LcsError::Config`] for a degenerate spec (`entries == 0` or
+    /// `size < 3`); otherwise whatever the construction session reports.
+    pub fn build(spec: &CorpusSpec) -> Result<Corpus> {
+        if spec.entries == 0 {
+            return Err(LcsError::Config {
+                reason: "corpus needs at least one entry (spec.entries = 0)".to_string(),
+            });
+        }
+        if spec.size < 3 {
+            return Err(LcsError::Config {
+                reason: format!("corpus size knob must be >= 3, got {}", spec.size),
+            });
+        }
+        let n = spec.size * spec.size;
+        let graph = match spec.family {
+            Family::Grid => generators::grid(spec.size, spec.size),
+            Family::Torus => generators::torus(spec.size, spec.size),
+            Family::Random => generators::random_connected(n, n, spec.seed),
+            Family::Caterpillar => generators::caterpillar((n / 4).max(1), 3),
+            Family::Wheel => generators::wheel(n + 1),
+        };
+        let parts = spec.size.max(4);
+        let mut session = Pipeline::on(&graph).seed(spec.seed).build()?;
+        let mut entries = Vec::with_capacity(spec.entries);
+        for k in 0..spec.entries {
+            let partition = if k == 0 {
+                match spec.family {
+                    Family::Grid => generators::partitions::grid_columns(spec.size, spec.size),
+                    Family::Wheel => generators::partitions::wheel_arcs(n + 1, parts),
+                    _ => generators::partitions::random_bfs_balls(&graph, parts, spec.seed),
+                }
+            } else {
+                generators::partitions::random_bfs_balls(
+                    &graph,
+                    parts,
+                    spec.seed.wrapping_add(k as u64),
+                )
+            };
+            let run = session.shortcut(&partition, Strategy::doubling())?;
+            let (_, block_guess) = run.winning_guess().ok_or_else(|| LcsError::Config {
+                reason: "corpus construction ended without a winning guess".to_string(),
+            })?;
+            entries.push(CorpusEntry {
+                partition,
+                shortcut: run.shortcut,
+                threshold: 3 * block_guess,
+                weights: EdgeWeights::random_permutation(&graph, spec.seed.wrapping_add(k as u64)),
+            });
+        }
+        drop(session);
+        let label = format!("{} {}x{}", spec.family.label(), spec.size, spec.size);
+        Ok(Corpus {
+            graph,
+            entries,
+            label,
+        })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The pre-built entries, in rank order (entry 0 = Zipf-hottest).
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always `false`: construction rejects zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Human-readable corpus label, e.g. `"grid 16x16"`.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_family_small() {
+        for family in Family::ALL {
+            let corpus = Corpus::build(&CorpusSpec {
+                family,
+                size: 4,
+                entries: 2,
+                seed: 5,
+            })
+            .unwrap_or_else(|e| panic!("{}: {e}", family.label()));
+            assert_eq!(corpus.len(), 2);
+            assert!(!corpus.is_empty());
+            assert!(corpus.label().starts_with(family.label()));
+            for entry in corpus.entries() {
+                assert!(entry.threshold >= 3);
+                assert_eq!(entry.partition.node_count(), corpus.graph().node_count());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_specs_are_config_errors() {
+        let bad = Corpus::build(&CorpusSpec {
+            family: Family::Grid,
+            size: 4,
+            entries: 0,
+            seed: 1,
+        });
+        assert!(matches!(bad, Err(LcsError::Config { .. })));
+        let tiny = Corpus::build(&CorpusSpec {
+            family: Family::Grid,
+            size: 2,
+            entries: 1,
+            seed: 1,
+        });
+        assert!(matches!(tiny, Err(LcsError::Config { .. })));
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let spec = CorpusSpec {
+            family: Family::Torus,
+            size: 4,
+            entries: 3,
+            seed: 9,
+        };
+        let a = Corpus::build(&spec).unwrap();
+        let b = Corpus::build(&spec).unwrap();
+        for (ea, eb) in a.entries().iter().zip(b.entries()) {
+            assert_eq!(ea.shortcut, eb.shortcut);
+            assert_eq!(ea.threshold, eb.threshold);
+        }
+    }
+}

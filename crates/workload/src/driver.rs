@@ -1,0 +1,445 @@
+//! The open- and closed-loop workload drivers.
+//!
+//! Both drivers replay one deterministic trace against warm
+//! [`Session`]s and record into [`LatencyHistogram`]s; they differ only
+//! in pacing and in what "latency" means:
+//!
+//! * **Open loop** — one warm session, queries served in trace order, and
+//!   each query's latency is *completion − scheduled arrival*. A query
+//!   that arrives while the previous one is still running pays the
+//!   queueing delay, so expensive minorities (constructs in a mixed
+//!   trace) push the measured tail out — this is the
+//!   coordinated-omission-free measurement the E13 tier reads.
+//! * **Closed loop** — `k` client threads, each with its own warm session
+//!   seeded identically, serving the trace round-robin (client `i` takes
+//!   events `i, i+k, i+2k, …`) with optional think-time; latency is
+//!   per-query service time.
+//!
+//! Determinism: result *values* are pure functions of (graph, partition,
+//! strategy, session seed), so each client's digest chain — and the
+//! outcome digest, which folds per-client digests in client order — is
+//! reproducible at any `LCS_THREADS`, on any machine, under any
+//! interleaving. Timings vary; values and digests do not.
+
+use std::time::{Duration, Instant};
+
+use lcs_api::{
+    Query, QueryValue, Result, Served, Session, ShortcutStrategy, Strategy, ValueDigest,
+};
+
+use crate::corpus::Corpus;
+use crate::histogram::LatencyHistogram;
+use crate::spec::{Mode, WorkloadSpec};
+use crate::trace::{generate_trace, QueryEvent, QueryKind};
+
+/// What one client measured: its sub-histogram, query count, and the
+/// FNV-1a chain over its served-result digests (in its serving order).
+#[derive(Debug, Clone)]
+pub struct ClientOutcome {
+    /// Client index (0 for the open-loop driver).
+    pub client: usize,
+    /// Number of queries this client served.
+    pub queries: u64,
+    /// This client's latency sub-histogram.
+    pub histogram: LatencyHistogram,
+    /// FNV-1a chain over this client's per-query result digests.
+    pub digest: u64,
+}
+
+/// The merged result of one workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadOutcome {
+    /// All clients' histograms merged.
+    pub histogram: LatencyHistogram,
+    /// Per-client sub-outcomes, in client-index order.
+    pub per_client: Vec<ClientOutcome>,
+    /// Total queries served (the trace length).
+    pub queries: u64,
+    /// Per-kind served counts, in `[construct, verify, quality, mst]`
+    /// order.
+    pub kind_counts: [u64; 4],
+    /// Wall-clock nanoseconds of the whole run.
+    pub wall_nanos: u64,
+    /// FNV-1a fold of the per-client digests in client order — the
+    /// one-number determinism check: same spec + corpus ⇒ same digest.
+    pub digest: u64,
+    /// Every query's result values in trace order, when
+    /// [`WorkloadSpec::keep_results`] asked for them.
+    pub results: Option<Vec<QueryValue>>,
+}
+
+impl WorkloadOutcome {
+    /// Served queries per second of wall-clock time.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.queries as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+}
+
+/// Maps a trace event to the [`Query`] it stands for, borrowing the
+/// entry's prebuilt inputs from the corpus. Public so equivalence tests
+/// can replay a trace through [`Session`] directly.
+///
+/// # Panics
+///
+/// Panics if `event.entry` is out of the corpus's range — traces are
+/// generated against the same corpus length, so this is a caller bug.
+pub fn query_of<'a>(corpus: &'a Corpus, event: &QueryEvent) -> Query<'a> {
+    let entry = &corpus.entries()[event.entry];
+    match event.kind {
+        QueryKind::Construct => Query::Construct {
+            partition: &entry.partition,
+            strategy: Strategy::doubling(),
+        },
+        QueryKind::Verify => Query::Verify {
+            shortcut: &entry.shortcut,
+            partition: &entry.partition,
+            threshold: entry.threshold,
+        },
+        QueryKind::Quality => Query::Quality {
+            shortcut: &entry.shortcut,
+            partition: &entry.partition,
+        },
+        QueryKind::Mst => Query::Mst {
+            weights: &entry.weights,
+            strategy: ShortcutStrategy::Doubling,
+        },
+    }
+}
+
+/// Builds one warm serving session over the corpus graph; both drivers
+/// (and every closed-loop client) go through here so their sessions are
+/// configured identically.
+fn warm_session<'g>(corpus: &'g Corpus, spec: &WorkloadSpec) -> Result<Session<'g>> {
+    lcs_api::Pipeline::on(corpus.graph())
+        .seed(spec.seed)
+        .execution(spec.execution)
+        .threads(spec.threads)
+        .build()
+}
+
+/// Runs the workload described by `spec` against `corpus` and returns the
+/// merged outcome. Dispatches on [`WorkloadSpec::mode`].
+///
+/// # Errors
+///
+/// [`lcs_api::LcsError::Config`] for degenerate specs (empty corpus, zero
+/// queries, all-zero mix, zero clients — see
+/// [`generate_trace`]); otherwise the first
+/// query error a session reports.
+pub fn run_workload(corpus: &Corpus, spec: &WorkloadSpec) -> Result<WorkloadOutcome> {
+    let trace = generate_trace(spec, corpus.len())?;
+    let kind_counts = count_kinds(&trace);
+    match spec.mode {
+        Mode::Open { .. } => run_open(corpus, spec, &trace, kind_counts),
+        Mode::Closed {
+            clients,
+            think_nanos,
+        } => run_closed(corpus, spec, &trace, kind_counts, clients, think_nanos),
+    }
+}
+
+fn count_kinds(trace: &[QueryEvent]) -> [u64; 4] {
+    let mut counts = [0u64; 4];
+    for e in trace {
+        counts[e.kind.index()] += 1;
+    }
+    counts
+}
+
+/// What one client's serving loop produces: its histogram, the number of
+/// queries it served, its digest chain, and (when kept) its result values.
+type ClientRun = (LatencyHistogram, u64, u64, Vec<QueryValue>);
+
+/// One client's serving loop over `events`, shared by both drivers.
+/// `latency_of` chooses the measurement (service time vs. schedule-based).
+fn serve_events<'a>(
+    session: &mut Session<'_>,
+    corpus: &Corpus,
+    events: impl Iterator<Item = &'a QueryEvent>,
+    keep_results: bool,
+    mut before: impl FnMut(&QueryEvent),
+    mut latency_of: impl FnMut(&QueryEvent, &Served) -> u64,
+    think_nanos: u64,
+) -> Result<ClientRun> {
+    let mut histogram = LatencyHistogram::new();
+    let mut digest = ValueDigest::new();
+    let mut served_count = 0u64;
+    let mut values = Vec::new();
+    for event in events {
+        before(event);
+        let query = query_of(corpus, event);
+        let served = if keep_results {
+            let (served, value) = session.serve_full(query)?;
+            values.push(value);
+            served
+        } else {
+            session.serve(query)?
+        };
+        histogram.record(latency_of(event, &served));
+        digest.push(served.digest);
+        served_count += 1;
+        if think_nanos > 0 {
+            std::thread::sleep(Duration::from_nanos(think_nanos));
+        }
+    }
+    Ok((histogram, served_count, digest.value(), values))
+}
+
+fn finish(
+    per_client: Vec<ClientOutcome>,
+    kind_counts: [u64; 4],
+    wall_nanos: u64,
+    results: Option<Vec<QueryValue>>,
+) -> WorkloadOutcome {
+    let mut histogram = LatencyHistogram::new();
+    let mut digest = ValueDigest::new();
+    let mut queries = 0u64;
+    for client in &per_client {
+        histogram.merge(&client.histogram);
+        digest.push(client.digest);
+        queries += client.queries;
+    }
+    WorkloadOutcome {
+        histogram,
+        per_client,
+        queries,
+        kind_counts,
+        wall_nanos,
+        digest: digest.value(),
+        results,
+    }
+}
+
+fn run_open(
+    corpus: &Corpus,
+    spec: &WorkloadSpec,
+    trace: &[QueryEvent],
+    kind_counts: [u64; 4],
+) -> Result<WorkloadOutcome> {
+    let mut session = warm_session(corpus, spec)?;
+    let start = Instant::now();
+    let (histogram, served, digest, values) = serve_events(
+        &mut session,
+        corpus,
+        trace.iter(),
+        spec.keep_results,
+        // Hold each query until its scheduled arrival. If the schedule
+        // has fallen behind (the previous query overran), fire at once —
+        // the latency measurement below charges the backlog.
+        |event| {
+            while (start.elapsed().as_nanos() as u64) < event.arrival_nanos {
+                std::hint::spin_loop();
+            }
+        },
+        // Completion minus *scheduled* arrival: queueing delay included.
+        |event, _| (start.elapsed().as_nanos() as u64).saturating_sub(event.arrival_nanos),
+        0,
+    )?;
+    let wall_nanos = start.elapsed().as_nanos() as u64;
+    let client = ClientOutcome {
+        client: 0,
+        queries: served,
+        histogram,
+        digest,
+    };
+    Ok(finish(
+        vec![client],
+        kind_counts,
+        wall_nanos,
+        spec.keep_results.then_some(values),
+    ))
+}
+
+fn run_closed(
+    corpus: &Corpus,
+    spec: &WorkloadSpec,
+    trace: &[QueryEvent],
+    kind_counts: [u64; 4],
+    clients: usize,
+    think_nanos: u64,
+) -> Result<WorkloadOutcome> {
+    let start = Instant::now();
+    // Each client serves its round-robin share on its own warm session.
+    // `thread::scope` lets every client borrow the corpus and the trace.
+    let client_runs: Vec<Result<ClientRun>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut session = warm_session(corpus, spec)?;
+                    serve_events(
+                        &mut session,
+                        corpus,
+                        trace.iter().skip(c).step_by(clients),
+                        spec.keep_results,
+                        |_| {},
+                        |_, served| served.wall_nanos,
+                        think_nanos,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("workload client thread panicked"))
+            .collect()
+    });
+    let wall_nanos = start.elapsed().as_nanos() as u64;
+
+    let mut per_client = Vec::with_capacity(clients);
+    let mut slots: Vec<Option<QueryValue>> = if spec.keep_results {
+        std::iter::repeat_with(|| None).take(trace.len()).collect()
+    } else {
+        Vec::new()
+    };
+    for (c, run) in client_runs.into_iter().enumerate() {
+        let (histogram, served, digest, values) = run?;
+        if spec.keep_results {
+            // Client c served events c, c+k, …: reassemble trace order.
+            for (value, slot) in values
+                .into_iter()
+                .zip(slots.iter_mut().skip(c).step_by(clients))
+            {
+                *slot = Some(value);
+            }
+        }
+        per_client.push(ClientOutcome {
+            client: c,
+            queries: served,
+            histogram,
+            digest,
+        });
+    }
+    let results = spec.keep_results.then(|| {
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every trace slot served exactly once"))
+            .collect()
+    });
+    Ok(finish(per_client, kind_counts, wall_nanos, results))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{CorpusSpec, Family};
+    use crate::spec::QueryMix;
+
+    fn small_corpus() -> Corpus {
+        Corpus::build(&CorpusSpec {
+            family: Family::Grid,
+            size: 4,
+            entries: 2,
+            seed: 3,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn open_and_closed_runs_complete_and_agree_on_values() {
+        let corpus = small_corpus();
+        let open = WorkloadSpec::new(
+            Mode::Open {
+                mean_interarrival_nanos: 0,
+            },
+            12,
+            1.0,
+            QueryMix::mixed(),
+            5,
+        )
+        .keep_results(true);
+        let closed = WorkloadSpec {
+            mode: Mode::Closed {
+                clients: 2,
+                think_nanos: 0,
+            },
+            ..open
+        };
+        let a = run_workload(&corpus, &open).unwrap();
+        let b = run_workload(&corpus, &closed).unwrap();
+        assert_eq!(a.queries, 12);
+        assert_eq!(b.queries, 12);
+        assert_eq!(a.kind_counts.iter().sum::<u64>(), 12);
+        // Same spec modulo pacing ⇒ same trace ⇒ same values.
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.histogram.count(), 12);
+        assert_eq!(b.per_client.len(), 2);
+        assert!(a.throughput_qps() > 0.0);
+    }
+
+    #[test]
+    fn reruns_have_identical_digests() {
+        let corpus = small_corpus();
+        let spec = WorkloadSpec::new(
+            Mode::Closed {
+                clients: 3,
+                think_nanos: 0,
+            },
+            15,
+            0.0,
+            QueryMix::consume(),
+            8,
+        );
+        let a = run_workload(&corpus, &spec).unwrap();
+        let b = run_workload(&corpus, &spec).unwrap();
+        assert_eq!(a.digest, b.digest);
+        for (ca, cb) in a.per_client.iter().zip(&b.per_client) {
+            assert_eq!(ca.digest, cb.digest);
+            assert_eq!(ca.queries, cb.queries);
+        }
+    }
+
+    #[test]
+    fn degenerate_specs_are_config_errors() {
+        let corpus = small_corpus();
+        let zero_queries = WorkloadSpec::new(
+            Mode::Open {
+                mean_interarrival_nanos: 0,
+            },
+            0,
+            0.0,
+            QueryMix::consume(),
+            1,
+        );
+        assert!(matches!(
+            run_workload(&corpus, &zero_queries),
+            Err(lcs_api::LcsError::Config { .. })
+        ));
+        let zero_clients = WorkloadSpec::new(
+            Mode::Closed {
+                clients: 0,
+                think_nanos: 0,
+            },
+            5,
+            0.0,
+            QueryMix::consume(),
+            1,
+        );
+        assert!(matches!(
+            run_workload(&corpus, &zero_clients),
+            Err(lcs_api::LcsError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn more_clients_than_queries_is_fine() {
+        let corpus = small_corpus();
+        let spec = WorkloadSpec::new(
+            Mode::Closed {
+                clients: 7,
+                think_nanos: 0,
+            },
+            3,
+            0.0,
+            QueryMix::consume(),
+            2,
+        );
+        let outcome = run_workload(&corpus, &spec).unwrap();
+        assert_eq!(outcome.queries, 3);
+        assert_eq!(outcome.per_client.len(), 7);
+        assert!(outcome.per_client.iter().skip(3).all(|c| c.queries == 0));
+    }
+}

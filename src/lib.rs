@@ -13,7 +13,11 @@
 //!   Lemma 3 executed as real message passing in the simulator, with the
 //!   cross-check harness pitting them against the scheduled versions,
 //! * [`mst`] — applications: distributed Boruvka MST, part-wise aggregation,
-//!   and the baselines used by the experiments.
+//!   and the baselines used by the experiments,
+//! * [`api`] — the `Pipeline`/`Session` front door with unified config,
+//!   errors, and reports,
+//! * [`workload`] — the serving harness: Zipf traffic over pre-built
+//!   corpora, open/closed-loop client drivers, tail-latency histograms.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the reproduced quantitative claims.
@@ -40,3 +44,4 @@ pub use lcs_core as core;
 pub use lcs_dist as dist;
 pub use lcs_graph as graph;
 pub use lcs_mst as mst;
+pub use lcs_workload as workload;
