@@ -5,6 +5,7 @@
 
 use lcs_congest::SimStats;
 use lcs_core::ShortcutQuality;
+use lcs_obs::json::{escape, push_str_field};
 
 /// One attempt of a doubling search: the parameter guesses, whether every
 /// part verified good, and the rounds the attempt cost.
@@ -90,9 +91,10 @@ impl Report {
             .map(|&(_, v)| v)
     }
 
-    /// Serializes the report as a single JSON object (hand-rolled writer:
-    /// the build environment has no serde). Unset optional fields become
-    /// `null`; `sim` and `quality` become nested objects.
+    /// Serializes the report as a single JSON object (via the shared
+    /// [`lcs_obs::json`] writer: the build environment has no serde).
+    /// Unset optional fields become `null`; `sim` and `quality` become
+    /// nested objects.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256);
         out.push('{');
@@ -149,26 +151,6 @@ impl Report {
         out.push('}');
         out
     }
-}
-
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn push_str_field(out: &mut String, key: &str, value: &str) {
-    out.push_str(&format!("\"{}\":\"{}\"", key, escape(value)));
 }
 
 #[cfg(test)]

@@ -76,6 +76,35 @@ impl Query<'_> {
             Query::Mst { .. } => "mst",
         }
     }
+
+    /// The per-kind metric paths `Session::serve` reports under when a
+    /// recorder is attached: `(queries counter, rounds counter, latency
+    /// timer)`. Static strings so the hot serving path never formats a
+    /// metric name.
+    fn probe_paths(&self) -> (&'static str, &'static str, &'static str) {
+        match self {
+            Query::Construct { .. } => (
+                "serve/construct/queries",
+                "serve/construct/rounds_charged",
+                "serve/construct/latency",
+            ),
+            Query::Verify { .. } => (
+                "serve/verify/queries",
+                "serve/verify/rounds_charged",
+                "serve/verify/latency",
+            ),
+            Query::Quality { .. } => (
+                "serve/quality/queries",
+                "serve/quality/rounds_charged",
+                "serve/quality/latency",
+            ),
+            Query::Mst { .. } => (
+                "serve/mst/queries",
+                "serve/mst/rounds_charged",
+                "serve/mst/latency",
+            ),
+        }
+    }
 }
 
 /// The allocation-free record of one served query. `Copy`, so a workload
@@ -224,6 +253,7 @@ impl Session<'_> {
     ///
     /// Same as [`Session::serve`].
     pub fn serve_full(&mut self, query: Query<'_>) -> Result<(Served, QueryValue)> {
+        let probe_paths = self.obs.is_on().then(|| query.probe_paths());
         let start = Instant::now();
         let (wall_nanos, rounds_charged, all_good, value) = match query {
             Query::Construct {
@@ -278,6 +308,11 @@ impl Session<'_> {
                 )
             }
         };
+        if let Some((queries, rounds, latency)) = probe_paths {
+            self.obs.counter_add(queries, 1);
+            self.obs.counter_add(rounds, rounds_charged);
+            self.obs.timer_record(latency, wall_nanos);
+        }
         Ok((
             Served {
                 wall_nanos,

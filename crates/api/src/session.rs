@@ -22,12 +22,13 @@ use lcs_core::construction::{
 };
 use lcs_core::routing::ExecutionMode;
 use lcs_core::{QualityPool, ShortcutQuality, TreeShortcut};
-use lcs_dist::verification_simulated;
+use lcs_dist::verification_simulated_obs;
 use lcs_graph::{
     is_connected, EdgeId, EdgeWeights, Graph, GraphError, LcsError, Partition, RootedTree,
     ShardMap, Threads,
 };
 use lcs_mst::ShortcutStrategy;
+use lcs_obs::Obs;
 
 use crate::{Attempt, CoreKind, Report, Strategy, TreeSpec};
 
@@ -58,11 +59,13 @@ pub struct Pipeline<'g> {
     execution: ExecutionMode,
     seed: u64,
     trace: bool,
+    recorder: Obs,
 }
 
 impl<'g> Pipeline<'g> {
     /// Starts a pipeline on `graph` with the defaults: BFS tree rooted at
-    /// node 0, `Threads::Auto`, scheduled execution, seed 0, no tracing.
+    /// node 0, `Threads::Auto`, scheduled execution, seed 0, no tracing,
+    /// instrumentation off.
     pub fn on(graph: &'g Graph) -> Self {
         Pipeline {
             graph,
@@ -71,7 +74,18 @@ impl<'g> Pipeline<'g> {
             execution: ExecutionMode::Scheduled,
             seed: 0,
             trace: false,
+            recorder: Obs::off(),
         }
+    }
+
+    /// Attaches an instrumentation handle: the session reports per-query
+    /// counters and latency timers (`serve/{kind}/*`), and `Simulated`
+    /// queries additionally report the protocol and engine probes
+    /// (`dist/*`, `engine/*`), through it. The default ([`Obs::off`])
+    /// costs one branch per probe; query results are identical either way.
+    pub fn recorder(mut self, obs: Obs) -> Self {
+        self.recorder = obs;
+        self
     }
 
     /// Chooses how the spanning tree is obtained (see [`TreeSpec`]).
@@ -177,6 +191,7 @@ impl<'g> Pipeline<'g> {
             execution: self.execution,
             seed: self.seed,
             sim_config,
+            obs: self.recorder,
         })
     }
 }
@@ -192,6 +207,7 @@ pub struct Session<'g> {
     execution: ExecutionMode,
     seed: u64,
     sim_config: SimConfig,
+    pub(crate) obs: Obs,
 }
 
 impl std::fmt::Debug for Session<'_> {
@@ -320,6 +336,12 @@ impl<'g> Session<'g> {
         self.sim_config
     }
 
+    /// The instrumentation handle queries report through (off unless
+    /// [`Pipeline::recorder`] attached one).
+    pub fn recorder(&self) -> &Obs {
+        &self.obs
+    }
+
     fn check_partition(&self, partition: &Partition) -> Result<()> {
         if partition.node_count() != self.graph.node_count() {
             return Err(LcsError::InconsistentInputs {
@@ -352,14 +374,23 @@ impl<'g> Session<'g> {
             ),
             ExecutionMode::Simulated => {
                 let sim_config = self.sim_config;
+                let obs = self.obs.clone();
                 driver.run_with_verifier(
                     self.graph,
                     &self.tree,
                     partition,
                     move |g, t, p, s, threshold, active| {
-                        let outcome =
-                            verification_simulated(g, t, p, s, threshold, active, Some(sim_config))
-                                .map_err(lcs_core::CoreError::from)?;
+                        let outcome = verification_simulated_obs(
+                            g,
+                            t,
+                            p,
+                            s,
+                            threshold,
+                            active,
+                            Some(sim_config),
+                            &obs,
+                        )
+                        .map_err(lcs_core::CoreError::from)?;
                         Ok(outcome.outcome)
                     },
                 )
@@ -510,7 +541,7 @@ impl<'g> Session<'g> {
                 })
             }
             ExecutionMode::Simulated => {
-                let ver = verification_simulated(
+                let ver = verification_simulated_obs(
                     self.graph,
                     &self.tree,
                     partition,
@@ -518,6 +549,7 @@ impl<'g> Session<'g> {
                     threshold,
                     &active,
                     Some(self.sim_config),
+                    &self.obs,
                 )?;
                 report.all_parts_good = ver.outcome.good.iter().all(|&g| g);
                 report.rounds_charged = ver.outcome.rounds;
@@ -623,6 +655,14 @@ impl<'g> Session<'g> {
                     .to_string(),
             });
         }
+        // A cloned handle (refcount bump) so the span guard doesn't hold a
+        // borrow of `self` across the `&mut self` query calls.
+        let obs = self.obs.clone();
+        if obs.is_on() {
+            obs.counter_add("session/batch/calls", 1);
+            obs.counter_add("session/batch/queries", partitions.len() as u64);
+        }
+        let _span = lcs_obs::span!(obs, "session/batch");
         let mut runs = Vec::with_capacity(partitions.len());
         for &partition in partitions {
             let mut run = self.shortcut(partition, strategy)?;

@@ -1,0 +1,59 @@
+//! E14 benchmark: instrumentation overhead of the observability layer
+//! (the on-vs-off table is produced by the `experiments` binary; this
+//! bench times the same operation under Criterion's statistics):
+//!
+//! * `verify_off` — grid 32x32 simulated verification with the recorder
+//!   off (an [`lcs_obs::Obs::off`] handle: every probe is one branch on a
+//!   `None`);
+//! * `verify_on` — the identical operation with a fresh recording
+//!   registry attached, paying for real counters, gauges, timers and
+//!   span merges.
+//!
+//! The two distributions should be statistically indistinguishable at
+//! this size — the zero-overhead-when-off claim as a Criterion
+//! comparison rather than a table cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_api::graph::{generators, Graph, Partition};
+use lcs_api::{ExecutionMode, Pipeline, Strategy};
+use lcs_obs::Obs;
+
+const SIDE: usize = 32;
+
+fn verify_once(graph: &Graph, partition: &Partition, obs: &Obs) {
+    let mut session = Pipeline::on(graph)
+        .seed(42)
+        .execution(ExecutionMode::Simulated)
+        .recorder(obs.clone())
+        .build()
+        .unwrap();
+    let run = session
+        .shortcut(
+            partition,
+            Strategy::Fixed {
+                congestion: partition.part_count(),
+                block: 1,
+            },
+        )
+        .unwrap();
+    session.verify(&run.shortcut, partition, 3).unwrap();
+}
+
+fn bench_e14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_obs");
+    group.sample_size(10);
+    let graph = generators::grid(SIDE, SIDE);
+    let partition = generators::partitions::grid_columns(SIDE, SIDE);
+
+    group.bench_with_input(BenchmarkId::new("verify_off", SIDE), &SIDE, |b, _| {
+        let obs = Obs::off();
+        b.iter(|| verify_once(&graph, &partition, &obs))
+    });
+    group.bench_with_input(BenchmarkId::new("verify_on", SIDE), &SIDE, |b, _| {
+        b.iter(|| verify_once(&graph, &partition, &Obs::recording()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e14);
+criterion_main!(benches);

@@ -1128,6 +1128,185 @@ pub fn e13_workload_table() -> (Table, String) {
     (table, format!("{{\"rows\":[{}]}}", extras.join(",")))
 }
 
+/// One E14 measurement: the operation timed with instrumentation off and
+/// on, plus the determinism evidence of the recording runs.
+struct ObsRow {
+    label: String,
+    n: usize,
+    off_ms: f64,
+    on_ms: f64,
+    snapshot: lcs_obs::MetricsSnapshot,
+    /// Counter halves of two independent recording runs byte-identical.
+    deterministic: bool,
+}
+
+impl ObsRow {
+    fn overhead_pct(&self) -> f64 {
+        if self.off_ms <= 0.0 {
+            0.0
+        } else {
+            (self.on_ms - self.off_ms) / self.off_ms * 100.0
+        }
+    }
+}
+
+/// Times `run` twice with an off handle (min), then twice with fresh
+/// recording registries (min), and checks the two recording snapshots'
+/// counter halves are byte-identical — "timings are measurements; counts
+/// are facts" as a measured table cell rather than a doc claim.
+fn obs_row(label: &str, n: usize, mut run: impl FnMut(&lcs_obs::Obs)) -> ObsRow {
+    let mut time_with = |obs: &lcs_obs::Obs| {
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            let start = std::time::Instant::now();
+            run(obs);
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+    let off_ms = time_with(&lcs_obs::Obs::off());
+    let first = lcs_obs::Obs::recording();
+    let second = lcs_obs::Obs::recording();
+    let on_ms = time_with(&first).min(time_with(&second));
+    let a = first.snapshot();
+    let b = second.snapshot();
+    ObsRow {
+        label: label.to_string(),
+        n,
+        off_ms,
+        on_ms,
+        deterministic: a.counters_text() == b.counters_text(),
+        snapshot: a,
+    }
+}
+
+/// E14 — instrumentation overhead: representative E9/E13 operations timed
+/// with the recorder off and on. The off column is the shipping
+/// configuration (an [`lcs_obs::Obs::off`] handle: one branch per probe);
+/// the on column attaches a fresh registry and pays for real counters,
+/// gauges, timers, and spans. `det` asserts the counter half of the
+/// snapshot is byte-identical across two independent recording runs —
+/// counters are thread- and rerun-invariant facts, timers are
+/// measurements. The extra JSON payload carries each row's full
+/// [`lcs_obs::MetricsSnapshot`].
+pub fn e14_obs_table() -> (Table, String) {
+    use lcs_workload::{
+        run_workload_obs, Corpus, CorpusSpec, Family, Mode, QueryMix, WorkloadSpec,
+    };
+
+    let mut rows = Vec::new();
+    let mut extras = Vec::new();
+    let mut push = |row: ObsRow| {
+        rows.push(vec![
+            row.label.clone(),
+            row.n.to_string(),
+            format!("{:.1}", row.off_ms),
+            format!("{:.1}", row.on_ms),
+            format!("{:+.1}", row.overhead_pct()),
+            row.snapshot.counters.len().to_string(),
+            format!("{:016x}", row.snapshot.counters_digest()),
+            row.deterministic.to_string(),
+        ]);
+        extras.push(format!(
+            "{{\"label\":\"{}\",\"n\":{},\"off_ms\":{:.3},\"on_ms\":{:.3},\"overhead_pct\":{:.2},\"counters_digest\":\"{:016x}\",\"deterministic\":{},\"snapshot\":{}}}",
+            lcs_obs::json::escape(&row.label),
+            row.n,
+            row.off_ms,
+            row.on_ms,
+            row.overhead_pct(),
+            row.snapshot.counters_digest(),
+            row.deterministic,
+            row.snapshot.to_json(),
+        ));
+    };
+
+    // Simulated verification rows: the operation E9 times. The shortcut is
+    // built once per instance, outside the measured region; each timed run
+    // constructs a recorder-carrying session and serves one verify query.
+    let mut verify_row = |label: &str, graph: &Graph, partition: &Partition, b: usize| {
+        let mut setup = session_on(graph, 42);
+        let run = setup
+            .shortcut(
+                partition,
+                Strategy::Fixed {
+                    congestion: partition.part_count(),
+                    block: b,
+                },
+            )
+            .expect("E14 instances admit shortcuts");
+        push(obs_row(label, graph.node_count(), |obs| {
+            let mut session = Pipeline::on(graph)
+                .seed(42)
+                .execution(ExecutionMode::Simulated)
+                .recorder(obs.clone())
+                .build()
+                .expect("E14 instances are nonempty and connected");
+            session
+                .verify(&run.shortcut, partition, 3 * b)
+                .expect("verification protocol respects the CONGEST constraints");
+        }));
+    };
+    {
+        let graph = generators::grid(64, 64);
+        let partition = generators::partitions::grid_columns(64, 64);
+        verify_row("grid 64x64 columns, sim verify", &graph, &partition, 1);
+    }
+    {
+        let graph = generators::grid(100, 100);
+        let partition = generators::partitions::grid_columns(100, 100);
+        verify_row("grid 100x100 columns, sim verify", &graph, &partition, 1);
+    }
+
+    // Workload row: the E13 open-loop consume configuration on the grid
+    // corpus — the driver adds its own probes (lag, queue depth) on top of
+    // the per-query serve probes.
+    {
+        let corpus = Corpus::build(&CorpusSpec {
+            family: Family::Grid,
+            size: 16,
+            entries: 6,
+            seed: 42,
+        })
+        .expect("grid corpus builds");
+        let spec = WorkloadSpec::new(
+            Mode::Open {
+                mean_interarrival_nanos: 500_000,
+            },
+            160,
+            1.0,
+            QueryMix::consume(),
+            17,
+        );
+        push(obs_row(
+            "grid16 corpus, open consume x160",
+            corpus.graph().node_count(),
+            |obs| {
+                run_workload_obs(&corpus, &spec, obs).expect("workload runs");
+            },
+        ));
+    }
+
+    let table = Table {
+        title: "E14: instrumentation overhead — recorder off vs on (det = counter snapshots of two recording runs byte-identical)"
+            .to_string(),
+        headers: [
+            "operation",
+            "n",
+            "off ms",
+            "on ms",
+            "overhead %",
+            "counters",
+            "ctr digest",
+            "det",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows,
+    };
+    (table, format!("{{\"rows\":[{}]}}", extras.join(",")))
+}
+
 /// A built table together with the wall-clock time it took to build — the
 /// quantity the bench trajectory (`BENCH_SCALE.json`) tracks across PRs.
 #[derive(Debug, Clone, PartialEq)]
@@ -1173,25 +1352,7 @@ pub fn timed_table_with_extra(
 /// `LCS_THREADS`), so downstream consumers (the `BENCH_SCALE.json`
 /// trajectory, CI artifacts) can attribute timings to an engine.
 pub fn tables_to_json(tables: &[TimedTable], threads: usize) -> String {
-    fn esc(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        for ch in s.chars() {
-            match ch {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\r' => out.push_str("\\r"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
-    fn string_array(items: &[String]) -> String {
-        let cells: Vec<String> = items.iter().map(|c| format!("\"{}\"", esc(c))).collect();
-        format!("[{}]", cells.join(","))
-    }
+    use lcs_obs::json::{escape as esc, string_array};
 
     let mut entries = Vec::new();
     for timed in tables {

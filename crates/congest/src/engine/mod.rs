@@ -31,8 +31,9 @@ pub(crate) mod serial;
 pub(crate) mod sharded;
 
 use lcs_graph::Graph;
+use lcs_obs::Obs;
 
-use crate::{NodeContext, NodeProtocol, SimConfig, SimOutcome};
+use crate::{NodeContext, NodeProtocol, SimConfig, SimOutcome, SimStats};
 
 /// Which engine a [`crate::Simulator`] executes its rounds on. Derived from
 /// [`SimConfig::threads`] and the graph size by
@@ -56,17 +57,34 @@ pub(crate) trait RoundEngine {
     /// Number of node shards this engine partitions the graph into.
     fn shard_count(&self) -> usize;
 
-    /// Runs `factory`-built nodes to quiescence under `config`.
+    /// Runs `factory`-built nodes to quiescence under `config`, reporting
+    /// probe data through `obs` (a no-op handle when recording is off).
     fn run<P, F>(
         &self,
         graph: &Graph,
         config: &SimConfig,
+        obs: &Obs,
         factory: F,
     ) -> crate::Result<SimOutcome<P>>
     where
         P: NodeProtocol + Send,
         P::Message: Send,
         F: FnMut(&NodeContext) -> P;
+}
+
+/// Emits the thread-invariant counters of one successful run. Both engines
+/// report through here so the counter names — and therefore the
+/// deterministic half of a snapshot — cannot drift between them: rounds,
+/// messages, bits, and active-node polls are identical for every shard
+/// count by the determinism invariant. (`max_message_bits` is a max, not a
+/// sum, so it lives in a gauge.)
+pub(crate) fn record_run(obs: &Obs, stats: &SimStats, polls: u64) {
+    obs.counter_add("engine/runs", 1);
+    obs.counter_add("engine/rounds", stats.rounds);
+    obs.counter_add("engine/messages", stats.messages);
+    obs.counter_add("engine/bits", stats.total_bits);
+    obs.counter_add("engine/polls", polls);
+    obs.gauge_max("engine/max_message_bits", stats.max_message_bits as u64);
 }
 
 /// The read-only message-plane topology both engines index into: CSR slot

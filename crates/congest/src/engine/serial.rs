@@ -3,13 +3,14 @@
 //! (see `tests/determinism.rs` in this crate and in `lcs_dist`).
 
 use lcs_graph::Graph;
+use lcs_obs::Obs;
 
 use crate::{
     Incoming, MessageBits, NodeContext, NodeProtocol, Outgoing, RoundTrace, SimConfig, SimError,
     SimOutcome, SimStats,
 };
 
-use super::{build_contexts, RoundEngine, Topology};
+use super::{build_contexts, record_run, RoundEngine, Topology};
 
 /// The serial round engine (unit struct: it has no tuning knobs).
 pub(crate) struct SerialEngine;
@@ -23,6 +24,7 @@ impl RoundEngine for SerialEngine {
         &self,
         graph: &Graph,
         config: &SimConfig,
+        obs: &Obs,
         factory: F,
     ) -> crate::Result<SimOutcome<P>>
     where
@@ -30,7 +32,7 @@ impl RoundEngine for SerialEngine {
         P::Message: Send,
         F: FnMut(&NodeContext) -> P,
     {
-        run_protocol(graph, config, factory)
+        run_protocol(graph, config, obs, factory)
     }
 }
 
@@ -184,6 +186,7 @@ impl<M: MessageBits> Network<M> {
 pub(crate) fn run_protocol<P, F>(
     graph: &Graph,
     config: &SimConfig,
+    obs: &Obs,
     mut factory: F,
 ) -> crate::Result<SimOutcome<P>>
 where
@@ -219,6 +222,9 @@ where
     }
 
     let mut round: u64 = 0;
+    // Active-node polls: one per worklist entry per round. A plain local
+    // add — the obs registry is only touched once, after quiescence.
+    let mut polls: u64 = 0;
     // The schedule is exhaustive: every message recipient, every node
     // with immediate pending work, and every timed wake-up is recorded,
     // so "no queued node and no pending wake" is exactly the old "no
@@ -247,6 +253,7 @@ where
             });
         }
         let worklist = std::mem::take(&mut net.worklist_cur);
+        polls += worklist.len() as u64;
         for &vi in &worklist {
             let idx = vi as usize;
             let ctx = &contexts[idx];
@@ -268,6 +275,13 @@ where
     }
 
     stats.rounds = round;
+    if obs.is_on() {
+        record_run(obs, &stats, polls);
+        obs.gauge_set("engine/shards", 1);
+        obs.gauge_set("engine/shard/0/messages", stats.messages);
+        obs.gauge_set("engine/shard/0/bits", stats.total_bits);
+        obs.gauge_set("engine/shard/0/polls", polls);
+    }
     Ok(SimOutcome {
         nodes,
         stats,

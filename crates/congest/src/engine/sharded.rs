@@ -42,13 +42,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
 
 use lcs_graph::{Graph, ShardMap};
+use lcs_obs::{LatencyHistogram, Obs, SpanBuffer};
 
 use crate::{
     Incoming, MessageBits, NodeContext, NodeProtocol, Outgoing, RoundTrace, SimConfig, SimError,
     SimOutcome, SimStats,
 };
 
-use super::{build_contexts, serial, RoundEngine, Topology};
+use super::{build_contexts, record_run, serial, RoundEngine, Topology};
 
 /// The sharded engine: `threads` workers, one contiguous node shard each.
 pub(crate) struct ShardedEngine {
@@ -64,6 +65,7 @@ impl RoundEngine for ShardedEngine {
         &self,
         graph: &Graph,
         config: &SimConfig,
+        obs: &Obs,
         factory: F,
     ) -> crate::Result<SimOutcome<P>>
     where
@@ -73,9 +75,9 @@ impl RoundEngine for ShardedEngine {
     {
         let shards = self.threads.min(graph.node_count().max(1));
         if shards <= 1 {
-            return serial::run_protocol(graph, config, factory);
+            return serial::run_protocol(graph, config, obs, factory);
         }
-        run_sharded(graph, config, factory, shards)
+        run_sharded(graph, config, obs, factory, shards)
     }
 }
 
@@ -142,6 +144,16 @@ struct Shard<P: NodeProtocol> {
     last_delivered: u64,
     last_bits: u64,
     stats: SimStats,
+    /// Active-node polls (worklist entries processed), accumulated locally
+    /// like `stats` and folded into the obs counters in shard order.
+    polls: u64,
+    /// Probe state, all local to this shard's worker: whether probes are
+    /// live at all (recording off ⇒ the hot path takes no clock reads and
+    /// allocates no histogram), barrier-wait nanoseconds, and the size of
+    /// every cross-shard staging flush.
+    probe_on: bool,
+    barrier_nanos: u64,
+    flush_sizes: Option<LatencyHistogram>,
     error: Option<SimError>,
     /// A panic payload caught from protocol code (re-raised by the
     /// coordinator after the fleet stops — `Barrier` has no poisoning, so
@@ -238,6 +250,9 @@ impl<P: NodeProtocol> Shard<P> {
             if buf.is_empty() {
                 continue;
             }
+            if let Some(sizes) = self.flush_sizes.as_mut() {
+                sizes.record(buf.len() as u64);
+            }
             let mut inbox = shared.inboxes[((phase + 1) % 2) as usize][dst]
                 .lock()
                 .expect("no worker panics while holding an inbox lock");
@@ -330,6 +345,7 @@ impl<P: NodeProtocol> Shard<P> {
         }
         self.begin_round();
         let worklist = std::mem::take(&mut self.worklist_cur);
+        self.polls += worklist.len() as u64;
         'nodes: for &vi in &worklist {
             let idx = vi as usize;
             let local = idx - self.node_lo;
@@ -364,7 +380,7 @@ impl<P: NodeProtocol> Shard<P> {
         shared: &Shared<P::Message>,
     ) {
         loop {
-            shared.barrier.wait();
+            self.wait_at_barrier(shared);
             if shared.stop.load(Ordering::SeqCst) {
                 break;
             }
@@ -398,6 +414,19 @@ impl<P: NodeProtocol> Shard<P> {
             if self.error.is_some() || self.panic.is_some() {
                 shared.any_error.store(true, Ordering::SeqCst);
             }
+            self.wait_at_barrier(shared);
+        }
+    }
+
+    /// One barrier rendezvous, timed into the shard-local accumulator when
+    /// probes are on (the only clock reads probes add to a worker, and
+    /// only in recording runs).
+    fn wait_at_barrier(&mut self, shared: &Shared<P::Message>) {
+        if self.probe_on {
+            let start = std::time::Instant::now();
+            shared.barrier.wait();
+            self.barrier_nanos += start.elapsed().as_nanos() as u64;
+        } else {
             shared.barrier.wait();
         }
     }
@@ -406,6 +435,7 @@ impl<P: NodeProtocol> Shard<P> {
 fn run_sharded<P, F>(
     graph: &Graph,
     config: &SimConfig,
+    obs: &Obs,
     mut factory: F,
     shard_count: usize,
 ) -> crate::Result<SimOutcome<P>>
@@ -450,6 +480,10 @@ where
             last_delivered: 0,
             last_bits: 0,
             stats: SimStats::default(),
+            polls: 0,
+            probe_on: obs.is_on(),
+            barrier_nanos: 0,
+            flush_sizes: obs.is_on().then(LatencyHistogram::new),
             error: None,
             panic: None,
             scratch: Vec::new(),
@@ -556,11 +590,43 @@ where
         ..SimStats::default()
     };
     let mut nodes: Vec<P> = Vec::with_capacity(graph.node_count());
+    // Per-thread probe buffers are merged here, after the scope ended, in
+    // ascending shard order — the deterministic phase-boundary merge the
+    // obs layer's contract asks for. Counters fold to the same totals as
+    // the serial engine; per-shard splits and barrier timings go to
+    // gauges/timers because they depend on the shard count.
+    let probe_on = obs.is_on();
+    let mut polls_total: u64 = 0;
+    let mut staged_total: u64 = 0;
+    let mut barrier_spans = SpanBuffer::new();
     for shard in shards {
         stats.messages += shard.stats.messages;
         stats.total_bits += shard.stats.total_bits;
         stats.max_message_bits = stats.max_message_bits.max(shard.stats.max_message_bits);
+        if probe_on {
+            polls_total += shard.polls;
+            obs.gauge_set(
+                &format!("engine/shard/{}/messages", shard.id),
+                shard.stats.messages,
+            );
+            obs.gauge_set(
+                &format!("engine/shard/{}/bits", shard.id),
+                shard.stats.total_bits,
+            );
+            obs.gauge_set(&format!("engine/shard/{}/polls", shard.id), shard.polls);
+            barrier_spans.record("engine/barrier_wait", shard.barrier_nanos);
+            if let Some(sizes) = &shard.flush_sizes {
+                staged_total += sizes.sum() as u64;
+                obs.timer_merge("engine/staging_flush_size", sizes);
+            }
+        }
         nodes.extend(shard.nodes);
+    }
+    if probe_on {
+        obs.merge_spans(&mut barrier_spans);
+        record_run(obs, &stats, polls_total);
+        obs.gauge_set("engine/shards", shard_count as u64);
+        obs.gauge_set("engine/staged_messages", staged_total);
     }
 
     Ok(SimOutcome {

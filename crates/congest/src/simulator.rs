@@ -26,6 +26,7 @@
 //! construction).
 
 use lcs_graph::Graph;
+use lcs_obs::Obs;
 
 use crate::engine::{serial, sharded, EngineSelection, RoundEngine};
 use crate::{NodeContext, NodeProtocol};
@@ -167,12 +168,33 @@ pub struct SimOutcome<P> {
 pub struct Simulator<'g> {
     graph: &'g Graph,
     config: SimConfig,
+    obs: Obs,
 }
 
 impl<'g> Simulator<'g> {
     /// Creates a simulator for `graph` with the given configuration.
+    /// Instrumentation is off until [`Simulator::with_recorder`] attaches
+    /// a handle — [`SimConfig`] stays `Copy` and recorder-free on purpose.
     pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
-        Simulator { graph, config }
+        Simulator {
+            graph,
+            config,
+            obs: Obs::off(),
+        }
+    }
+
+    /// Attaches an instrumentation handle: successful runs report engine
+    /// counters (rounds, messages, bits, polls), per-shard gauges, and —
+    /// on the sharded engine — barrier-wait and staging-flush timers
+    /// through it. An off handle (the default) costs one branch per run.
+    pub fn with_recorder(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The instrumentation handle in use (off by default).
+    pub fn recorder(&self) -> &Obs {
+        &self.obs
     }
 
     /// The underlying graph.
@@ -234,9 +256,11 @@ impl<'g> Simulator<'g> {
         F: FnMut(&NodeContext) -> P,
     {
         match self.engine() {
-            EngineSelection::Serial => serial::SerialEngine.run(self.graph, &self.config, factory),
+            EngineSelection::Serial => {
+                serial::SerialEngine.run(self.graph, &self.config, &self.obs, factory)
+            }
             EngineSelection::Sharded { threads } => {
-                sharded::ShardedEngine { threads }.run(self.graph, &self.config, factory)
+                sharded::ShardedEngine { threads }.run(self.graph, &self.config, &self.obs, factory)
             }
         }
     }
@@ -253,7 +277,7 @@ impl<'g> Simulator<'g> {
         P: NodeProtocol,
         F: FnMut(&NodeContext) -> P,
     {
-        serial::run_protocol(self.graph, &self.config, factory)
+        serial::run_protocol(self.graph, &self.config, &self.obs, factory)
     }
 }
 

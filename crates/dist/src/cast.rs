@@ -116,11 +116,14 @@ fn run_cast(
         steps: 1,
         broadcast_down,
     };
-    let outcome = run_engine(graph, family, spec, config, |info: &NodeInfo| CastProgram {
-        value: values[info.node.index()],
-        op,
-        agreed: Vec::new(),
-        own_agreed: None,
+    let obs = lcs_obs::Obs::off();
+    let outcome = run_engine(graph, family, spec, config, &obs, |info: &NodeInfo| {
+        CastProgram {
+            value: values[info.node.index()],
+            op,
+            agreed: Vec::new(),
+            own_agreed: None,
+        }
     })?;
 
     let mut per_block = vec![None; family.blocks().len()];

@@ -34,6 +34,7 @@ use lcs_congest::{
     SimOutcome, Simulator,
 };
 use lcs_graph::{Graph, NodeId};
+use lcs_obs::Obs;
 
 use crate::knowledge::{BlockFamily, Membership, NodeInfo};
 use crate::Result;
@@ -397,6 +398,7 @@ pub(crate) fn run_engine<P, F>(
     family: &BlockFamily,
     spec: EngineSpec,
     config: Option<SimConfig>,
+    obs: &Obs,
     mut make: F,
 ) -> Result<SimOutcome<EngineNode<P>>>
 where
@@ -417,7 +419,12 @@ where
         None => SimConfig::for_graph(graph).with_max_rounds(total_rounds + 2),
     };
     let block_bits = bits_for_count(family.blocks().len().max(2));
-    let sim = Simulator::new(graph, cfg);
+    if obs.is_on() {
+        obs.counter_add("dist/engine/runs", 1);
+        obs.counter_add("dist/engine/supersteps", spec.steps);
+        obs.gauge_set("dist/engine/window", window);
+    }
+    let sim = Simulator::new(graph, cfg).with_recorder(obs.clone());
     let outcome = sim.run(|ctx| {
         let info = family.info(ctx.node).clone();
         let program = make(&info);

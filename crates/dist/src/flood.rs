@@ -136,7 +136,8 @@ pub fn part_flood_min(
         steps: supersteps,
         broadcast_down: true,
     };
-    let outcome = run_engine(graph, family, spec, config, |info: &NodeInfo| {
+    let obs = lcs_obs::Obs::off();
+    let outcome = run_engine(graph, family, spec, config, &obs, |info: &NodeInfo| {
         FloodProgram {
             current: values[info.node.index()],
             value_bits,

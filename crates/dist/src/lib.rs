@@ -71,4 +71,7 @@ pub use flood::{
     PartMinEdges,
 };
 pub use knowledge::{BlockFamily, Membership, NodeInfo};
-pub use verification::{counting_supersteps, verification_simulated, DistVerificationOutcome};
+pub use verification::{
+    counting_supersteps, verification_simulated, verification_simulated_obs,
+    DistVerificationOutcome,
+};

@@ -38,6 +38,7 @@ use lcs_congest::{bits_for_node_count, SimConfig, SimStats};
 use lcs_core::construction::VerificationOutcome;
 use lcs_core::TreeShortcut;
 use lcs_graph::{Graph, NodeId, Partition, RootedTree};
+use lcs_obs::Obs;
 
 use crate::engine::{run_engine, EngineSpec, NodeProgram};
 use crate::knowledge::{BlockFamily, Membership, NodeInfo};
@@ -72,6 +73,34 @@ fn phase_of(step: u64, threshold: u64) -> Phase {
 /// Number of supersteps of the counting protocol.
 pub fn counting_supersteps(threshold: usize) -> u64 {
     3 * threshold as u64 + 2
+}
+
+/// Counts each superstep of a run into its phase's counter, so a snapshot
+/// shows where the `3t + 2` budget goes. Computed from [`phase_of`] — the
+/// same function the protocol dispatches on — so the split cannot drift
+/// from the protocol.
+fn record_phase_split(obs: &Obs, supersteps: u64, threshold: u64) {
+    let mut split = [0u64; 5];
+    for step in 0..supersteps {
+        let slot = match phase_of(step, threshold) {
+            Phase::Flood => 0,
+            Phase::Parent => 1,
+            Phase::Port => 2,
+            Phase::Count => 3,
+            Phase::Verdict => 4,
+        };
+        split[slot] += 1;
+    }
+    const NAMES: [&str; 5] = [
+        "dist/verification/phase/flood",
+        "dist/verification/phase/parent",
+        "dist/verification/phase/port",
+        "dist/verification/phase/count",
+        "dist/verification/phase/verdict",
+    ];
+    for (name, count) in NAMES.iter().zip(split) {
+        obs.counter_add(name, count);
+    }
 }
 
 /// Block-level value circulated intra-block; the variant is determined by
@@ -455,21 +484,56 @@ pub fn verification_simulated(
     active: &[bool],
     config: Option<SimConfig>,
 ) -> Result<DistVerificationOutcome> {
+    verification_simulated_obs(
+        graph,
+        tree,
+        partition,
+        shortcut,
+        threshold,
+        active,
+        config,
+        &Obs::off(),
+    )
+}
+
+/// [`verification_simulated`] with an instrumentation handle: reports the
+/// protocol shape (`dist/verification/*` counters, including the
+/// superstep-per-phase split) and the underlying engine's counters,
+/// gauges, and timers through `obs`, and wraps the run in a
+/// `dist/verification` span. All reported counters are thread-invariant
+/// facts; only span/timer durations vary between runs.
+#[allow(clippy::too_many_arguments)]
+pub fn verification_simulated_obs(
+    graph: &Graph,
+    tree: &RootedTree,
+    partition: &Partition,
+    shortcut: &TreeShortcut,
+    threshold: usize,
+    active: &[bool],
+    config: Option<SimConfig>,
+    obs: &Obs,
+) -> Result<DistVerificationOutcome> {
     assert!(threshold >= 1, "the block threshold must be at least 1");
     assert_eq!(
         active.len(),
         partition.part_count(),
         "one active flag per part is required"
     );
+    let _span = lcs_obs::span!(obs, "dist/verification");
     let family = BlockFamily::new_active(graph, tree, partition, shortcut, active);
     let supersteps = counting_supersteps(threshold);
+    if obs.is_on() {
+        obs.counter_add("dist/verification/runs", 1);
+        obs.counter_add("dist/verification/supersteps", supersteps);
+        record_phase_split(obs, supersteps, threshold as u64);
+    }
     let spec = EngineSpec {
         steps: supersteps,
         broadcast_down: true,
     };
     let id_bits = bits_for_node_count(graph.node_count());
     let edge_bits = lcs_congest::bits_for_count(graph.edge_count().max(2));
-    let outcome = run_engine(graph, &family, spec, config, |_info: &NodeInfo| {
+    let outcome = run_engine(graph, &family, spec, config, obs, |_info: &NodeInfo| {
         CountProgram::new(threshold as u64, id_bits, edge_bits)
     })?;
 

@@ -122,4 +122,42 @@ proptest! {
             prop_assert_eq!(&outcome.outcome.block_counts, &reference.outcome.block_counts);
         }
     }
+
+    /// Recording the verification run with a live [`lcs_obs::Obs`]: the
+    /// counter half of the metrics snapshot (engine rounds/messages/bits,
+    /// superstep and phase splits) is byte-identical for every shard count
+    /// — counters are facts about the protocol, not about the schedule that
+    /// executed it.
+    #[test]
+    fn verification_counters_are_engine_agnostic(
+        which in 0usize..4,
+        size in 4usize..7,
+        parts in 2usize..8,
+        threshold in 1usize..5,
+        seed in 0u64..300,
+    ) {
+        let (graph, partition) = family_instance(which, size, parts, seed);
+        let tree = RootedTree::bfs(&graph, NodeId::new(0));
+        let shortcut = pick_shortcut(&graph, &tree, &partition, seed);
+        let active = vec![true; partition.part_count()];
+
+        let snapshot_at = |threads: usize| {
+            let obs = lcs_obs::Obs::recording();
+            lcs_dist::verification_simulated_obs(
+                &graph, &tree, &partition, &shortcut, threshold, &active,
+                config(&graph, threads), &obs,
+            )
+            .unwrap();
+            obs.snapshot()
+        };
+
+        let reference = snapshot_at(1);
+        let reference_text = reference.counters_text();
+        prop_assert!(reference.counter("dist/verification/runs") == Some(1));
+        for threads in [2usize, 3, 8] {
+            let snap = snapshot_at(threads);
+            prop_assert_eq!(snap.counters_text(), reference_text.clone(), "threads={}", threads);
+            prop_assert_eq!(snap.counters_digest(), reference.counters_digest());
+        }
+    }
 }

@@ -1,0 +1,290 @@
+//! Point-in-time snapshots of the registry and their exporters:
+//! Prometheus text exposition, JSON (through the shared [`crate::json`]
+//! writer), the deterministic counters-only text block, and a
+//! human-readable span tree.
+
+use crate::histogram::LatencyHistogram;
+use crate::json;
+
+/// A point-in-time copy of every metric, with names sorted. Produced by
+/// [`crate::Metrics::snapshot`] / [`crate::Obs::snapshot`].
+///
+/// The **counter** half is the deterministic part: same inputs ⇒ same
+/// bytes from [`MetricsSnapshot::counters_text`], across reruns and
+/// across `LCS_THREADS` settings. Gauges and timers are measurements and
+/// carry no such guarantee.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, histogram)` timers, sorted by name.
+    pub timers: Vec<(String, LatencyHistogram)>,
+}
+
+impl MetricsSnapshot {
+    /// The counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        lookup(&self.counters, name).copied()
+    }
+
+    /// The gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        lookup(&self.gauges, name).copied()
+    }
+
+    /// The timer `name`, if present.
+    pub fn timer(&self, name: &str) -> Option<&LatencyHistogram> {
+        lookup(&self.timers, name)
+    }
+
+    /// The deterministic half of the snapshot as text: one `name value`
+    /// line per counter, sorted by name. Two runs of the same
+    /// computation produce byte-identical output here no matter the
+    /// thread count — "timings are measurements; counts are facts".
+    pub fn counters_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// FNV-1a hash of [`MetricsSnapshot::counters_text`] — a one-number
+    /// fingerprint of the deterministic half, printable in tables.
+    pub fn counters_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in self.counters_text().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+
+    /// Serializes the whole snapshot as one JSON object through the
+    /// shared writer: counters and gauges as `name:value` maps, timers
+    /// as `name:histogram` with the histogram's own JSON shape.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        push_u64_members(&mut out, &self.counters);
+        out.push_str("},\"gauges\":{");
+        push_u64_members(&mut out, &self.gauges);
+        out.push_str("},\"timers\":{");
+        for (i, (name, histogram)) in self.timers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&json::escape(name));
+            out.push_str("\":");
+            out.push_str(&histogram.to_json());
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    ///
+    /// Metric names are derived from the '/'-separated paths by
+    /// [`prometheus_name`] (prefix `lcs_`, separators to `_`); counters
+    /// get the conventional `_total` suffix, timers become summaries
+    /// with `quantile` labels plus `_sum`/`_count` series.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let metric = format!("{}_total", prometheus_name(name));
+            out.push_str(&format!("# TYPE {metric} counter\n{metric} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let metric = prometheus_name(name);
+            out.push_str(&format!("# TYPE {metric} gauge\n{metric} {value}\n"));
+        }
+        for (name, histogram) in &self.timers {
+            let metric = prometheus_name(name);
+            out.push_str(&format!("# TYPE {metric} summary\n"));
+            for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                out.push_str(&format!(
+                    "{metric}{{quantile=\"{label}\"}} {}\n",
+                    histogram.quantile(q)
+                ));
+            }
+            out.push_str(&format!("{metric}_sum {}\n", histogram.sum()));
+            out.push_str(&format!("{metric}_count {}\n", histogram.count()));
+        }
+        out
+    }
+
+    /// Renders the timers as an indented tree keyed on their
+    /// '/'-separated paths — the quick "where did the time go" view.
+    /// Each timer line shows total milliseconds, sample count, and mean
+    /// microseconds; purely structural path segments print bare.
+    pub fn span_tree(&self) -> String {
+        let mut out = String::new();
+        let mut printed: Vec<String> = Vec::new();
+        for (path, histogram) in &self.timers {
+            let segments: Vec<&str> = path.split('/').collect();
+            // Print any not-yet-printed ancestor segments as bare labels.
+            for depth in 0..segments.len() - 1 {
+                let prefix = segments[..=depth].join("/");
+                if !printed.contains(&prefix) {
+                    out.push_str(&"  ".repeat(depth));
+                    out.push_str(segments[depth]);
+                    out.push('\n');
+                    printed.push(prefix);
+                }
+            }
+            let depth = segments.len() - 1;
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!(
+                "{} {:.3} ms ({} samples, mean {:.1} us)\n",
+                segments[depth],
+                histogram.sum() as f64 / 1e6,
+                histogram.count(),
+                histogram.mean() / 1e3,
+            ));
+            printed.push(path.clone());
+        }
+        out
+    }
+}
+
+fn push_u64_members(out: &mut String, entries: &[(String, u64)]) {
+    for (i, (name, value)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&json::escape(name));
+        out.push_str("\":");
+        out.push_str(&value.to_string());
+    }
+}
+
+fn lookup<'a, T>(entries: &'a [(String, T)], name: &str) -> Option<&'a T> {
+    entries
+        .binary_search_by(|(k, _)| k.as_str().cmp(name))
+        .ok()
+        .map(|i| &entries[i].1)
+}
+
+/// Maps a '/'-separated metric path to a legal Prometheus metric name:
+/// prefix `lcs_`, every character outside `[a-zA-Z0-9_:]` replaced by
+/// `_`.
+pub fn prometheus_name(path: &str) -> String {
+    let mut out = String::with_capacity(path.len() + 4);
+    out.push_str("lcs_");
+    for ch in path.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+    use crate::Obs;
+
+    fn sample() -> MetricsSnapshot {
+        let obs = Obs::recording();
+        obs.counter_add("engine/rounds", 12);
+        obs.counter_add("engine/messages", 90);
+        obs.gauge_set("engine/shards", 4);
+        obs.timer_record("engine/barrier_wait", 1500);
+        obs.timer_record("engine/barrier_wait", 2500);
+        obs.timer_record("serve/verify/latency", 1_000_000);
+        obs.snapshot()
+    }
+
+    #[test]
+    fn counters_text_is_sorted_and_stable() {
+        let snapshot = sample();
+        assert_eq!(
+            snapshot.counters_text(),
+            "engine/messages 90\nengine/rounds 12\n"
+        );
+        assert_eq!(snapshot.counters_digest(), sample().counters_digest());
+    }
+
+    #[test]
+    fn lookup_accessors() {
+        let snapshot = sample();
+        assert_eq!(snapshot.counter("engine/rounds"), Some(12));
+        assert_eq!(snapshot.counter("nope"), None);
+        assert_eq!(snapshot.gauge("engine/shards"), Some(4));
+        assert_eq!(snapshot.timer("engine/barrier_wait").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn json_export_parses_with_the_shared_reader() {
+        let snapshot = sample();
+        let parsed = JsonValue::parse(&snapshot.to_json()).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("engine/rounds"))
+                .and_then(JsonValue::as_u64),
+            Some(12)
+        );
+        let timer = parsed
+            .get("timers")
+            .and_then(|t| t.get("engine/barrier_wait"))
+            .expect("timer present");
+        assert_eq!(timer.get("count").and_then(JsonValue::as_u64), Some(2));
+        // An empty snapshot is still a valid document.
+        assert!(JsonValue::parse(&MetricsSnapshot::default().to_json()).is_ok());
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(
+            prometheus_name("engine/barrier_wait"),
+            "lcs_engine_barrier_wait"
+        );
+        assert_eq!(
+            prometheus_name("serve/verify/latency"),
+            "lcs_serve_verify_latency"
+        );
+        assert_eq!(prometheus_name("weird name!"), "lcs_weird_name_");
+    }
+
+    #[test]
+    fn prometheus_export_has_the_expected_series() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE lcs_engine_rounds_total counter\n"));
+        assert!(text.contains("lcs_engine_rounds_total 12\n"));
+        assert!(text.contains("# TYPE lcs_engine_shards gauge\n"));
+        assert!(text.contains("lcs_engine_shards 4\n"));
+        assert!(text.contains("# TYPE lcs_engine_barrier_wait summary\n"));
+        assert!(text.contains("lcs_engine_barrier_wait{quantile=\"0.99\"}"));
+        assert!(text.contains("lcs_engine_barrier_wait_sum 4000\n"));
+        assert!(text.contains("lcs_engine_barrier_wait_count 2\n"));
+    }
+
+    #[test]
+    fn span_tree_nests_by_path() {
+        let tree = sample().span_tree();
+        // "serve" is a structural segment, "verify" nests under it.
+        assert!(tree.contains("serve\n"), "tree:\n{tree}");
+        assert!(tree.contains("  verify\n"), "tree:\n{tree}");
+        assert!(
+            tree.contains("    latency 1.000 ms (1 samples"),
+            "tree:\n{tree}"
+        );
+        assert!(
+            tree.contains("barrier_wait 0.004 ms (2 samples"),
+            "tree:\n{tree}"
+        );
+    }
+}

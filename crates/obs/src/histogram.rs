@@ -1,0 +1,305 @@
+//! Fixed-bucket log-linear latency histogram with exact max tracking and
+//! mergeable per-client sub-histograms.
+//!
+//! The layout is the classic HDR shape: values below 16 get one bucket
+//! each (exact), and every octave above that is split into 16 linear
+//! sub-buckets, so any recorded value lands in a bucket whose width is at
+//! most 1/16 of its lower bound — quantiles are off by at most ~6%
+//! relative, and the true maximum is tracked exactly on the side. The
+//! bucket count is fixed at construction (976 buckets cover the full
+//! `u64` range), so recording never allocates and merging is one
+//! elementwise vector add — the properties the closed-loop workload
+//! driver and the metrics registry both need to combine per-thread
+//! histograms deterministically. (The type started life in
+//! `lcs_workload`; it moved here so the registry's timers and the
+//! workload's latency measurements are literally the same structure.)
+
+const SUB_BUCKETS: u64 = 16;
+/// Buckets 0..16 are linear; each of the 60 octaves `[2^o, 2^{o+1})` for
+/// `o` in `4..64` contributes 16 more.
+const BUCKETS: usize = 16 + 16 * 60;
+
+/// Index of the bucket `value` falls into.
+///
+/// Exposed so tests (and the quantile oracle) can assert that a reported
+/// quantile lands in the same bucket as the exact order statistic.
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS {
+        value as usize
+    } else {
+        let octave = 63 - value.leading_zeros() as usize; // >= 4
+        let sub = ((value >> (octave - 4)) & 15) as usize;
+        16 * (octave - 3) + sub
+    }
+}
+
+/// The `[low, high]` value range of bucket `index` (inclusive bounds).
+///
+/// # Panics
+///
+/// Panics if `index >= 976` (the fixed bucket count).
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index {index} out of range");
+    let low = |i: usize| -> u64 {
+        if i < 16 {
+            i as u64
+        } else {
+            let octave = i / 16 + 3;
+            let sub = (i % 16) as u64;
+            (16 + sub) << (octave - 4)
+        }
+    };
+    let high = if index + 1 < BUCKETS {
+        low(index + 1) - 1
+    } else {
+        u64::MAX
+    };
+    (low(index), high)
+}
+
+/// A log-linear histogram of `u64` latency samples (nanoseconds, by
+/// convention of the workload drivers — the type itself is unit-agnostic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram. All 976 buckets are preallocated; recording
+    /// never allocates again.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += u128::from(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The exact smallest recorded sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The exact largest recorded sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The exact sum of all recorded samples (a `u128`: 2^64 samples of
+    /// `u64::MAX` cannot overflow it). The Prometheus exporter emits this
+    /// as the `_sum` series.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// The mean of all recorded samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) of the recorded samples:
+    /// the upper bound of the bucket holding the ⌈q·count⌉-th smallest
+    /// sample, clamped to the exact maximum. The reported value is always
+    /// ≥ the exact order statistic and lies in the same bucket, so the
+    /// relative error is bounded by the bucket width (≤ 1/16 of the
+    /// value). An empty histogram reports 0 — never a panic.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64)
+            .max(1)
+            .min(self.count);
+        let mut seen = 0u64;
+        for (index, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_bounds(index).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self` — one elementwise add, plus min/max/sum
+    /// combination. Merge is associative and commutative, so per-client
+    /// sub-histograms combine to the same totals in any order.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
+    /// Serializes the histogram as a JSON object: summary quantiles plus
+    /// every nonzero bucket as `[low, high, count]` triples. Hand-rolled
+    /// like every other serializer in this workspace — no serde.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!(
+            "{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{:.1},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+            self.count,
+            self.min(),
+            self.max,
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        ));
+        let mut first = true;
+        for (index, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let (low, high) = bucket_bounds(index);
+            out.push_str(&format!("[{low},{high},{c}]"));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        // With one sample per value 0..16, the q-quantile bucket is exact.
+        assert_eq!(h.quantile(1.0), 15);
+        assert_eq!(h.quantile(0.5), 7);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_roundtrip() {
+        let mut previous = 0usize;
+        let mut v = 1u64;
+        while v < u64::MAX / 2 {
+            let i = bucket_index(v);
+            assert!(i >= previous, "index must be monotone in value");
+            previous = i;
+            let (low, high) = bucket_bounds(i);
+            assert!(
+                low <= v && v <= high,
+                "value {v} outside bucket [{low},{high}]"
+            );
+            v = v.wrapping_mul(3).wrapping_add(7);
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_bounds(BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for &v in &[17u64, 100, 999, 12_345, 1 << 30, (1 << 40) + 12345] {
+            let (low, high) = bucket_bounds(bucket_index(v));
+            assert!((high - low) as f64 <= low as f64 / 16.0 + 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_never_panics() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+        assert!(h.to_json().contains("\"buckets\":[]"));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = LatencyHistogram::new();
+        h.record(5);
+        h.record(1 << 20);
+        let snapshot = h.clone();
+        h.merge(&LatencyHistogram::new());
+        assert_eq!(h, snapshot);
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn quantile_is_clamped_to_exact_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_003);
+        assert_eq!(h.quantile(0.5), 1_000_003);
+        assert_eq!(h.quantile(0.99), 1_000_003);
+    }
+
+    #[test]
+    fn json_lists_nonzero_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(40);
+        let json = h.to_json();
+        assert!(json.starts_with("{\"count\":3,"));
+        assert!(json.contains("[3,3,2]"), "json: {json}");
+    }
+
+    #[test]
+    fn sum_tracks_exactly() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), 2 * u128::from(u64::MAX));
+    }
+}

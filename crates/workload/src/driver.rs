@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 use lcs_api::{
     Query, QueryValue, Result, Served, Session, ShortcutStrategy, Strategy, ValueDigest,
 };
+use lcs_obs::Obs;
 
 use crate::corpus::Corpus;
 use crate::histogram::LatencyHistogram;
@@ -112,12 +113,15 @@ pub fn query_of<'a>(corpus: &'a Corpus, event: &QueryEvent) -> Query<'a> {
 
 /// Builds one warm serving session over the corpus graph; both drivers
 /// (and every closed-loop client) go through here so their sessions are
-/// configured identically.
-fn warm_session<'g>(corpus: &'g Corpus, spec: &WorkloadSpec) -> Result<Session<'g>> {
+/// configured identically. The shared recorder handle makes every served
+/// query report its `serve/{kind}/*` probes (counter adds commute, so the
+/// snapshot's counters stay client-order independent).
+fn warm_session<'g>(corpus: &'g Corpus, spec: &WorkloadSpec, obs: &Obs) -> Result<Session<'g>> {
     lcs_api::Pipeline::on(corpus.graph())
         .seed(spec.seed)
         .execution(spec.execution)
         .threads(spec.threads)
+        .recorder(obs.clone())
         .build()
 }
 
@@ -131,15 +135,39 @@ fn warm_session<'g>(corpus: &'g Corpus, spec: &WorkloadSpec) -> Result<Session<'
 /// [`generate_trace`]); otherwise the first
 /// query error a session reports.
 pub fn run_workload(corpus: &Corpus, spec: &WorkloadSpec) -> Result<WorkloadOutcome> {
+    run_workload_obs(corpus, spec, &Obs::off())
+}
+
+/// [`run_workload`] with an instrumentation handle. On top of the
+/// per-query `serve/{kind}/*` probes every session reports, the drivers
+/// add their own: `workload/runs` / `workload/queries` counters, the
+/// merged latency distribution (`workload/latency` timer), and — open
+/// loop only — the scheduled-vs-start lag timer (`workload/open/lag`)
+/// and the high-water queue depth (`workload/open/max_queue_depth`
+/// gauge). Counters are trace facts, identical for every thread and
+/// client count; timers and the queue-depth gauge are measurements.
+pub fn run_workload_obs(
+    corpus: &Corpus,
+    spec: &WorkloadSpec,
+    obs: &Obs,
+) -> Result<WorkloadOutcome> {
     let trace = generate_trace(spec, corpus.len())?;
     let kind_counts = count_kinds(&trace);
-    match spec.mode {
-        Mode::Open { .. } => run_open(corpus, spec, &trace, kind_counts),
+    if obs.is_on() {
+        obs.counter_add("workload/runs", 1);
+        obs.counter_add("workload/queries", trace.len() as u64);
+    }
+    let outcome = match spec.mode {
+        Mode::Open { .. } => run_open(corpus, spec, &trace, kind_counts, obs),
         Mode::Closed {
             clients,
             think_nanos,
-        } => run_closed(corpus, spec, &trace, kind_counts, clients, think_nanos),
+        } => run_closed(corpus, spec, &trace, kind_counts, clients, think_nanos, obs),
+    }?;
+    if obs.is_on() {
+        obs.timer_merge("workload/latency", &outcome.histogram);
     }
+    Ok(outcome)
 }
 
 fn count_kinds(trace: &[QueryEvent]) -> [u64; 4] {
@@ -219,8 +247,16 @@ fn run_open(
     spec: &WorkloadSpec,
     trace: &[QueryEvent],
     kind_counts: [u64; 4],
+    obs: &Obs,
 ) -> Result<WorkloadOutcome> {
-    let mut session = warm_session(corpus, spec)?;
+    let mut session = warm_session(corpus, spec, obs)?;
+    // Driver probes accumulate into plain locals on the serving path (a
+    // histogram of start lags and a queue-depth high-water mark) and hit
+    // the registry once, after the loop — the hot path stays lock-free.
+    let probe_on = obs.is_on();
+    let mut lag_hist = probe_on.then(LatencyHistogram::new);
+    let mut max_depth = 0u64;
+    let mut next_index = 0usize;
     let start = Instant::now();
     let (histogram, served, digest, values) = serve_events(
         &mut session,
@@ -234,12 +270,31 @@ fn run_open(
             while (start.elapsed().as_nanos() as u64) < event.arrival_nanos {
                 std::hint::spin_loop();
             }
+            if let Some(hist) = &mut lag_hist {
+                let now = start.elapsed().as_nanos() as u64;
+                // How late the query actually starts relative to its
+                // scheduled arrival: ~0 when the loop keeps up, the
+                // accumulated backlog when it doesn't.
+                hist.record(now.saturating_sub(event.arrival_nanos));
+                // Queue depth at start of service: this event plus every
+                // later one already due (the trace is arrival-sorted).
+                let depth = trace[next_index..]
+                    .iter()
+                    .take_while(|e| e.arrival_nanos <= now)
+                    .count() as u64;
+                max_depth = max_depth.max(depth);
+            }
+            next_index += 1;
         },
         // Completion minus *scheduled* arrival: queueing delay included.
         |event, _| (start.elapsed().as_nanos() as u64).saturating_sub(event.arrival_nanos),
         0,
     )?;
     let wall_nanos = start.elapsed().as_nanos() as u64;
+    if let Some(hist) = &lag_hist {
+        obs.timer_merge("workload/open/lag", hist);
+        obs.gauge_max("workload/open/max_queue_depth", max_depth);
+    }
     let client = ClientOutcome {
         client: 0,
         queries: served,
@@ -261,15 +316,22 @@ fn run_closed(
     kind_counts: [u64; 4],
     clients: usize,
     think_nanos: u64,
+    obs: &Obs,
 ) -> Result<WorkloadOutcome> {
+    if obs.is_on() {
+        obs.gauge_set("workload/clients", clients as u64);
+    }
     let start = Instant::now();
     // Each client serves its round-robin share on its own warm session.
-    // `thread::scope` lets every client borrow the corpus and the trace.
+    // `thread::scope` lets every client borrow the corpus and the trace
+    // (and share the recorder handle — the registry is behind a mutex the
+    // serving loop only touches at query granularity).
     let client_runs: Vec<Result<ClientRun>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
+                let obs = &*obs;
                 scope.spawn(move || {
-                    let mut session = warm_session(corpus, spec)?;
+                    let mut session = warm_session(corpus, spec, obs)?;
                     serve_events(
                         &mut session,
                         corpus,

@@ -79,7 +79,7 @@ pub mod trace;
 pub mod zipf;
 
 pub use corpus::{Corpus, CorpusEntry, CorpusSpec, Family};
-pub use driver::{query_of, run_workload, ClientOutcome, WorkloadOutcome};
+pub use driver::{query_of, run_workload, run_workload_obs, ClientOutcome, WorkloadOutcome};
 pub use histogram::LatencyHistogram;
 pub use spec::{Mode, QueryMix, WorkloadSpec};
 pub use trace::{generate_trace, QueryEvent, QueryKind};

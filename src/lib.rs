@@ -17,7 +17,9 @@
 //! * [`api`] — the `Pipeline`/`Session` front door with unified config,
 //!   errors, and reports,
 //! * [`workload`] — the serving harness: Zipf traffic over pre-built
-//!   corpora, open/closed-loop client drivers, tail-latency histograms.
+//!   corpora, open/closed-loop client drivers, tail-latency histograms,
+//! * [`obs`] — the zero-overhead-when-off instrumentation layer: metric
+//!   registry, spans, Prometheus/JSON export, and the shared JSON writer.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the reproduced quantitative claims.
@@ -44,4 +46,5 @@ pub use lcs_core as core;
 pub use lcs_dist as dist;
 pub use lcs_graph as graph;
 pub use lcs_mst as mst;
+pub use lcs_obs as obs;
 pub use lcs_workload as workload;
