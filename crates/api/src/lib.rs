@@ -70,10 +70,10 @@ pub use lcs_core::routing::ExecutionMode;
 // Pieces of the lower layers a façade caller still reaches for by name:
 // the quality record, the shortcut representations, the MST strategy enum
 // (including its baselines), and the distributed cross-check harness.
-pub use lcs_congest::{RoundCost, RoundTrace, SimStats};
+pub use lcs_congest::{FaultPlan, RoundCost, RoundTrace, SimStats};
 pub use lcs_core::construction::CoreOutcome;
 pub use lcs_core::{BlockComponent, Shortcut, ShortcutQuality, TreeShortcut};
-pub use lcs_dist::{CheckedRun, CrossCheck};
+pub use lcs_dist::{CheckedRun, CrossCheck, RetryPolicy};
 pub use lcs_mst::ShortcutStrategy;
 
 /// The graph substrate (structures, generators, spanning trees,

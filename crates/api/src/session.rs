@@ -15,14 +15,14 @@
 
 use std::time::Instant;
 
-use lcs_congest::{RoundCost, RoundTrace, SimConfig};
+use lcs_congest::{FaultPlan, RoundCost, RoundTrace, SimConfig};
 use lcs_core::construction::{
     core_fast, core_slow, verification, CoreFastConfig, CoreOutcome, FindShortcut,
     FindShortcutConfig, FindShortcutResult,
 };
 use lcs_core::routing::ExecutionMode;
 use lcs_core::{QualityPool, ShortcutQuality, TreeShortcut};
-use lcs_dist::verification_simulated_obs;
+use lcs_dist::{verification_simulated_obs, verification_with_retry, RetryPolicy};
 use lcs_graph::{
     is_connected, EdgeId, EdgeWeights, Graph, GraphError, LcsError, Partition, RootedTree,
     ShardMap, Threads,
@@ -60,6 +60,8 @@ pub struct Pipeline<'g> {
     seed: u64,
     trace: bool,
     recorder: Obs,
+    fault: Option<FaultPlan>,
+    retry: RetryPolicy,
 }
 
 impl<'g> Pipeline<'g> {
@@ -75,6 +77,8 @@ impl<'g> Pipeline<'g> {
             seed: 0,
             trace: false,
             recorder: Obs::off(),
+            fault: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -122,6 +126,25 @@ impl<'g> Pipeline<'g> {
     /// trace surfaces on [`VerifyRun::trace`].
     pub fn trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Injects a deterministic fault plan into `Simulated` verification
+    /// queries: per-edge latency, message loss/duplication, stragglers, and
+    /// crash schedules, all a pure function of the plan's seed. Only
+    /// [`Session::verify`] runs under the plan (it is the self-healing
+    /// protocol); construction and MST queries run fault-free so their
+    /// exact round accounting stays meaningful. An inactive plan (all
+    /// knobs zero) is identical to no plan at all.
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Sets the retry policy fault-injected verification heals stalled
+    /// epochs with (defaults to [`RetryPolicy::default`]).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
         self
     }
 
@@ -182,6 +205,9 @@ impl<'g> Pipeline<'g> {
         if self.trace {
             sim_config = sim_config.with_trace();
         }
+        if let Some(plan) = self.fault {
+            sim_config = sim_config.with_fault(plan);
+        }
         Ok(Session {
             graph,
             tree,
@@ -191,6 +217,7 @@ impl<'g> Pipeline<'g> {
             execution: self.execution,
             seed: self.seed,
             sim_config,
+            retry: self.retry,
             obs: self.recorder,
         })
     }
@@ -207,6 +234,7 @@ pub struct Session<'g> {
     execution: ExecutionMode,
     seed: u64,
     sim_config: SimConfig,
+    retry: RetryPolicy,
     pub(crate) obs: Obs,
 }
 
@@ -373,7 +401,11 @@ impl<'g> Session<'g> {
                 |g, t, p, s, threshold, active| Ok(verification(g, t, p, s, threshold, active)),
             ),
             ExecutionMode::Simulated => {
-                let sim_config = self.sim_config;
+                // Construction attempts run fault-free even when the
+                // session injects faults into `verify`: the doubling search
+                // interprets a failed verification as "guess too small",
+                // which a fault-induced stall would corrupt.
+                let sim_config = self.sim_config.without_fault();
                 let obs = self.obs.clone();
                 driver.run_with_verifier(
                     self.graph,
@@ -511,10 +543,17 @@ impl<'g> Session<'g> {
     /// counting protocol and fills [`Report::sim`] /
     /// [`Report::rounds_executed`].
     ///
+    /// With a [`Pipeline::fault`] plan and `Simulated` execution, the
+    /// query runs the self-healing retry wrapper
+    /// ([`lcs_dist::verification_with_retry`]): stalled epochs are retried
+    /// per the session's [`Pipeline::retry`] policy, and the report gains
+    /// `retry_epochs` / `retry_stalls` metrics.
+    ///
     /// # Errors
     ///
     /// [`LcsError::InconsistentInputs`] for a mismatched partition;
-    /// simulation errors in `Simulated` mode.
+    /// simulation errors in `Simulated` mode; [`LcsError::Degraded`] when
+    /// an injected fault plan defeats every retry epoch.
     pub fn verify(
         &mut self,
         shortcut: &TreeShortcut,
@@ -541,16 +580,52 @@ impl<'g> Session<'g> {
                 })
             }
             ExecutionMode::Simulated => {
-                let ver = verification_simulated_obs(
-                    self.graph,
-                    &self.tree,
-                    partition,
-                    shortcut,
-                    threshold,
-                    &active,
-                    Some(self.sim_config),
-                    &self.obs,
-                )?;
+                // With an active fault plan the self-healing retry wrapper
+                // runs instead of a single-shot verification: a decisive
+                // result surfaces normally (with the epoch/stall counts as
+                // report metrics), an exhausted retry budget surfaces as a
+                // typed degraded error rather than a wrong classification.
+                let ver = if self.sim_config.active_fault().is_some() {
+                    let healed = verification_with_retry(
+                        self.graph,
+                        &self.tree,
+                        partition,
+                        shortcut,
+                        threshold,
+                        &active,
+                        Some(self.sim_config),
+                        self.retry,
+                        &self.obs,
+                    )?;
+                    if !healed.decisive {
+                        return Err(LcsError::Degraded {
+                            epochs: healed.epochs,
+                            stalls: healed.stalls,
+                            reason: format!(
+                                "fault-injected verification stayed indecisive after {} epochs",
+                                healed.epochs
+                            ),
+                        });
+                    }
+                    report
+                        .metrics
+                        .push(("retry_epochs".to_string(), u64::from(healed.epochs)));
+                    report
+                        .metrics
+                        .push(("retry_stalls".to_string(), u64::from(healed.stalls)));
+                    healed.outcome.expect("decisive retries carry an outcome")
+                } else {
+                    verification_simulated_obs(
+                        self.graph,
+                        &self.tree,
+                        partition,
+                        shortcut,
+                        threshold,
+                        &active,
+                        Some(self.sim_config),
+                        &self.obs,
+                    )?
+                };
                 report.all_parts_good = ver.outcome.good.iter().all(|&g| g);
                 report.rounds_charged = ver.outcome.rounds;
                 report.rounds_executed = Some(ver.stats.rounds);
@@ -609,7 +684,7 @@ impl<'g> Session<'g> {
         let config = lcs_mst::BoruvkaConfig::new(strategy)
             .with_seed(self.seed)
             .with_execution(self.execution)
-            .with_sim_config(self.sim_config);
+            .with_sim_config(self.sim_config.without_fault());
         #[allow(deprecated)]
         let outcome = lcs_mst::boruvka_mst(self.graph, weights, &config)?;
         let mut report = Report::new("mst");
@@ -812,6 +887,66 @@ mod tests {
         assert_eq!(
             ver.trace.iter().map(|t| t.messages).sum::<u64>(),
             stats.messages
+        );
+    }
+
+    #[test]
+    fn fault_injected_verify_heals_to_the_fault_free_classification() {
+        let g = generators::grid(6, 6);
+        let p = generators::partitions::grid_columns(6, 6);
+        let mut plain = Pipeline::on(&g)
+            .execution(ExecutionMode::Simulated)
+            .build()
+            .unwrap();
+        let run = plain.shortcut(&p, Strategy::doubling()).unwrap();
+        let threshold = 3 * run.winning_guess().unwrap().1;
+        let want = plain.verify(&run.shortcut, &p, threshold).unwrap();
+
+        let mut faulty = Pipeline::on(&g)
+            .execution(ExecutionMode::Simulated)
+            .fault(FaultPlan::new(5).with_latency(1).with_loss_ppm(10_000))
+            .build()
+            .unwrap();
+        let healed = faulty.verify(&run.shortcut, &p, threshold).unwrap();
+        assert_eq!(healed.good, want.good);
+        assert_eq!(healed.block_counts, want.block_counts);
+        assert!(healed
+            .report
+            .metrics
+            .iter()
+            .any(|(k, _)| k == "retry_epochs"));
+        // The construction itself ran fault-free: identical to the plain
+        // session's result because `shortcut` strips the plan.
+        let run_faulty = faulty.shortcut(&p, Strategy::doubling()).unwrap();
+        assert_eq!(run_faulty.shortcut, run.shortcut);
+    }
+
+    #[test]
+    fn a_defeating_fault_plan_surfaces_as_a_typed_degraded_error() {
+        let g = generators::grid(5, 5);
+        let p = generators::partitions::grid_columns(5, 5);
+        let mut session = Pipeline::on(&g)
+            .execution(ExecutionMode::Simulated)
+            .fault(FaultPlan::new(7).with_crashes(1, 0, 0))
+            .retry(RetryPolicy {
+                max_epochs: 2,
+                timeout_factor: 2,
+                backoff: 1,
+            })
+            .build()
+            .unwrap();
+        let empty = TreeShortcut::empty(&g, &p);
+        let err = session.verify(&empty, &p, 5).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LcsError::Degraded {
+                    epochs: 2,
+                    stalls: 2,
+                    ..
+                }
+            ),
+            "a permanent crash must degrade, got: {err}"
         );
     }
 

@@ -1,0 +1,73 @@
+//! E15 benchmark: fault-injected verification (the robustness table is
+//! produced by the `experiments` binary; this bench times the same
+//! operation under Criterion's statistics):
+//!
+//! * `verify_clean` — grid 32x32 simulated verification with no fault
+//!   plan (the baseline the fault-mode schedule stretches);
+//! * `verify_faulty` — the identical query under a combined plan
+//!   (latency 1, 1% loss, one restarting crash) through the self-healing
+//!   retry wrapper.
+//!
+//! The gap between the two distributions is the price of the fault
+//! machinery: the stretched windows and the per-poll resend engine, not
+//! the (constant-time) per-message fault draws.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_api::graph::{generators, Graph, Partition};
+use lcs_api::{ExecutionMode, FaultPlan, Pipeline, Strategy, TreeShortcut};
+
+const SIDE: usize = 32;
+
+fn build_shortcut(graph: &Graph, partition: &Partition) -> TreeShortcut {
+    let mut session = Pipeline::on(graph).seed(42).build().unwrap();
+    session
+        .shortcut(
+            partition,
+            Strategy::Fixed {
+                congestion: partition.part_count(),
+                block: 1,
+            },
+        )
+        .unwrap()
+        .shortcut
+}
+
+fn verify_once(
+    graph: &Graph,
+    partition: &Partition,
+    shortcut: &TreeShortcut,
+    fault: Option<FaultPlan>,
+) {
+    let mut pipeline = Pipeline::on(graph)
+        .seed(42)
+        .execution(ExecutionMode::Simulated);
+    if let Some(plan) = fault {
+        pipeline = pipeline.fault(plan);
+    }
+    let mut session = pipeline.build().unwrap();
+    let run = session.verify(shortcut, partition, 3).unwrap();
+    assert!(run.good.iter().all(|&g| g));
+}
+
+fn bench_e15(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_faults");
+    group.sample_size(10);
+    let graph = generators::grid(SIDE, SIDE);
+    let partition = generators::partitions::grid_columns(SIDE, SIDE);
+    let shortcut = build_shortcut(&graph, &partition);
+    let plan = FaultPlan::new(21)
+        .with_latency(1)
+        .with_loss_ppm(10_000)
+        .with_crashes(1, 10, 40);
+
+    group.bench_with_input(BenchmarkId::new("verify_clean", SIDE), &SIDE, |b, _| {
+        b.iter(|| verify_once(&graph, &partition, &shortcut, None))
+    });
+    group.bench_with_input(BenchmarkId::new("verify_faulty", SIDE), &SIDE, |b, _| {
+        b.iter(|| verify_once(&graph, &partition, &shortcut, Some(plan)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e15);
+criterion_main!(benches);

@@ -1307,6 +1307,225 @@ pub fn e14_obs_table() -> (Table, String) {
     (table, format!("{{\"rows\":[{}]}}", extras.join(",")))
 }
 
+/// E15 — robustness tier: fault-injected simulated verification across
+/// loss × latency × crash plans on the generator families. Every row runs
+/// the self-healing verify query ([`lcs_api::Session::verify`] with a
+/// [`lcs_api::FaultPlan`]) twice with the same seeded plan; `det` asserts
+/// the two runs' digests (goods, counts, retry epochs/stalls, executed
+/// rounds) are byte-identical — fault draws are a pure function of the
+/// plan, never of thread count or rerun. `inflate` is the executed-round
+/// inflation over the fault-free simulated baseline; the verdict is
+/// asserted correct (all parts good, as fault-free) on every row. The
+/// extra JSON payload carries each row's digest for the cross-thread
+/// assertion CI performs on `BENCH_FAULTS_T{1,4}.json`.
+pub fn e15_faults_table() -> (Table, String) {
+    use lcs_api::existential::ancestor_shortcut;
+    use lcs_api::{FaultPlan, VerifyRun};
+
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn mix(mut h: u64, v: u64) -> u64 {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+    fn metric(run: &VerifyRun, key: &str) -> Option<u64> {
+        run.report
+            .metrics
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+    }
+    // The digest covers the outcome (goods, counts, retry shape, executed
+    // rounds) and the recorded counter half of the metrics snapshot, which
+    // includes the `fault/*` event counters — drops, duplicates, delays,
+    // crash drops, restarts are thread-invariant facts of the plan.
+    fn digest_of(run: &VerifyRun, counters_digest: u64) -> u64 {
+        let mut h = FNV_OFFSET;
+        for &g in &run.good {
+            h = mix(h, u64::from(g));
+        }
+        for &c in &run.block_counts {
+            h = mix(h, c as u64);
+        }
+        h = mix(h, metric(run, "retry_epochs").unwrap_or(1));
+        h = mix(h, metric(run, "retry_stalls").unwrap_or(0));
+        h = mix(h, run.report.rounds_executed.unwrap_or(0));
+        mix(h, counters_digest)
+    }
+
+    let mut rows = Vec::new();
+    let mut extras = Vec::new();
+    let mut instance = |label: &str,
+                        graph: &Graph,
+                        partition: &Partition,
+                        plans: &[(&str, FaultPlan)]| {
+        let mut setup = session_on(graph, 42);
+        let shortcut = ancestor_shortcut(graph, setup.tree(), partition);
+        // Two supersteps of flood slack above the exact block parameter,
+        // so the fault-free verdict is all-good with margin to spare.
+        let threshold = setup
+            .quality(&shortcut, partition)
+            .expect("partition matches the instance graph")
+            .block_parameter
+            + 2;
+        let mut plain_session = Pipeline::on(graph)
+            .seed(42)
+            .execution(ExecutionMode::Simulated)
+            .build()
+            .expect("E15 instances are nonempty and connected");
+        let plain = plain_session
+            .verify(&shortcut, partition, threshold)
+            .expect("fault-free verification runs");
+        assert!(
+            plain.good.iter().all(|&g| g),
+            "E15 baseline must verify all-good on {label}"
+        );
+        let plain_rounds = plain.report.rounds_executed.unwrap_or(0).max(1);
+        for (fault_label, plan) in plans {
+            let run_once = || {
+                let obs = lcs_obs::Obs::recording();
+                let mut session = Pipeline::on(graph)
+                    .seed(42)
+                    .execution(ExecutionMode::Simulated)
+                    .fault(*plan)
+                    .recorder(obs.clone())
+                    .build()
+                    .expect("E15 instances are nonempty and connected");
+                let run = session
+                    .verify(&shortcut, partition, threshold)
+                    .expect("E15 fault plans must heal to a decisive verdict");
+                (run, obs.snapshot().counters_digest())
+            };
+            let (run, counters) = run_once();
+            let (rerun, recounters) = run_once();
+            assert!(
+                run.good.iter().all(|&g| g),
+                "E15 fault plan {fault_label} on {label} must heal to the all-good verdict"
+            );
+            let digest = digest_of(&run, counters);
+            let deterministic = digest == digest_of(&rerun, recounters);
+            let rounds = run.report.rounds_executed.unwrap_or(0);
+            let epochs = metric(&run, "retry_epochs").unwrap_or(1);
+            let stalls = metric(&run, "retry_stalls").unwrap_or(0);
+            rows.push(vec![
+                label.to_string(),
+                graph.node_count().to_string(),
+                fault_label.to_string(),
+                plain_rounds.to_string(),
+                rounds.to_string(),
+                format!("{:.2}x", rounds as f64 / plain_rounds as f64),
+                epochs.to_string(),
+                stalls.to_string(),
+                run.good.iter().all(|&g| g).to_string(),
+                format!("{digest:016x}"),
+                deterministic.to_string(),
+            ]);
+            extras.push(format!(
+                    "{{\"instance\":\"{}\",\"fault\":\"{}\",\"plain_rounds\":{},\"rounds\":{},\"epochs\":{},\"stalls\":{},\"digest\":\"{:016x}\",\"deterministic\":{}}}",
+                    lcs_obs::json::escape(label),
+                    lcs_obs::json::escape(fault_label),
+                    plain_rounds,
+                    rounds,
+                    epochs,
+                    stalls,
+                    digest,
+                    deterministic,
+                ));
+        }
+    };
+
+    // The full fault matrix on the grid family; crash schedules always
+    // restart (a permanent crash is the degraded-error path, exercised by
+    // the test suites, not a healable table row).
+    {
+        let (graph, partition) = grid_instance(12);
+        let plans = [
+            ("none", FaultPlan::new(21)),
+            ("lat 2", FaultPlan::new(21).with_latency(2)),
+            ("loss 1%", FaultPlan::new(21).with_loss_ppm(10_000)),
+            (
+                "loss 5% dup 1%",
+                FaultPlan::new(21)
+                    .with_loss_ppm(50_000)
+                    .with_dup_ppm(10_000),
+            ),
+            ("crash 1@10 +40", FaultPlan::new(21).with_crashes(1, 10, 40)),
+            (
+                "lat1 loss1% strag crash",
+                FaultPlan::new(21)
+                    .with_latency(1)
+                    .with_loss_ppm(10_000)
+                    .with_stragglers(250_000, 2)
+                    .with_crashes(1, 10, 40),
+            ),
+        ];
+        instance("grid 12x12 columns", &graph, &partition, &plans);
+    }
+    // One combined plan per remaining family.
+    let combined = |seed: u64| {
+        FaultPlan::new(seed)
+            .with_latency(2)
+            .with_loss_ppm(10_000)
+            .with_crashes(1, 10, 40)
+    };
+    {
+        let graph = generators::torus(12, 12);
+        let partition = generators::partitions::grid_columns(12, 12);
+        instance(
+            "torus 12x12 columns",
+            &graph,
+            &partition,
+            &[("lat2 loss1% crash", combined(22))],
+        );
+    }
+    {
+        let graph = generators::genus_handles(12, 12, 2);
+        let partition = generators::partitions::grid_columns(12, 12);
+        instance(
+            "12x12 + 2 handles",
+            &graph,
+            &partition,
+            &[("lat2 loss1% crash", combined(23))],
+        );
+    }
+    {
+        let graph = generators::wheel(129);
+        let partition = generators::partitions::wheel_arcs(129, 8);
+        instance(
+            "wheel 129 arcs",
+            &graph,
+            &partition,
+            &[("lat2 loss1% crash", combined(24))],
+        );
+    }
+
+    let table = Table {
+        title: "E15: robustness — fault-injected verification (verdict asserted correct; det = digests of two same-plan runs identical)"
+            .to_string(),
+        headers: [
+            "instance",
+            "n",
+            "fault plan",
+            "plain rds",
+            "fault rds",
+            "inflate",
+            "epochs",
+            "stalls",
+            "good",
+            "digest",
+            "det",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows,
+    };
+    (table, format!("{{\"rows\":[{}]}}", extras.join(",")))
+}
+
 /// A built table together with the wall-clock time it took to build — the
 /// quantity the bench trajectory (`BENCH_SCALE.json`) tracks across PRs.
 #[derive(Debug, Clone, PartialEq)]

@@ -2,9 +2,13 @@
 //! round loop, verbatim. The sharded engine is validated against this one
 //! (see `tests/determinism.rs` in this crate and in `lcs_dist`).
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use lcs_graph::Graph;
 use lcs_obs::Obs;
 
+use crate::fault::{Delayed, FaultCounters, FaultState};
 use crate::{
     Incoming, MessageBits, NodeContext, NodeProtocol, Outgoing, RoundTrace, SimConfig, SimError,
     SimOutcome, SimStats,
@@ -193,6 +197,10 @@ where
     P: NodeProtocol,
     F: FnMut(&NodeContext) -> P,
 {
+    if let Some(plan) = config.active_fault() {
+        let state = FaultState::new(&plan, graph);
+        return run_protocol_faulty(graph, config, &state, obs, factory);
+    }
     let contexts = build_contexts(graph);
     let mut nodes: Vec<P> = contexts.iter().map(&mut factory).collect();
     let mut stats = SimStats::default();
@@ -277,6 +285,346 @@ where
     stats.rounds = round;
     if obs.is_on() {
         record_run(obs, &stats, polls);
+        obs.gauge_set("engine/shards", 1);
+        obs.gauge_set("engine/shard/0/messages", stats.messages);
+        obs.gauge_set("engine/shard/0/bits", stats.total_bits);
+        obs.gauge_set("engine/shard/0/polls", polls);
+    }
+    Ok(SimOutcome {
+        nodes,
+        stats,
+        trace,
+    })
+}
+
+/// The message plane of a faulty run: the delivery queue replaces the
+/// edge-slot mailbox buffers (a slot can carry several in-flight messages
+/// once latency and duplication are on), while the duplicate-send stamps
+/// and the worklist machinery are identical to the fault-free plane. Heap
+/// entries pop in `(due, slot, posted)` order, so each node's per-round
+/// incoming list is slot-ordered — the same order `drain_into` produces —
+/// with a slot's multiple copies ordered by posting round. Unlike the
+/// fault-free plane this one allocates per-node inbox vectors; fault
+/// injection is a diagnostics mode, not a hot path.
+struct FaultNet<M> {
+    topo: Topology,
+    /// Duplicate-send stamps, recipient-side slot indexed (as in
+    /// [`Network`]).
+    stamp: Vec<u64>,
+    queued: Vec<bool>,
+    worklist_cur: Vec<u32>,
+    worklist_next: Vec<u32>,
+    /// The delivery queue, ordered by `(due, slot, posted)`.
+    heap: BinaryHeap<Reverse<Delayed<M>>>,
+    /// Messages delivered to each node this round (cleared after polling).
+    inboxes: Vec<Vec<Incoming<M>>>,
+}
+
+impl<M: MessageBits + Clone> FaultNet<M> {
+    fn new(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let topo = Topology::new(graph);
+        let slots = topo.slots();
+        FaultNet {
+            topo,
+            stamp: vec![u64::MAX; slots],
+            queued: vec![false; n],
+            worklist_cur: Vec::new(),
+            worklist_next: Vec::new(),
+            heap: BinaryHeap::new(),
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn queue(&mut self, node: usize) {
+        if !self.queued[node] {
+            self.queued[node] = true;
+            self.worklist_next.push(node as u32);
+        }
+    }
+
+    /// Validates one outgoing message exactly as the fault-free plane
+    /// does, then routes it through the fault schedule: a loss draw, the
+    /// edge's fixed delay, alignment to the recipient's poll rounds, and
+    /// an optional duplicate one poll later.
+    #[allow(clippy::too_many_arguments)]
+    fn post(
+        &mut self,
+        config: &SimConfig,
+        fs: &FaultState,
+        counters: &mut FaultCounters,
+        ctx: &NodeContext<'_>,
+        out: Outgoing<M>,
+        round: u64,
+        stats: &mut SimStats,
+    ) -> crate::Result<()> {
+        let pos = ctx.position_of(out.to).ok_or(SimError::NotANeighbor {
+            from: ctx.node,
+            to: out.to,
+        })?;
+        let slot = self.topo.mirror[self.topo.offset[ctx.node.index()] as usize + pos];
+        if self.stamp[slot as usize] == round {
+            return Err(SimError::DuplicateSend {
+                from: ctx.node,
+                to: out.to,
+                round,
+            });
+        }
+        self.stamp[slot as usize] = round;
+        let bits = out.msg.size_bits();
+        if bits > config.bandwidth_bits {
+            return Err(SimError::BandwidthExceeded {
+                from: ctx.node,
+                to: out.to,
+                message_bits: bits,
+                bandwidth_bits: config.bandwidth_bits,
+            });
+        }
+        // Under faults `stats.messages` counts *sends*; deliveries (which
+        // loss shrinks and duplication grows) are what the trace counts.
+        stats.messages += 1;
+        stats.total_bits += bits as u64;
+        stats.max_message_bits = stats.max_message_bits.max(bits);
+        if fs.lose(u64::from(slot), round) {
+            counters.drops += 1;
+            return Ok(());
+        }
+        let to = out.to.index();
+        let delay = fs.delay_of(ctx.incident_edge_ids()[pos].index());
+        if delay > 0 {
+            counters.delays += 1;
+        }
+        let due = fs.next_poll(to, round + 1 + delay);
+        let dup = fs.duplicate(u64::from(slot), round);
+        if dup {
+            counters.dups += 1;
+            self.heap.push(Reverse(Delayed {
+                due: fs.next_poll(to, due + 1),
+                slot,
+                posted: round,
+                to: to as u32,
+                bits: bits as u64,
+                msg: out.msg.clone(),
+            }));
+        }
+        self.heap.push(Reverse(Delayed {
+            due,
+            slot,
+            posted: round,
+            to: to as u32,
+            bits: bits as u64,
+            msg: out.msg,
+        }));
+        Ok(())
+    }
+}
+
+/// Maps a node's `next_wake` answer through its poll schedule: stragglers
+/// can only be polled on their poll rounds, so the effective wake round is
+/// the first poll round at or after the requested one (a late wake is
+/// exactly the straggler fault; the protocol layer budgets for it).
+fn fault_wake<P: NodeProtocol>(
+    fs: &FaultState,
+    wakes: &mut BinaryHeap<Reverse<(u64, u32)>>,
+    net_queue: &mut dyn FnMut(usize),
+    state: &P,
+    idx: usize,
+    round: u64,
+) {
+    let target = match state.next_wake(round) {
+        Some(r) => r.max(round + 1),
+        None => round + 1,
+    };
+    let due = fs.next_poll(idx, target);
+    if due > round + 1 {
+        wakes.push(Reverse((due, idx as u32)));
+    } else {
+        net_queue(idx);
+    }
+}
+
+/// The serial round loop under an active [`crate::FaultPlan`]: the same
+/// schedule as the fault-free loop, with deliveries routed through the
+/// [`FaultNet`] delivery queue, crashed nodes skipped (their mail
+/// dropped), and restarts executed as a fresh `init` at the restart round.
+fn run_protocol_faulty<P, F>(
+    graph: &Graph,
+    config: &SimConfig,
+    fs: &FaultState,
+    obs: &Obs,
+    mut factory: F,
+) -> crate::Result<SimOutcome<P>>
+where
+    P: NodeProtocol,
+    F: FnMut(&NodeContext) -> P,
+{
+    let contexts = build_contexts(graph);
+    let mut nodes: Vec<P> = contexts.iter().map(&mut factory).collect();
+    // Fresh states for restartable crash nodes, created in ascending node
+    // order *after* the main factory pass — the sharded engine makes the
+    // identical call sequence, so stateful factories agree.
+    let restart_round = fs.restart_local_round();
+    let mut spares: Vec<(u32, Option<P>)> = if restart_round.is_some() {
+        fs.crash_nodes()
+            .iter()
+            .map(|&v| (v, Some(factory(&contexts[v as usize]))))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut stats = SimStats::default();
+    let mut trace: Vec<RoundTrace> = Vec::new();
+    let mut counters = FaultCounters::default();
+    let mut net: FaultNet<P::Message> = FaultNet::new(graph);
+    let mut wakes: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+
+    for (idx, (state, ctx)) in nodes.iter_mut().zip(&contexts).enumerate() {
+        if fs.crashed_at(idx, 0) {
+            continue;
+        }
+        let outgoing = state.init(ctx);
+        for out in outgoing {
+            net.post(config, fs, &mut counters, ctx, out, 0, &mut stats)?;
+        }
+        if !state.is_done() {
+            let queued = &mut net.queued;
+            let worklist = &mut net.worklist_next;
+            fault_wake(
+                fs,
+                &mut wakes,
+                &mut |i| {
+                    if !queued[i] {
+                        queued[i] = true;
+                        worklist.push(i as u32);
+                    }
+                },
+                state,
+                idx,
+                0,
+            );
+        }
+    }
+    if let Some(r) = restart_round {
+        for &v in fs.crash_nodes() {
+            wakes.push(Reverse((r, v)));
+        }
+    }
+
+    let mut round: u64 = 0;
+    let mut polls: u64 = 0;
+    while !net.worklist_next.is_empty() || !wakes.is_empty() || !net.heap.is_empty() {
+        if round >= config.max_rounds {
+            return Err(SimError::RoundLimitExceeded {
+                limit: config.max_rounds,
+            });
+        }
+        round += 1;
+
+        while let Some(&Reverse((due, idx))) = wakes.peek() {
+            if due > round {
+                break;
+            }
+            wakes.pop();
+            net.queue(idx as usize);
+        }
+        counters.queue_peak = counters.queue_peak.max(net.heap.len() as u64);
+        let mut delivered: u64 = 0;
+        let mut bits: u64 = 0;
+        while net.heap.peek().is_some_and(|Reverse(d)| d.due <= round) {
+            let Reverse(d) = net.heap.pop().expect("peeked entry exists");
+            debug_assert_eq!(d.due, round, "delivery rounds are never skipped");
+            let to = d.to as usize;
+            if fs.crashed_at(to, round) {
+                counters.crash_drops += 1;
+                continue;
+            }
+            delivered += 1;
+            bits += d.bits;
+            let base = net.topo.offset[to] as usize;
+            let k = d.slot as usize - base;
+            let ctx = &contexts[to];
+            net.inboxes[to].push(Incoming {
+                from: ctx.neighbor_ids()[k],
+                edge: ctx.incident_edge_ids()[k],
+                msg: d.msg,
+            });
+            net.queue(to);
+        }
+        std::mem::swap(&mut net.worklist_cur, &mut net.worklist_next);
+        net.worklist_next.clear();
+        for &v in &net.worklist_cur {
+            net.queued[v as usize] = false;
+        }
+        net.worklist_cur.sort_unstable();
+        if config.trace {
+            trace.push(RoundTrace {
+                round,
+                messages: delivered,
+                bits,
+            });
+        }
+        let worklist = std::mem::take(&mut net.worklist_cur);
+        for &vi in &worklist {
+            let idx = vi as usize;
+            if fs.crashed_at(idx, round) {
+                net.inboxes[idx].clear();
+                continue;
+            }
+            let ctx = &contexts[idx];
+            if restart_round == Some(round) && fs.is_crash_node(idx) {
+                // Restart: swap in the cleared state and run its `init` at
+                // this round; whatever mail arrived alongside is lost with
+                // the old state.
+                if let Some(spare) = spares
+                    .iter_mut()
+                    .find(|(v, _)| *v as usize == idx)
+                    .and_then(|(_, s)| s.take())
+                {
+                    nodes[idx] = spare;
+                    counters.restarts += 1;
+                }
+                net.inboxes[idx].clear();
+                polls += 1;
+                let outgoing = nodes[idx].init(ctx);
+                for out in outgoing {
+                    net.post(config, fs, &mut counters, ctx, out, round, &mut stats)?;
+                }
+            } else {
+                let incoming = std::mem::take(&mut net.inboxes[idx]);
+                polls += 1;
+                let outgoing = nodes[idx].on_round(ctx, round, &incoming);
+                let mut incoming = incoming;
+                incoming.clear();
+                net.inboxes[idx] = incoming;
+                for out in outgoing {
+                    net.post(config, fs, &mut counters, ctx, out, round, &mut stats)?;
+                }
+            }
+            if !nodes[idx].is_done() {
+                let queued = &mut net.queued;
+                let worklist_next = &mut net.worklist_next;
+                fault_wake(
+                    fs,
+                    &mut wakes,
+                    &mut |i| {
+                        if !queued[i] {
+                            queued[i] = true;
+                            worklist_next.push(i as u32);
+                        }
+                    },
+                    &nodes[idx],
+                    idx,
+                    round,
+                );
+            }
+        }
+        net.worklist_cur = worklist;
+    }
+
+    stats.rounds = round;
+    if obs.is_on() {
+        record_run(obs, &stats, polls);
+        counters.record(obs);
         obs.gauge_set("engine/shards", 1);
         obs.gauge_set("engine/shard/0/messages", stats.messages);
         obs.gauge_set("engine/shard/0/bits", stats.total_bits);

@@ -44,6 +44,7 @@ use std::sync::{Barrier, Mutex};
 use lcs_graph::{Graph, ShardMap};
 use lcs_obs::{LatencyHistogram, Obs, SpanBuffer};
 
+use crate::fault::{Delayed, FaultCounters, FaultState};
 use crate::{
     Incoming, MessageBits, NodeContext, NodeProtocol, Outgoing, RoundTrace, SimConfig, SimError,
     SimOutcome, SimStats,
@@ -90,6 +91,11 @@ struct Staged<M> {
     /// would let a pathological bandwidth configuration desynchronize the
     /// sharded trace's bit counts from the serial engine's.
     bits: u64,
+    /// Fault-mode delivery metadata: the round the copy becomes due and the
+    /// round it was posted. Both are 0 in fault-free runs, where delivery
+    /// is always "next round" and these fields are ignored.
+    due: u64,
+    posted: u64,
     msg: M,
 }
 
@@ -115,6 +121,24 @@ struct Shared<M> {
     /// same buffer, which is what keeps a fast shard's round-`r` sends from
     /// leaking into a slower shard's round-`r` deliveries.
     inboxes: [Vec<Mutex<Vec<Staged<M>>>>; 2],
+}
+
+/// The fault-mode extension of one shard: its slice of the delivery queue
+/// (local recipients only — a delayed message lives in its *recipient's*
+/// shard), the per-node round inboxes it feeds, the fresh states held for
+/// this shard's restartable crash nodes, and the shard-local fault
+/// tallies. Fault decisions themselves come from the run-wide
+/// [`FaultState`], which is immutable and shared by reference, so shard
+/// count cannot perturb a single draw.
+struct ShardFault<P: NodeProtocol> {
+    heap: BinaryHeap<Reverse<Delayed<P::Message>>>,
+    /// Messages delivered to each local node this round (local-indexed,
+    /// cleared after polling).
+    inboxes: Vec<Vec<Incoming<P::Message>>>,
+    /// Fresh states for this shard's crash nodes (ascending node order),
+    /// present only when the plan restarts them.
+    spares: Vec<(u32, Option<P>)>,
+    counters: FaultCounters,
 }
 
 /// One shard's private slice of the run.
@@ -160,6 +184,8 @@ struct Shard<P: NodeProtocol> {
     /// letting a worker unwind through a barrier would deadlock the rest).
     panic: Option<Box<dyn std::any::Any + Send>>,
     scratch: Vec<Incoming<P::Message>>,
+    /// Fault-mode state; `None` exactly when the run has no active plan.
+    fault: Option<ShardFault<P>>,
 }
 
 impl<P: NodeProtocol> Shard<P> {
@@ -219,6 +245,8 @@ impl<P: NodeProtocol> Shard<P> {
                 slot,
                 to: out.to.index() as u32,
                 bits: bits as u64,
+                due: 0,
+                posted: 0,
                 msg: out.msg,
             });
         }
@@ -370,12 +398,311 @@ impl<P: NodeProtocol> Shard<P> {
         self.worklist_cur = worklist;
     }
 
+    /// Fault-mode post: identical validation and send accounting to
+    /// [`Shard::post`], then the same loss/delay/duplication schedule as
+    /// the serial engine — every draw is keyed by the recipient-side slot
+    /// and the round, never by which shard executes it. A local recipient's
+    /// copy goes straight into this shard's delivery heap; a remote one is
+    /// staged with its `(due, posted)` key and lands in the destination
+    /// shard's heap at the next merge (cross-shard copies are due no
+    /// earlier than `round + 1`, so the merge never arrives late).
+    #[allow(clippy::too_many_arguments)]
+    fn post_faulty(
+        &mut self,
+        config: &SimConfig,
+        topo: &Topology,
+        map: &ShardMap,
+        fs: &FaultState,
+        ctx: &NodeContext<'_>,
+        out: Outgoing<P::Message>,
+        round: u64,
+    ) -> crate::Result<()> {
+        let pos = ctx.position_of(out.to).ok_or(SimError::NotANeighbor {
+            from: ctx.node,
+            to: out.to,
+        })?;
+        let gpos = topo.offset[ctx.node.index()] as usize + pos;
+        let lpos = gpos - self.slot_lo;
+        if self.stamp[lpos] == round {
+            return Err(SimError::DuplicateSend {
+                from: ctx.node,
+                to: out.to,
+                round,
+            });
+        }
+        self.stamp[lpos] = round;
+        let bits = out.msg.size_bits();
+        if bits > config.bandwidth_bits {
+            return Err(SimError::BandwidthExceeded {
+                from: ctx.node,
+                to: out.to,
+                message_bits: bits,
+                bandwidth_bits: config.bandwidth_bits,
+            });
+        }
+        self.stats.messages += 1;
+        self.stats.total_bits += bits as u64;
+        self.stats.max_message_bits = self.stats.max_message_bits.max(bits);
+        let slot = topo.mirror[gpos];
+        let fault = self.fault.as_mut().expect("fault mode is on");
+        if fs.lose(u64::from(slot), round) {
+            fault.counters.drops += 1;
+            return Ok(());
+        }
+        let to = out.to.index();
+        let delay = fs.delay_of(ctx.incident_edge_ids()[pos].index());
+        if delay > 0 {
+            fault.counters.delays += 1;
+        }
+        let due = fs.next_poll(to, round + 1 + delay);
+        let dup = fs.duplicate(u64::from(slot), round);
+        if dup {
+            fault.counters.dups += 1;
+        }
+        let dst = map.shard_of(out.to);
+        if dst == self.id {
+            if dup {
+                fault.heap.push(Reverse(Delayed {
+                    due: fs.next_poll(to, due + 1),
+                    slot,
+                    posted: round,
+                    to: to as u32,
+                    bits: bits as u64,
+                    msg: out.msg.clone(),
+                }));
+            }
+            fault.heap.push(Reverse(Delayed {
+                due,
+                slot,
+                posted: round,
+                to: to as u32,
+                bits: bits as u64,
+                msg: out.msg,
+            }));
+        } else {
+            if dup {
+                self.staging[dst].push(Staged {
+                    slot,
+                    to: to as u32,
+                    bits: bits as u64,
+                    due: fs.next_poll(to, due + 1),
+                    posted: round,
+                    msg: out.msg.clone(),
+                });
+            }
+            self.staging[dst].push(Staged {
+                slot,
+                to: to as u32,
+                bits: bits as u64,
+                due,
+                posted: round,
+                msg: out.msg,
+            });
+        }
+        Ok(())
+    }
+
+    /// Fault-mode inbound merge: staged cross-shard copies join this
+    /// shard's delivery heap (their due rounds are still in the future, so
+    /// ordering is preserved).
+    fn merge_inbound_faulty(&mut self, phase: u64, shared: &Shared<P::Message>) {
+        let staged = {
+            let mut inbox = shared.inboxes[(phase % 2) as usize][self.id]
+                .lock()
+                .expect("no worker panics while holding an inbox lock");
+            std::mem::take(&mut *inbox)
+        };
+        let fault = self.fault.as_mut().expect("fault mode is on");
+        for st in staged {
+            fault.heap.push(Reverse(Delayed {
+                due: st.due,
+                slot: st.slot,
+                posted: st.posted,
+                to: st.to,
+                bits: st.bits,
+                msg: st.msg,
+            }));
+        }
+    }
+
+    /// Fault-mode phase 0: `init` every non-crashed node of the shard in
+    /// node order, schedule wakes through each node's poll schedule, and
+    /// arm the restart timers for this shard's crash nodes.
+    fn run_init_faulty(
+        &mut self,
+        config: &SimConfig,
+        topo: &Topology,
+        map: &ShardMap,
+        fs: &FaultState,
+        contexts: &[NodeContext<'_>],
+    ) {
+        for local in 0..self.nodes.len() {
+            let idx = self.node_lo + local;
+            if fs.crashed_at(idx, 0) {
+                continue;
+            }
+            let ctx = &contexts[idx];
+            let outgoing = self.nodes[local].init(ctx);
+            for out in outgoing {
+                if let Err(err) = self.post_faulty(config, topo, map, fs, ctx, out, 0) {
+                    self.error = Some(err);
+                    return;
+                }
+            }
+            if !self.nodes[local].is_done() {
+                let target = match self.nodes[local].next_wake(0) {
+                    Some(r) => r.max(1),
+                    None => 1,
+                };
+                let due = fs.next_poll(idx, target);
+                if due > 1 {
+                    self.wakes.push(Reverse((due, idx as u32)));
+                } else {
+                    self.queue_local(idx);
+                }
+            }
+        }
+        if let Some(r) = fs.restart_local_round() {
+            for &v in fs.crash_nodes() {
+                let idx = v as usize;
+                if idx >= self.node_lo && idx < self.node_lo + self.nodes.len() {
+                    self.wakes.push(Reverse((r, v)));
+                }
+            }
+        }
+    }
+
+    /// Fault-mode phase `round ≥ 1`: merge staged copies into the delivery
+    /// heap, pop due timers and due deliveries (dropping mail addressed to
+    /// currently-crashed nodes), flip worklists, then poll — skipping
+    /// crashed nodes and re-initializing restarting ones.
+    #[allow(clippy::too_many_arguments)]
+    fn run_round_faulty(
+        &mut self,
+        round: u64,
+        config: &SimConfig,
+        topo: &Topology,
+        map: &ShardMap,
+        fs: &FaultState,
+        contexts: &[NodeContext<'_>],
+        shared: &Shared<P::Message>,
+    ) {
+        self.merge_inbound_faulty(round, shared);
+        while let Some(&Reverse((due, idx))) = self.wakes.peek() {
+            if due > round {
+                break;
+            }
+            self.wakes.pop();
+            self.queue_local(idx as usize);
+        }
+        let mut delivered: u64 = 0;
+        let mut bits: u64 = 0;
+        {
+            let fault = self.fault.as_mut().expect("fault mode is on");
+            fault.counters.queue_peak = fault.counters.queue_peak.max(fault.heap.len() as u64);
+        }
+        loop {
+            let fault = self.fault.as_mut().expect("fault mode is on");
+            let Some(Reverse(d)) = fault.heap.peek() else {
+                break;
+            };
+            if d.due > round {
+                break;
+            }
+            let Some(Reverse(d)) = fault.heap.pop() else {
+                break;
+            };
+            debug_assert_eq!(d.due, round, "delivery rounds are never skipped");
+            let to = d.to as usize;
+            if fs.crashed_at(to, round) {
+                fault.counters.crash_drops += 1;
+                continue;
+            }
+            delivered += 1;
+            bits += d.bits;
+            let base = topo.offset[to] as usize;
+            let k = d.slot as usize - base;
+            let ctx = &contexts[to];
+            fault.inboxes[to - self.node_lo].push(Incoming {
+                from: ctx.neighbor_ids()[k],
+                edge: ctx.incident_edge_ids()[k],
+                msg: d.msg,
+            });
+            self.queue_local(to);
+        }
+        self.begin_round();
+        // The fault plane bypasses the mailbox buffers, so the trace
+        // contribution is the heap pop tally, not `in_flight_next`.
+        self.last_delivered = delivered;
+        self.last_bits = bits;
+        let worklist = std::mem::take(&mut self.worklist_cur);
+        let restart_round = fs.restart_local_round();
+        'nodes: for &vi in &worklist {
+            let idx = vi as usize;
+            let local = idx - self.node_lo;
+            if fs.crashed_at(idx, round) {
+                self.fault.as_mut().expect("fault mode is on").inboxes[local].clear();
+                continue;
+            }
+            let ctx = &contexts[idx];
+            if restart_round == Some(round) && fs.is_crash_node(idx) {
+                let fault = self.fault.as_mut().expect("fault mode is on");
+                if let Some(spare) = fault
+                    .spares
+                    .iter_mut()
+                    .find(|(v, _)| *v as usize == idx)
+                    .and_then(|(_, s)| s.take())
+                {
+                    self.nodes[local] = spare;
+                    fault.counters.restarts += 1;
+                }
+                fault.inboxes[local].clear();
+                self.polls += 1;
+                let outgoing = self.nodes[local].init(ctx);
+                for out in outgoing {
+                    if let Err(err) = self.post_faulty(config, topo, map, fs, ctx, out, round) {
+                        self.error = Some(err);
+                        break 'nodes;
+                    }
+                }
+            } else {
+                let fault = self.fault.as_mut().expect("fault mode is on");
+                let incoming = std::mem::take(&mut fault.inboxes[local]);
+                self.polls += 1;
+                let outgoing = self.nodes[local].on_round(ctx, round, &incoming);
+                let mut incoming = incoming;
+                incoming.clear();
+                self.fault.as_mut().expect("fault mode is on").inboxes[local] = incoming;
+                for out in outgoing {
+                    if let Err(err) = self.post_faulty(config, topo, map, fs, ctx, out, round) {
+                        self.error = Some(err);
+                        break 'nodes;
+                    }
+                }
+            }
+            if !self.nodes[local].is_done() {
+                let target = match self.nodes[local].next_wake(round) {
+                    Some(r) => r.max(round + 1),
+                    None => round + 1,
+                };
+                let due = fs.next_poll(idx, target);
+                if due > round + 1 {
+                    self.wakes.push(Reverse((due, idx as u32)));
+                } else {
+                    self.queue_local(idx);
+                }
+            }
+        }
+        self.worklist_cur = worklist;
+    }
+
     /// The worker loop: execute phases until the coordinator says stop.
     fn work(
         &mut self,
         config: &SimConfig,
         topo: &Topology,
         map: &ShardMap,
+        fs: Option<&FaultState>,
         contexts: &[NodeContext<'_>],
         shared: &Shared<P::Message>,
     ) {
@@ -394,10 +721,13 @@ impl<P: NodeProtocol> Shard<P> {
                 // whole run is abandoned: no state of this shard is
                 // observed afterwards.
                 let work = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    if phase == 0 {
-                        self.run_init(config, topo, map, contexts);
-                    } else {
-                        self.run_round(phase, config, topo, map, contexts, shared);
+                    match (fs, phase) {
+                        (None, 0) => self.run_init(config, topo, map, contexts),
+                        (None, _) => self.run_round(phase, config, topo, map, contexts, shared),
+                        (Some(fs), 0) => self.run_init_faulty(config, topo, map, fs, contexts),
+                        (Some(fs), _) => {
+                            self.run_round_faulty(phase, config, topo, map, fs, contexts, shared)
+                        }
                     }
                     self.flush_staging(phase, shared);
                 }));
@@ -406,7 +736,9 @@ impl<P: NodeProtocol> Shard<P> {
                 }
             }
             shared.active[self.id].store(
-                !self.worklist_next.is_empty() || !self.wakes.is_empty(),
+                !self.worklist_next.is_empty()
+                    || !self.wakes.is_empty()
+                    || self.fault.as_ref().is_some_and(|f| !f.heap.is_empty()),
                 Ordering::SeqCst,
             );
             shared.delivered[self.id].store(self.last_delivered, Ordering::SeqCst);
@@ -452,11 +784,34 @@ where
     // sequence the serial engine produces, so stateful factories (counters,
     // RNG streams) observe identical call histories.
     let mut all_nodes: Vec<P> = contexts.iter().map(&mut factory).collect();
+    let fault_state = config
+        .active_fault()
+        .map(|plan| FaultState::new(&plan, graph));
+    // Spare states for restartable crash nodes, created in ascending node
+    // order after the main factory pass — the exact call sequence the
+    // serial engine makes, so stateful factories agree with it.
+    let mut spare_pool: Vec<(u32, Option<P>)> = match &fault_state {
+        Some(fs) if fs.restart_local_round().is_some() => fs
+            .crash_nodes()
+            .iter()
+            .map(|&v| (v, Some(factory(&contexts[v as usize]))))
+            .collect(),
+        _ => Vec::new(),
+    };
 
     let mut shards: Vec<Shard<P>> = Vec::with_capacity(shard_count);
     for s in (0..shard_count).rev() {
         let range = map.range(s);
         let nodes: Vec<P> = all_nodes.split_off(range.start);
+        let fault = fault_state.as_ref().map(|_| {
+            let split = spare_pool.partition_point(|(v, _)| (*v as usize) < range.start);
+            ShardFault {
+                heap: BinaryHeap::new(),
+                inboxes: (0..range.len()).map(|_| Vec::new()).collect(),
+                spares: spare_pool.split_off(split),
+                counters: FaultCounters::default(),
+            }
+        });
         let slot_lo = topo.offset[range.start] as usize;
         let slot_hi = topo.offset[range.end] as usize;
         let slots = slot_hi - slot_lo;
@@ -487,6 +842,7 @@ where
             error: None,
             panic: None,
             scratch: Vec::new(),
+            fault,
         });
     }
     shards.reverse();
@@ -515,7 +871,8 @@ where
             let topo = &topo;
             let map = &map;
             let shared = &shared;
-            scope.spawn(move || shard.work(config, topo, map, contexts, shared));
+            let fs = fault_state.as_ref();
+            scope.spawn(move || shard.work(config, topo, map, fs, contexts, shared));
         }
 
         // The coordinator: decide between the end barrier of one phase and
@@ -598,6 +955,7 @@ where
     let probe_on = obs.is_on();
     let mut polls_total: u64 = 0;
     let mut staged_total: u64 = 0;
+    let mut fault_counters = FaultCounters::default();
     let mut barrier_spans = SpanBuffer::new();
     for shard in shards {
         stats.messages += shard.stats.messages;
@@ -619,12 +977,18 @@ where
                 staged_total += sizes.sum() as u64;
                 obs.timer_merge("engine/staging_flush_size", sizes);
             }
+            if let Some(f) = &shard.fault {
+                fault_counters.absorb(&f.counters);
+            }
         }
         nodes.extend(shard.nodes);
     }
     if probe_on {
         obs.merge_spans(&mut barrier_spans);
         record_run(obs, &stats, polls_total);
+        if fault_state.is_some() {
+            fault_counters.record(obs);
+        }
         obs.gauge_set("engine/shards", shard_count as u64);
         obs.gauge_set("engine/staged_messages", staged_total);
     }

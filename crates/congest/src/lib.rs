@@ -42,6 +42,7 @@
 mod cost;
 mod engine;
 mod error;
+mod fault;
 mod message;
 mod node;
 mod simulator;
@@ -51,6 +52,7 @@ pub mod primitives;
 pub use cost::RoundCost;
 pub use engine::EngineSelection;
 pub use error::SimError;
+pub use fault::FaultPlan;
 pub use message::{bits_for_count, bits_for_node_count, MessageBits};
 pub use node::{Incoming, NodeContext, NodeProtocol, Outgoing};
 pub use simulator::{RoundTrace, SimConfig, SimOutcome, SimStats, Simulator};

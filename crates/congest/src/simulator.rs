@@ -53,6 +53,14 @@ pub struct SimConfig {
     /// initializes it from the `LCS_THREADS` environment variable
     /// (default 1), so one variable switches every protocol in a process.
     pub threads: usize,
+    /// Optional deterministic fault schedule (latency, loss, duplication,
+    /// stragglers, crashes). `None` — or a plan with every knob at zero —
+    /// selects the unmodified fault-free round loop; an active plan routes
+    /// the run through a delivery queue layered over the edge-slot
+    /// mailboxes. Both engines inject identical faults (every decision is
+    /// a pure function of the plan), so determinism across thread counts
+    /// is preserved. See [`crate::FaultPlan`].
+    pub fault: Option<crate::FaultPlan>,
 }
 
 impl SimConfig {
@@ -68,6 +76,7 @@ impl SimConfig {
             max_rounds: 64 * graph.node_count() as u64 + 1024,
             trace: false,
             threads: lcs_graph::configured_threads(),
+            fault: None,
         }
     }
 
@@ -100,6 +109,25 @@ impl SimConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Attaches a deterministic fault schedule (see [`SimConfig::fault`]).
+    pub fn with_fault(mut self, plan: crate::FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Removes any fault schedule: the run executes fault-free.
+    pub fn without_fault(mut self) -> Self {
+        self.fault = None;
+        self
+    }
+
+    /// The active fault plan, if any: `Some` only when a plan is attached
+    /// *and* at least one of its knobs is raised (an all-zero plan is
+    /// indistinguishable from no plan).
+    pub fn active_fault(&self) -> Option<crate::FaultPlan> {
+        self.fault.filter(|p| p.active())
     }
 }
 

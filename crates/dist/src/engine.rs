@@ -67,11 +67,16 @@ pub(crate) trait NodeProgram: Send {
 }
 
 /// Engine message: two tag bits distinguish the three payload kinds; block
-/// ids are `⌈log₂ |family|⌉` bits.
+/// ids are `⌈log₂ |family|⌉` bits. In fault mode every message also
+/// carries its sender's superstep (`⌈log₂ steps⌉` extra bits) so that a
+/// duplicated copy straggling across a window boundary is recognized as
+/// stale and dropped; in fault-free runs the tag is always the receiver's
+/// own step and costs no bits.
 #[derive(Debug, Clone)]
 pub(crate) struct EngineMsg<V, C> {
     payload: Payload<V, C>,
     bits: usize,
+    step: u32,
 }
 
 #[derive(Debug, Clone)]
@@ -96,8 +101,13 @@ struct Run<V> {
     agreed: Option<V>,
     /// `(child, relative delivery round)` of this superstep's upward
     /// messages — the broadcast sends down over the same edges at the
-    /// mirrored rounds.
+    /// mirrored rounds. In fault mode it doubles as the heard-from set
+    /// that deduplicates duplicated upward copies.
     child_rel: Vec<(NodeId, u64)>,
+    /// Fault mode only: which children have received their first downward
+    /// copy (indexed like `Membership::children`; empty in fault-free
+    /// runs, where the time-reversed mirror schedule is used instead).
+    downs_sent: Vec<bool>,
 }
 
 /// How many supersteps to run and whether block values are broadcast back
@@ -106,6 +116,19 @@ struct Run<V> {
 pub(crate) struct EngineSpec {
     pub steps: u64,
     pub broadcast_down: bool,
+}
+
+/// Fault mode sends every cross payload at each poll of the cross slot,
+/// and the slot is widened to this many `s`-round spans so that a payload
+/// whose every copy must be lost for a wrong answer gets several
+/// independent copies per superstep (the residual failure probability is
+/// `ε^(copies)` per edge instead of `ε`).
+pub(crate) const CROSS_REDUNDANCY: u64 = 3;
+
+/// Fault-mode window length for stretched schedule length `l_f` and
+/// per-hop span `s`: `[tree slot 2·l_f | cross slot 3·s | guard band s]`.
+pub(crate) fn faulty_window(l_f: u64, s: u64) -> u64 {
+    2 * l_f + (CROSS_REDUNDANCY + 1) * s
 }
 
 /// Exact number of rounds an engine execution takes: `steps` windows minus
@@ -135,6 +158,15 @@ pub(crate) struct EngineNode<P: NodeProgram> {
     step: u64,
     runs: Vec<Run<P::Val>>,
     finished: bool,
+    /// Fault mode: tolerate delayed/lost/duplicated deliveries. `l` is the
+    /// latency-stretched schedule length, the window layout changes to
+    /// `[tree slot 2l | cross slot 3s | guard band s]`, and emissions are
+    /// driven by observed progress with per-poll resends instead of the
+    /// exact mirror schedule.
+    faulty: bool,
+    /// The cross-slot length `s` (the plan's worst-case per-hop stretch);
+    /// 1 in fault-free runs.
+    cross_span: u64,
 }
 
 impl<P: NodeProgram> EngineNode<P> {
@@ -149,6 +181,7 @@ impl<P: NodeProgram> EngineNode<P> {
 
     fn start_superstep(&mut self) {
         let step = self.step;
+        let faulty = self.faulty;
         self.runs.clear();
         for (i, m) in self.info.memberships.iter().enumerate() {
             let contribution = self.program.contribution(&self.info, m, step);
@@ -158,6 +191,11 @@ impl<P: NodeProgram> EngineNode<P> {
                 sent_up: false,
                 agreed: None,
                 child_rel: Vec::new(),
+                downs_sent: if faulty {
+                    vec![false; m.children.len()]
+                } else {
+                    Vec::new()
+                },
             });
             // Childless roots agree immediately.
             if m.is_root && m.children.is_empty() {
@@ -177,7 +215,17 @@ impl<P: NodeProgram> EngineNode<P> {
             .position(|m| m.block == block as usize)
             .expect("upward messages only arrive within a block");
         let rel = round - self.base();
-        debug_assert!(rel >= 1 && rel <= self.l, "up delivery outside conv slot");
+        if self.faulty {
+            // Duplicated copies and spurious ups (e.g. from a restarted
+            // child re-running its protocol) are dropped instead of
+            // tripping the fault-free invariants below.
+            let run = &self.runs[idx];
+            if run.pending == 0 || run.child_rel.iter().any(|&(c, _)| c == from) {
+                return;
+            }
+        } else {
+            debug_assert!(rel >= 1 && rel <= self.l, "up delivery outside conv slot");
+        }
         let run = &mut self.runs[idx];
         let acc = run.acc.take().expect("superstep started");
         run.acc = Some(self.program.combine(step, &acc, &val));
@@ -201,6 +249,9 @@ impl<P: NodeProgram> EngineNode<P> {
             .iter()
             .position(|m| m.block == block as usize)
             .expect("downward messages only arrive within a block");
+        if self.faulty && self.runs[idx].agreed.is_some() {
+            return; // duplicated or resent copy — already agreed
+        }
         let step = self.step;
         self.runs[idx].agreed = Some(val.clone());
         self.program
@@ -230,6 +281,7 @@ impl<P: NodeProgram> EngineNode<P> {
                     EngineMsg {
                         payload: Payload::Up { block, val },
                         bits: self.up_bits,
+                        step: self.step as u32,
                     },
                 ));
             }
@@ -252,6 +304,7 @@ impl<P: NodeProgram> EngineNode<P> {
                                     val,
                                 },
                                 bits: self.up_bits,
+                                step: self.step as u32,
                             },
                         ));
                     }
@@ -269,6 +322,151 @@ impl<P: NodeProgram> EngineNode<P> {
                         EngineMsg {
                             payload: Payload::Cross(msg),
                             bits: self.cross_msg_bits,
+                            step: self.step as u32,
+                        },
+                    ));
+                }
+            }
+        }
+
+        out
+    }
+
+    /// Fault-mode emissions: the window is laid out as
+    /// `[tree slot 2l | cross slot 3s | guard band s]` and scheduling is
+    /// driven by observed progress instead of the exact mirror schedule.
+    /// Per poll, each neighbor receives at most one tree message — a
+    /// first-time Up under the greedy priority rule, then first-time
+    /// Downs, then resends of already-sent copies rotated across blocks —
+    /// so a lost copy is retried at every later poll of the slot and the
+    /// per-edge CONGEST budget is never exceeded. Receivers deduplicate.
+    /// Crosses are sent at every poll of the cross slot; the guard band
+    /// absorbs the worst per-hop delay `(1 + latency) + (period - 1) ≤ s`,
+    /// so every delivery lands before the next window boundary.
+    fn emissions_faulty(&mut self, round: u64) -> Vec<Outgoing<EngineMsg<P::Val, P::Cross>>> {
+        let mut out = Vec::new();
+        let base = self.base();
+        let tree_end = base + 2 * self.l;
+        let step_tag = self.step as u32;
+
+        if round >= base && round < tree_end {
+            let mut used: Vec<NodeId> = Vec::new();
+            // First-time Up: one per poll, by the greedy priority rule.
+            let pick = self
+                .info
+                .memberships
+                .iter()
+                .enumerate()
+                .filter(|(i, m)| !m.is_root && !self.runs[*i].sent_up && self.runs[*i].pending == 0)
+                .min_by_key(|(_, m)| (m.root_depth, m.block));
+            if let Some((i, m)) = pick {
+                let parent = m.parent.expect("non-root memberships have parents");
+                let val = self.runs[i].acc.clone().expect("superstep started");
+                let block = m.block as u32;
+                self.runs[i].sent_up = true;
+                used.push(parent);
+                out.push(Outgoing::new(
+                    parent,
+                    EngineMsg {
+                        payload: Payload::Up { block, val },
+                        bits: self.up_bits,
+                        step: step_tag,
+                    },
+                ));
+            }
+            // First-time Downs: at most one per child edge per poll.
+            if self.broadcast_down {
+                for i in 0..self.info.memberships.len() {
+                    if self.runs[i].agreed.is_none() {
+                        continue;
+                    }
+                    let m = &self.info.memberships[i];
+                    for (ci, &child) in m.children.iter().enumerate() {
+                        if self.runs[i].downs_sent[ci] || used.contains(&child) {
+                            continue;
+                        }
+                        self.runs[i].downs_sent[ci] = true;
+                        used.push(child);
+                        let val = self.runs[i].agreed.clone().expect("checked above");
+                        out.push(Outgoing::new(
+                            child,
+                            EngineMsg {
+                                payload: Payload::Down {
+                                    block: m.block as u32,
+                                    val,
+                                },
+                                bits: self.up_bits,
+                                step: step_tag,
+                            },
+                        ));
+                    }
+                }
+            }
+            // Resends on whatever edges are still free, rotated across
+            // memberships so no block starves a shared edge.
+            let k = self.info.memberships.len();
+            if k > 0 {
+                let start = (round as usize) % k;
+                for d in 0..k {
+                    let i = (start + d) % k;
+                    let m = &self.info.memberships[i];
+                    if !m.is_root && self.runs[i].sent_up && self.runs[i].pending == 0 {
+                        let parent = m.parent.expect("non-root memberships have parents");
+                        if !used.contains(&parent) {
+                            used.push(parent);
+                            let val = self.runs[i].acc.clone().expect("superstep started");
+                            out.push(Outgoing::new(
+                                parent,
+                                EngineMsg {
+                                    payload: Payload::Up {
+                                        block: m.block as u32,
+                                        val,
+                                    },
+                                    bits: self.up_bits,
+                                    step: step_tag,
+                                },
+                            ));
+                        }
+                    }
+                    if self.broadcast_down && self.runs[i].agreed.is_some() {
+                        for (ci, &child) in m.children.iter().enumerate() {
+                            if self.runs[i].downs_sent[ci] && !used.contains(&child) {
+                                used.push(child);
+                                let val = self.runs[i].agreed.clone().expect("checked above");
+                                out.push(Outgoing::new(
+                                    child,
+                                    EngineMsg {
+                                        payload: Payload::Down {
+                                            block: m.block as u32,
+                                            val,
+                                        },
+                                        bits: self.up_bits,
+                                        step: step_tag,
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Cross slot: resend at every poll (the program decides per call
+        // what to send; receivers deduplicate).
+        if self.broadcast_down
+            && round >= tree_end
+            && round < tree_end + CROSS_REDUNDANCY * self.cross_span
+            && self.step + 1 < self.steps
+        {
+            let step = self.step;
+            for &(to, _) in &self.info.part_neighbors.clone() {
+                if let Some(msg) = self.program.cross_message(&self.info, to, step) {
+                    out.push(Outgoing::new(
+                        to,
+                        EngineMsg {
+                            payload: Payload::Cross(msg),
+                            bits: self.cross_msg_bits,
+                            step: step_tag,
                         },
                     ));
                 }
@@ -289,7 +487,11 @@ impl<P: NodeProgram> NodeProtocol for EngineNode<P> {
         }
         self.start_superstep();
         self.finished = self.total_rounds == 0;
-        self.emissions(0)
+        if self.faulty {
+            self.emissions_faulty(0)
+        } else {
+            self.emissions(0)
+        }
     }
 
     fn on_round(
@@ -300,6 +502,36 @@ impl<P: NodeProgram> NodeProtocol for EngineNode<P> {
     ) -> Vec<Outgoing<Self::Message>> {
         if self.steps == 0 {
             return Vec::new();
+        }
+        if self.faulty {
+            // Catch up on window boundaries first (deliveries always land
+            // strictly before their window's boundary, so nothing here can
+            // belong to an earlier step), then apply arrivals immediately:
+            // crosses are in-window under the guard band, and anything
+            // tagged with another step is a stale duplicate.
+            while self.step + 1 < self.steps && round >= (self.step + 1) * self.window {
+                self.step += 1;
+                self.start_superstep();
+            }
+            let step = self.step;
+            for msg in incoming {
+                if msg.msg.step != step as u32 {
+                    continue;
+                }
+                match &msg.msg.payload {
+                    Payload::Up { block, val } => {
+                        self.handle_up(msg.from, *block, val.clone(), round)
+                    }
+                    Payload::Down { block, val } => self.handle_down(*block, val.clone()),
+                    Payload::Cross(c) => {
+                        self.program.on_cross(&self.info, msg.from, c.clone(), step)
+                    }
+                }
+            }
+            if round >= self.total_rounds {
+                self.finished = true;
+            }
+            return self.emissions_faulty(round);
         }
         // Deliver tree-cast messages of the current superstep; stash the
         // cross messages, which arrive exactly at window boundaries.
@@ -342,6 +574,41 @@ impl<P: NodeProgram> NodeProtocol for EngineNode<P> {
     fn next_wake(&self, now: u64) -> Option<u64> {
         if self.steps == 0 {
             return None;
+        }
+        if self.faulty {
+            // Re-derived from *observed* progress: anything sendable keeps
+            // the node on the per-round schedule (that is the resend
+            // engine); otherwise sleep to the cross slot, the next window
+            // boundary, or the finish flip. Message arrivals wake the node
+            // regardless, and the fault layer aligns every wake to the
+            // node's straggler poll schedule.
+            let base = self.base();
+            let tree_end = base + 2 * self.l;
+            let sendable = self.info.memberships.iter().enumerate().any(|(i, m)| {
+                (!m.is_root && self.runs[i].pending == 0)
+                    || (self.broadcast_down
+                        && self.runs[i].agreed.is_some()
+                        && !m.children.is_empty())
+            });
+            if sendable && now < tree_end {
+                return None;
+            }
+            let mut wake = self.total_rounds.max(now + 1);
+            if self.broadcast_down
+                && self.step + 1 < self.steps
+                && !self.info.part_neighbors.is_empty()
+                && now + 1 < tree_end + CROSS_REDUNDANCY * self.cross_span
+            {
+                let r = tree_end.max(now + 1);
+                if r == now + 1 {
+                    return None;
+                }
+                wake = wake.min(r);
+            }
+            if self.step + 1 < self.steps {
+                wake = wake.min((self.step + 1) * self.window);
+            }
+            return Some(wake);
         }
         // A ready block must be forwarded under the greedy priority rule as
         // soon as the next round: stay on the per-round schedule.
@@ -406,8 +673,24 @@ where
     F: FnMut(&NodeInfo) -> P,
 {
     let l = family.schedule().rounds;
-    let window = 2 * l + 1;
-    let total_rounds = engine_rounds(l, spec);
+    // Fault mode stretches the whole schedule by the plan's worst per-hop
+    // cost `s = (1 + max latency) · straggler period`: the tree slot gets
+    // `2·(l+1)·s` rounds, the cross slot `3·s` rounds, and a final
+    // `s`-round guard band keeps every delivery inside its window. This is also
+    // where the round budget scales with the plan — callers' caps are
+    // raised below, so latency inflation alone can never produce a
+    // spurious `RoundLimitExceeded`.
+    let plan = config.as_ref().and_then(|c| c.active_fault());
+    let faulty = plan.is_some();
+    let (l_eff, window, total_rounds, cross_span) = match plan {
+        Some(p) => {
+            let s = p.round_stretch().max(1);
+            let lf = (l + 1) * s;
+            let w = faulty_window(lf, s);
+            (lf, w, spec.steps * w, s)
+        }
+        None => (l, 2 * l + 1, engine_rounds(l, spec), 1),
+    };
     // A caller-supplied config customizes bandwidth, tracing and the engine
     // thread count, but the round cap is this entry point's responsibility:
     // the windowed superstep budget is computed exactly here, so a default
@@ -424,16 +707,21 @@ where
         obs.counter_add("dist/engine/supersteps", spec.steps);
         obs.gauge_set("dist/engine/window", window);
     }
+    let step_bits = if faulty {
+        bits_for_count((spec.steps as usize).max(2))
+    } else {
+        0
+    };
     let sim = Simulator::new(graph, cfg).with_recorder(obs.clone());
     let outcome = sim.run(|ctx| {
         let info = family.info(ctx.node).clone();
         let program = make(&info);
-        let up_bits = 2 + block_bits + program.val_bits();
-        let cross_msg_bits = 2 + program.cross_bits();
+        let up_bits = 2 + block_bits + step_bits + program.val_bits();
+        let cross_msg_bits = 2 + step_bits + program.cross_bits();
         EngineNode {
             program,
             info,
-            l,
+            l: l_eff,
             window,
             steps: spec.steps,
             total_rounds,
@@ -443,8 +731,10 @@ where
             step: 0,
             runs: Vec::new(),
             finished: false,
+            faulty,
+            cross_span,
         }
     })?;
-    debug_assert!(outcome.stats.rounds <= total_rounds);
+    debug_assert!(faulty || outcome.stats.rounds <= total_rounds);
     Ok(outcome)
 }

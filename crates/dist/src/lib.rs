@@ -73,5 +73,5 @@ pub use flood::{
 pub use knowledge::{BlockFamily, Membership, NodeInfo};
 pub use verification::{
     counting_supersteps, verification_simulated, verification_simulated_obs,
-    DistVerificationOutcome,
+    verification_with_retry, DistVerificationOutcome, RetryPolicy, RetryVerification,
 };

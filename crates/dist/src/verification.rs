@@ -34,13 +34,14 @@
 //! verification anyway; its `depth(T)` rounds are charged on top of the
 //! executed protocol rounds, mirroring the scheduled version.
 
-use lcs_congest::{bits_for_node_count, SimConfig, SimStats};
+use lcs_congest::{bits_for_node_count, SimConfig, SimError, SimStats};
 use lcs_core::construction::VerificationOutcome;
 use lcs_core::TreeShortcut;
 use lcs_graph::{Graph, NodeId, Partition, RootedTree};
 use lcs_obs::Obs;
 
 use crate::engine::{run_engine, EngineSpec, NodeProgram};
+use crate::error::DistError;
 use crate::knowledge::{BlockFamily, Membership, NodeInfo};
 use crate::Result;
 
@@ -149,6 +150,11 @@ struct CountProgram {
     threshold: u64,
     id_bits: usize,
     edge_bits: usize,
+    /// Fault mode: the engine polls `cross_message` at every round of the
+    /// cross slot, so one-shot gates (`announce_sent`, `count_sent`) are
+    /// disabled and receivers rely on their own deduplication. A lost copy
+    /// is then healed by the next resend.
+    resend: bool,
     // Agreed own-block state.
     flood: Option<(u64, u64)>,
     parent: Option<u64>,
@@ -169,11 +175,12 @@ struct CountProgram {
 }
 
 impl CountProgram {
-    fn new(threshold: u64, id_bits: usize, edge_bits: usize) -> Self {
+    fn new(threshold: u64, id_bits: usize, edge_bits: usize, resend: bool) -> Self {
         CountProgram {
             threshold,
             id_bits,
             edge_bits,
+            resend,
             flood: None,
             parent: None,
             port: None,
@@ -365,7 +372,10 @@ impl NodeProgram for CountProgram {
             }
             Phase::Parent => None,
             Phase::Port => {
-                if self.is_reporter && self.reporter_to == Some(to) && !self.announce_sent {
+                if self.is_reporter
+                    && self.reporter_to == Some(to)
+                    && (self.resend || !self.announce_sent)
+                {
                     self.announce_sent = true;
                     Some(CCross::Announce(own.root.index() as u64))
                 } else {
@@ -376,10 +386,19 @@ impl NodeProgram for CountProgram {
                 if self.suspect() {
                     return Some(CCross::Broken);
                 }
-                if self.is_reporter && self.reporter_to == Some(to) && !self.count_sent {
+                if self.is_reporter && self.reporter_to == Some(to) {
                     if let Some((count, poison)) = self.my_count {
-                        self.count_sent = true;
-                        return Some(CCross::Report(own.root.index() as u64, count, poison));
+                        if self.resend || !self.count_sent {
+                            self.count_sent = true;
+                            return Some(CCross::Report(own.root.index() as u64, count, poison));
+                        }
+                    } else if self.resend {
+                        // Until the subtree count completes, keep
+                        // re-announcing: a Port-phase Announce whose every
+                        // copy was lost would otherwise leave the parent's
+                        // `reported == announced` gate free to fire without
+                        // this child.
+                        return Some(CCross::Announce(own.root.index() as u64));
                     }
                 }
                 None
@@ -415,6 +434,14 @@ impl NodeProgram for CountProgram {
                 }
             }
             CCross::Report(child_root, count, poison) => {
+                // A Report implies the sender's Announce: healing the
+                // announced set here keeps the `reported == announced`
+                // completion gate honest when every copy of the Announce
+                // itself was lost. A no-op in fault-free runs, where the
+                // Announce always precedes the Report.
+                if !self.children_announced.contains(&child_root) {
+                    self.children_announced.push(child_root);
+                }
                 if !self.child_reports.iter().any(|(r, _, _)| *r == child_root) {
                     self.child_reports.push((child_root, count, poison));
                 }
@@ -456,6 +483,13 @@ pub struct DistVerificationOutcome {
     pub trace: Vec<lcs_congest::RoundTrace>,
     /// Number of supersteps executed (`3·threshold + 2`).
     pub supersteps: u64,
+    /// Whether every active part reached a definite classification: all of
+    /// its members returned a verdict and the verdicts agree. Always true
+    /// in fault-free runs; under an active [`lcs_congest::FaultPlan`] a
+    /// crash or heavy loss can leave members undecided (or split), in which
+    /// case the run is a *stall* — the [`verification_with_retry`] wrapper
+    /// detects this and re-runs the protocol in a fresh epoch.
+    pub decisive: bool,
 }
 
 /// Runs the Lemma 3 block counting as real message passing and classifies
@@ -533,12 +567,14 @@ pub fn verification_simulated_obs(
     };
     let id_bits = bits_for_node_count(graph.node_count());
     let edge_bits = lcs_congest::bits_for_count(graph.edge_count().max(2));
+    let resend = config.as_ref().and_then(|c| c.active_fault()).is_some();
     let outcome = run_engine(graph, &family, spec, config, obs, |_info: &NodeInfo| {
-        CountProgram::new(threshold as u64, id_bits, edge_bits)
+        CountProgram::new(threshold as u64, id_bits, edge_bits, resend)
     })?;
 
     let mut good = vec![false; partition.part_count()];
     let mut block_counts = vec![0usize; partition.part_count()];
+    let mut decisive = true;
     for p in partition.parts() {
         if !active[p.index()] {
             continue;
@@ -558,6 +594,12 @@ pub fn verification_simulated_obs(
                 None => consistent = false,
             }
         }
+        // An undecided or split part stays classified bad (sound), but the
+        // run as a whole is flagged indecisive so a retry wrapper can tell
+        // a fault-induced stall from a genuine over-threshold part.
+        if !consistent {
+            decisive = false;
+        }
         if let (true, Some((true, total))) = (consistent, part_verdict) {
             good[p.index()] = true;
             block_counts[p.index()] = total as usize;
@@ -574,6 +616,173 @@ pub fn verification_simulated_obs(
         stats: outcome.stats,
         trace: outcome.trace,
         supersteps,
+        decisive,
+    })
+}
+
+/// How [`verification_with_retry`] turns stalled runs into fresh epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of epochs before giving up (at least 1 is run).
+    pub max_epochs: u32,
+    /// The first epoch's round budget is the engine's exact fault-mode
+    /// schedule multiplied by this factor, so transient queue build-up
+    /// cannot trip the cap.
+    pub timeout_factor: u32,
+    /// Every further epoch multiplies the budget by this factor again
+    /// (exponential back-off against systematic slowness).
+    pub backoff: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_epochs: 5,
+            timeout_factor: 2,
+            backoff: 2,
+        }
+    }
+}
+
+/// Result of [`verification_with_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryVerification {
+    /// The last executed epoch's outcome; `None` only if every epoch died
+    /// on the round cap before producing one.
+    pub outcome: Option<DistVerificationOutcome>,
+    /// Number of epochs executed (1 if the first attempt succeeded).
+    pub epochs: u32,
+    /// Number of stalled epochs (indecisive conjunction or round-cap hit).
+    pub stalls: u32,
+    /// Whether the returned outcome is decisive. `false` means the fault
+    /// plan defeated every epoch — the caller should surface a degraded
+    /// result rather than trust the classification.
+    pub decisive: bool,
+}
+
+/// Self-healing wrapper around [`verification_simulated_obs`]: detects a
+/// stalled conjunction (crashed members never deciding, or the round cap
+/// tripping under heavy loss) and re-runs the protocol in a fresh *epoch*.
+///
+/// Each epoch advances the fault plan's round offset by the previous
+/// epoch's budget, so the retry observes the same deterministic fault
+/// world later in global time: crash windows with a restart have healed,
+/// and loss/duplication draws differ. With any restarting crash schedule
+/// and loss below the resend redundancy this converges with probability
+/// rapidly approaching one in a handful of epochs. The whole procedure is
+/// deterministic: same plan, same policy, same outcome, on every engine.
+///
+/// Without an active fault plan on `config` this is exactly one plain run.
+///
+/// # Errors
+///
+/// Propagates simulator errors other than the round cap (which is part of
+/// the stall-detection loop).
+///
+/// # Panics
+///
+/// As [`verification_simulated_obs`]; additionally if a policy field is 0
+/// where at least 1 is required (all fields are clamped to 1 instead).
+#[allow(clippy::too_many_arguments)]
+pub fn verification_with_retry(
+    graph: &Graph,
+    tree: &RootedTree,
+    partition: &Partition,
+    shortcut: &TreeShortcut,
+    threshold: usize,
+    active: &[bool],
+    config: Option<SimConfig>,
+    policy: RetryPolicy,
+    obs: &Obs,
+) -> Result<RetryVerification> {
+    let cfg = config.unwrap_or_else(|| SimConfig::for_graph(graph));
+    let Some(base_plan) = cfg.active_fault() else {
+        let outcome = verification_simulated_obs(
+            graph,
+            tree,
+            partition,
+            shortcut,
+            threshold,
+            active,
+            Some(cfg),
+            obs,
+        )?;
+        let decisive = outcome.decisive;
+        return Ok(RetryVerification {
+            outcome: Some(outcome),
+            epochs: 1,
+            stalls: 0,
+            decisive,
+        });
+    };
+
+    // The engine's exact fault-mode schedule for this instance: the same
+    // formula `run_engine` uses, so the first epoch's budget is
+    // `timeout_factor ×` the nominal run and never spuriously tight.
+    let family = BlockFamily::new_active(graph, tree, partition, shortcut, active);
+    let l = family.schedule().rounds;
+    let s = base_plan.round_stretch().max(1);
+    let base_budget = counting_supersteps(threshold)
+        .saturating_mul(crate::engine::faulty_window((l + 1) * s, s))
+        .saturating_add(2);
+
+    let max_epochs = policy.max_epochs.max(1);
+    let mut offset = base_plan.round_offset();
+    let mut stalls = 0u32;
+    let mut last: Option<DistVerificationOutcome> = None;
+    for epoch in 0..max_epochs {
+        let budget = base_budget
+            .saturating_mul(u64::from(policy.timeout_factor.max(1)))
+            .saturating_mul(u64::from(policy.backoff.max(1)).saturating_pow(epoch));
+        let cfg_e = cfg
+            .with_fault(base_plan.with_round_offset(offset))
+            .with_max_rounds(budget);
+        if obs.is_on() {
+            obs.counter_add("dist/verification/epochs", 1);
+        }
+        match verification_simulated_obs(
+            graph,
+            tree,
+            partition,
+            shortcut,
+            threshold,
+            active,
+            Some(cfg_e),
+            obs,
+        ) {
+            Ok(out) if out.decisive => {
+                return Ok(RetryVerification {
+                    outcome: Some(out),
+                    epochs: epoch + 1,
+                    stalls,
+                    decisive: true,
+                });
+            }
+            Ok(out) => {
+                stalls += 1;
+                if obs.is_on() {
+                    obs.counter_add("dist/verification/stalls", 1);
+                }
+                last = Some(out);
+            }
+            Err(DistError::Simulation(SimError::RoundLimitExceeded { .. })) => {
+                stalls += 1;
+                if obs.is_on() {
+                    obs.counter_add("dist/verification/stalls", 1);
+                }
+            }
+            Err(other) => return Err(other),
+        }
+        // The next epoch starts where this one's budget ended in global
+        // fault time: restartable crash windows are behind it and the
+        // loss/duplication draws are fresh (but still deterministic).
+        offset = offset.saturating_add(budget);
+    }
+    Ok(RetryVerification {
+        outcome: last,
+        epochs: max_epochs,
+        stalls,
+        decisive: false,
     })
 }
 

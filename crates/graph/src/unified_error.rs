@@ -67,6 +67,20 @@ pub enum LcsError {
         /// Number of parts still bad when the budget ran out.
         remaining_bad: usize,
     },
+    /// A fault-injected query exhausted its retry epochs without reaching
+    /// a decisive result. This is a *degraded* outcome, not a wrong one:
+    /// the partial classification stayed sound, but at least one part's
+    /// members never all decided (for example because a node crashed
+    /// permanently), so the caller gets this typed error instead of a
+    /// silently incomplete answer.
+    Degraded {
+        /// Number of retry epochs executed.
+        epochs: u32,
+        /// Number of epochs that stalled (indecisive or round-cap hit).
+        stalls: u32,
+        /// Human readable description.
+        reason: String,
+    },
 }
 
 impl fmt::Display for LcsError {
@@ -86,6 +100,14 @@ impl fmt::Display for LcsError {
             } => write!(
                 f,
                 "construction stopped after {iterations} iterations with {remaining_bad} parts still bad"
+            ),
+            LcsError::Degraded {
+                epochs,
+                stalls,
+                reason,
+            } => write!(
+                f,
+                "degraded result after {epochs} epochs ({stalls} stalled): {reason}"
             ),
         }
     }
