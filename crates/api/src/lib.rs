@@ -58,11 +58,17 @@ mod session;
 pub use config::{CoreKind, DoublingSpec, Strategy, TreeSpec};
 pub use report::{Attempt, Report};
 pub use serve::{Query, QueryValue, Served, ValueDigest};
-pub use session::{MstRun, Pipeline, Result, Session, ShortcutRun, VerifyRun};
+pub use session::{
+    MstRun, Pipeline, RepairBaseline, RepairRun, Result, Session, ShortcutRun, VerifyRun,
+};
 
 // The unified error and the thread-count value type live at the bottom of
 // the dependency graph; the façade is their primary surface.
 pub use lcs_graph::{LcsError, Threads};
+
+// The partition-edit vocabulary of the incremental repair path
+// (`Session::track_partition` / `Session::update_partition`).
+pub use lcs_graph::{AppliedDelta, DeltaOp, PartSet, PartitionDelta};
 
 // The execution-mode switch is shared with the legacy entry points.
 pub use lcs_core::routing::ExecutionMode;

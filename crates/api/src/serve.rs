@@ -20,10 +20,10 @@
 use std::time::Instant;
 
 use lcs_core::{ShortcutQuality, TreeShortcut};
-use lcs_graph::{EdgeId, EdgeWeights, Partition};
+use lcs_graph::{EdgeId, EdgeWeights, Partition, PartitionDelta};
 use lcs_mst::ShortcutStrategy;
 
-use crate::{Result, Session, Strategy};
+use crate::{RepairBaseline, Result, Session, Strategy};
 
 /// One serving query, borrowing its inputs from a caller-owned corpus.
 /// Dispatched by [`Session::serve`] / [`Session::serve_full`].
@@ -63,6 +63,16 @@ pub enum Query<'a> {
         /// The per-phase shortcut strategy.
         strategy: ShortcutStrategy,
     },
+    /// Incrementally repair a tracked decomposition after a partition
+    /// delta ([`Session::repair_from`]) — the churn query shape. A pure
+    /// function of `(baseline, delta)`: the session's own tracked state is
+    /// not consulted or modified.
+    Repair {
+        /// The detached pre-delta snapshot (partition + corpus).
+        baseline: &'a RepairBaseline,
+        /// The partition edit to apply and repair after.
+        delta: &'a PartitionDelta,
+    },
 }
 
 impl Query<'_> {
@@ -74,6 +84,7 @@ impl Query<'_> {
             Query::Verify { .. } => "verify",
             Query::Quality { .. } => "quality",
             Query::Mst { .. } => "mst",
+            Query::Repair { .. } => "repair",
         }
     }
 
@@ -102,6 +113,11 @@ impl Query<'_> {
                 "serve/mst/queries",
                 "serve/mst/rounds_charged",
                 "serve/mst/latency",
+            ),
+            Query::Repair { .. } => (
+                "serve/repair/queries",
+                "serve/repair/rounds_charged",
+                "serve/repair/latency",
             ),
         }
     }
@@ -149,6 +165,19 @@ pub enum QueryValue {
         edges: Vec<EdgeId>,
         /// Total weight of the returned edges.
         weight: u64,
+    },
+    /// The repaired decomposition of a [`Query::Repair`].
+    Repair {
+        /// The post-delta shortcut (byte-identical to a full rebuild).
+        shortcut: TreeShortcut,
+        /// The re-aggregated quality.
+        quality: ShortcutQuality,
+        /// Per-part good verdicts.
+        good: Vec<bool>,
+        /// Parts rebuilt by the repair.
+        repaired_parts: usize,
+        /// Parts reused verbatim.
+        reused_parts: usize,
     },
 }
 
@@ -222,6 +251,34 @@ fn digest_of(value: &QueryValue) -> u64 {
             d.push(*weight);
             for e in edges {
                 d.push(e.index() as u64);
+            }
+        }
+        QueryValue::Repair {
+            shortcut,
+            quality,
+            good,
+            repaired_parts,
+            reused_parts,
+        } => {
+            d.push(5);
+            d.push(*repaired_parts as u64);
+            d.push(*reused_parts as u64);
+            d.push(shortcut.part_count() as u64);
+            for p in 0..shortcut.part_count() {
+                let edges = shortcut.edges_of(lcs_graph::PartId::new(p));
+                d.push(edges.len() as u64);
+                for e in edges {
+                    d.push(e.index() as u64);
+                }
+            }
+            d.push(quality.congestion as u64);
+            d.push(quality.dilation as u64);
+            d.push(quality.block_parameter as u64);
+            for &k in &quality.per_part_blocks {
+                d.push(k as u64);
+            }
+            for &g in good {
+                d.push(u64::from(g));
             }
         }
     }
@@ -304,6 +361,22 @@ impl Session<'_> {
                     QueryValue::Mst {
                         edges: run.edges,
                         weight: run.weight,
+                    },
+                )
+            }
+            Query::Repair { baseline, delta } => {
+                let run = self.repair_from(baseline, delta)?;
+                let wall = start.elapsed().as_nanos() as u64;
+                (
+                    wall,
+                    run.report.rounds_charged,
+                    run.report.all_parts_good,
+                    QueryValue::Repair {
+                        shortcut: run.shortcut,
+                        quality: run.quality,
+                        good: run.good,
+                        repaired_parts: run.repaired_parts,
+                        reused_parts: run.reused_parts,
                     },
                 )
             }

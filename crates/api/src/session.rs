@@ -17,15 +17,18 @@ use std::time::Instant;
 
 use lcs_congest::{FaultPlan, RoundCost, RoundTrace, SimConfig};
 use lcs_core::construction::{
-    core_fast, core_slow, verification, CoreFastConfig, CoreOutcome, FindShortcut,
-    FindShortcutConfig, FindShortcutResult,
+    build_corpus, core_fast, core_slow, repair_corpus, verification, CoreFastConfig, CoreOutcome,
+    FindShortcut, FindShortcutConfig, FindShortcutResult, RepairConfig, RepairStats,
+    ShortcutCorpus,
 };
 use lcs_core::routing::ExecutionMode;
 use lcs_core::{QualityPool, ShortcutQuality, TreeShortcut};
-use lcs_dist::{verification_simulated_obs, verification_with_retry, RetryPolicy};
+use lcs_dist::{
+    verification_simulated_obs, verification_simulated_parts, verification_with_retry, RetryPolicy,
+};
 use lcs_graph::{
-    is_connected, EdgeId, EdgeWeights, Graph, GraphError, LcsError, Partition, RootedTree,
-    ShardMap, Threads,
+    is_connected, EdgeId, EdgeWeights, Graph, GraphError, LcsError, PartId, PartSet, Partition,
+    PartitionDelta, RootedTree, ShardMap, Threads,
 };
 use lcs_mst::ShortcutStrategy;
 use lcs_obs::Obs;
@@ -219,6 +222,7 @@ impl<'g> Pipeline<'g> {
             sim_config,
             retry: self.retry,
             obs: self.recorder,
+            repair_cache: Vec::new(),
         })
     }
 }
@@ -236,6 +240,17 @@ pub struct Session<'g> {
     sim_config: SimConfig,
     retry: RetryPolicy,
     pub(crate) obs: Obs,
+    /// Tracked partitions and their customization corpora, one slot per
+    /// strategy label, most recently tracked/updated last.
+    repair_cache: Vec<RepairSlot>,
+}
+
+/// One cached `(partition, corpus)` pair of [`Session::track_partition`].
+struct RepairSlot {
+    strategy: Strategy,
+    partition: Partition,
+    corpus: ShortcutCorpus,
+    config: RepairConfig,
 }
 
 impl std::fmt::Debug for Session<'_> {
@@ -295,6 +310,53 @@ pub struct VerifyRun {
     /// The unified query report (`rounds_executed` and `sim` are filled in
     /// `Simulated` mode).
     pub report: Report,
+}
+
+/// Result of a [`Session::track_partition`] / [`Session::update_partition`]
+/// repair query: the assembled shortcut and quality for the (post-delta)
+/// partition plus the repair accounting.
+#[derive(Debug, Clone)]
+pub struct RepairRun {
+    /// The shortcut for the current partition, assembled from the cached
+    /// corpus — byte-identical to rebuilding every part from scratch.
+    pub shortcut: TreeShortcut,
+    /// Aggregated quality, re-aggregated from the cached per-part
+    /// measurements (exact congestion subtract/add, no recount).
+    pub quality: ShortcutQuality,
+    /// `good[p]` — part `p` verified good within its attempt budget.
+    pub good: Vec<bool>,
+    /// Parts (re)built by scoped construction runs.
+    pub repaired_parts: usize,
+    /// Parts whose cached state was reused verbatim.
+    pub reused_parts: usize,
+    /// The unified query report; `rounds_charged` counts only the rounds
+    /// of the (re)built parts, and `metrics` records
+    /// `repaired_parts` / `reused_parts`.
+    pub report: Report,
+}
+
+/// An immutable snapshot of a tracked partition and its customization
+/// corpus, detached from the session cache — the borrowed input of a
+/// [`crate::Query::Repair`], so serving a repair is a pure function of
+/// `(baseline, delta)` and leaves the session's own tracked state alone.
+#[derive(Debug, Clone)]
+pub struct RepairBaseline {
+    strategy: Strategy,
+    partition: Partition,
+    corpus: ShortcutCorpus,
+    config: RepairConfig,
+}
+
+impl RepairBaseline {
+    /// The tracked partition deltas apply to.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The strategy the corpus was built under.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
 }
 
 /// Result of a [`Session::mst`] query.
@@ -746,6 +808,371 @@ impl<'g> Session<'g> {
         }
         Ok(runs)
     }
+
+    /// Maps a construction [`Strategy`] onto the part-scoped doubling
+    /// search: `Fixed` becomes a single attempt (a still-bad part is not
+    /// an error, mirroring [`Session::shortcut`]); the doubling strategies
+    /// keep their budgets and escalate a still-bad part to
+    /// [`LcsError::BudgetExhausted`].
+    fn repair_config_of(&self, strategy: Strategy) -> (RepairConfig, bool) {
+        match strategy {
+            Strategy::Doubling(spec) => (
+                RepairConfig {
+                    congestion: spec.initial_congestion,
+                    block: spec.initial_block,
+                    use_fast_core: true,
+                    max_doublings: spec.max_doublings,
+                    seed: self.seed,
+                },
+                true,
+            ),
+            Strategy::SlowCore(spec) => (
+                RepairConfig {
+                    congestion: spec.initial_congestion,
+                    block: spec.initial_block,
+                    use_fast_core: false,
+                    max_doublings: spec.max_doublings,
+                    seed: self.seed,
+                },
+                true,
+            ),
+            Strategy::Fixed { congestion, block } => (
+                RepairConfig {
+                    congestion,
+                    block,
+                    use_fast_core: true,
+                    max_doublings: 0,
+                    seed: self.seed,
+                },
+                false,
+            ),
+        }
+    }
+
+    /// Builds the full customization corpus for `partition` with the
+    /// session's execution mode (same verification seam as
+    /// [`Session::shortcut`]; `Simulated` runs the restricted-part-set
+    /// verification entry, fault-free).
+    fn build_corpus_dispatch(
+        &mut self,
+        partition: &Partition,
+        config: &RepairConfig,
+    ) -> Result<ShortcutCorpus> {
+        let result = match self.execution {
+            ExecutionMode::Scheduled => build_corpus(
+                self.graph,
+                &self.tree,
+                partition,
+                config,
+                &mut self.pool,
+                |g, t, p, s, threshold, active| Ok(verification(g, t, p, s, threshold, active)),
+            ),
+            ExecutionMode::Simulated => {
+                let sim_config = self.sim_config.without_fault();
+                let obs = self.obs.clone();
+                build_corpus(
+                    self.graph,
+                    &self.tree,
+                    partition,
+                    config,
+                    &mut self.pool,
+                    move |g, t, p, s, threshold, active| {
+                        let outcome =
+                            simulated_parts(g, t, p, s, threshold, active, sim_config, &obs)?;
+                        Ok(outcome)
+                    },
+                )
+            }
+        };
+        result.map_err(LcsError::from)
+    }
+
+    /// Repairs `prev` into a corpus for `partition` (the dirty parts of a
+    /// delta closure are rebuilt, everything else reused) with the
+    /// session's execution mode.
+    #[allow(clippy::too_many_arguments)]
+    fn repair_corpus_dispatch(
+        &mut self,
+        partition: &Partition,
+        prev: &ShortcutCorpus,
+        origin: &[Option<PartId>],
+        dirty: &PartSet,
+        config: &RepairConfig,
+    ) -> Result<(ShortcutCorpus, RepairStats)> {
+        let result = match self.execution {
+            ExecutionMode::Scheduled => repair_corpus(
+                self.graph,
+                &self.tree,
+                partition,
+                prev,
+                origin,
+                dirty,
+                config,
+                &mut self.pool,
+                |g, t, p, s, threshold, active| Ok(verification(g, t, p, s, threshold, active)),
+            ),
+            ExecutionMode::Simulated => {
+                let sim_config = self.sim_config.without_fault();
+                let obs = self.obs.clone();
+                repair_corpus(
+                    self.graph,
+                    &self.tree,
+                    partition,
+                    prev,
+                    origin,
+                    dirty,
+                    config,
+                    &mut self.pool,
+                    move |g, t, p, s, threshold, active| {
+                        let outcome =
+                            simulated_parts(g, t, p, s, threshold, active, sim_config, &obs)?;
+                        Ok(outcome)
+                    },
+                )
+            }
+        };
+        result.map_err(LcsError::from)
+    }
+
+    /// Assembles a [`RepairRun`] from a finished corpus.
+    fn finish_repair(
+        &self,
+        partition: &Partition,
+        corpus: &ShortcutCorpus,
+        stats: RepairStats,
+        strategy: Strategy,
+        operation: &str,
+        start: Instant,
+    ) -> Result<RepairRun> {
+        let shortcut = corpus
+            .assemble(self.graph, &self.tree, partition)
+            .map_err(LcsError::from)?;
+        let quality = corpus.quality();
+        let good: Vec<bool> = corpus.parts().iter().map(|p| p.good).collect();
+        let mut report = Report::new(operation);
+        report.strategy = Some(strategy.label().to_string());
+        report.all_parts_good = corpus.all_good();
+        report.rounds_charged = stats.rounds;
+        report.iterations = corpus.parts().iter().map(|p| p.attempts).max().unwrap_or(0);
+        report
+            .metrics
+            .push(("repaired_parts".to_string(), stats.repaired_parts as u64));
+        report
+            .metrics
+            .push(("reused_parts".to_string(), stats.reused_parts as u64));
+        report.wall_millis = start.elapsed().as_secs_f64() * 1e3;
+        Ok(RepairRun {
+            shortcut,
+            quality,
+            good,
+            repaired_parts: stats.repaired_parts,
+            reused_parts: stats.reused_parts,
+            report,
+        })
+    }
+
+    /// The shared delta-repair path of [`Session::update_partition`] and
+    /// [`Session::repair_from`]: apply the delta, repair the corpus, and
+    /// report — with the `session/repair` span, the repair counters and
+    /// the per-repair latency timer around it.
+    fn repair_with(
+        &mut self,
+        partition: &Partition,
+        corpus: &ShortcutCorpus,
+        config: &RepairConfig,
+        strategy: Strategy,
+        delta: &PartitionDelta,
+    ) -> Result<(Partition, ShortcutCorpus, RepairRun)> {
+        let obs = self.obs.clone();
+        let _span = lcs_obs::span!(obs, "session/repair");
+        let start = Instant::now();
+        let applied = partition.apply_tracked(self.graph, delta)?;
+        let (new_corpus, stats) = self.repair_corpus_dispatch(
+            &applied.partition,
+            corpus,
+            &applied.origin,
+            &applied.dirty,
+            config,
+        )?;
+        let budget_is_error = !matches!(strategy, Strategy::Fixed { .. });
+        if budget_is_error && !new_corpus.all_good() {
+            return Err(LcsError::BudgetExhausted {
+                iterations: new_corpus
+                    .parts()
+                    .iter()
+                    .map(|p| p.attempts)
+                    .max()
+                    .unwrap_or(0),
+                remaining_bad: new_corpus.parts().iter().filter(|p| !p.good).count(),
+            });
+        }
+        let run = self.finish_repair(
+            &applied.partition,
+            &new_corpus,
+            stats,
+            strategy,
+            "repair",
+            start,
+        )?;
+        if obs.is_on() {
+            obs.counter_add("session/repairs", 1);
+            obs.counter_add("session/repaired_parts", stats.repaired_parts as u64);
+            obs.counter_add("session/reused_parts", stats.reused_parts as u64);
+            obs.timer_record("session/repair/latency", start.elapsed().as_nanos() as u64);
+        }
+        Ok((applied.partition, new_corpus, run))
+    }
+
+    /// Builds and caches the customization corpus for `partition`: every
+    /// part constructed through the part-scoped path (per-part doubling
+    /// search, seeds anchored at each part's minimum member). Subsequent
+    /// [`Session::update_partition`] calls repair this cached state
+    /// instead of rebuilding from scratch. One slot is kept per strategy
+    /// label; tracking again under the same strategy replaces the slot.
+    ///
+    /// # Errors
+    ///
+    /// [`LcsError::InconsistentInputs`] for a partition over a different
+    /// node count; [`LcsError::BudgetExhausted`] when a doubling strategy
+    /// exhausts its budget on some part (a [`Strategy::Fixed`] run whose
+    /// parameters are too small is not an error, mirroring
+    /// [`Session::shortcut`]); simulation errors in `Simulated` mode.
+    pub fn track_partition(
+        &mut self,
+        partition: &Partition,
+        strategy: Strategy,
+    ) -> Result<RepairRun> {
+        self.check_partition(partition)?;
+        let start = Instant::now();
+        let (config, budget_is_error) = self.repair_config_of(strategy);
+        let corpus = self.build_corpus_dispatch(partition, &config)?;
+        if budget_is_error && !corpus.all_good() {
+            return Err(LcsError::BudgetExhausted {
+                iterations: corpus.parts().iter().map(|p| p.attempts).max().unwrap_or(0),
+                remaining_bad: corpus.parts().iter().filter(|p| !p.good).count(),
+            });
+        }
+        let stats = RepairStats {
+            repaired_parts: partition.part_count(),
+            reused_parts: 0,
+            rounds: corpus.total_rounds(),
+        };
+        let run = self.finish_repair(partition, &corpus, stats, strategy, "track", start)?;
+        self.repair_cache
+            .retain(|slot| slot.strategy.label() != strategy.label());
+        self.repair_cache.push(RepairSlot {
+            strategy,
+            partition: partition.clone(),
+            corpus,
+            config,
+        });
+        Ok(run)
+    }
+
+    /// Applies `delta` to the most recently tracked partition and repairs
+    /// the cached corpus in place: clean parts keep their block
+    /// assignments, routing state and quality verbatim; only the delta's
+    /// dirty closure is rebuilt, and congestion is re-aggregated by exact
+    /// subtraction. The result is byte-identical to
+    /// [`Session::track_partition`] on the post-delta partition — at the
+    /// cost of the dirty volume, not `n`.
+    ///
+    /// # Errors
+    ///
+    /// [`LcsError::Config`] if no partition is tracked or the delta is
+    /// structurally invalid (including any op that would empty a part);
+    /// [`LcsError::BudgetExhausted`] when a doubling strategy exhausts its
+    /// budget on a rebuilt part; simulation errors in `Simulated` mode.
+    /// The cached state is left unchanged on any error.
+    pub fn update_partition(&mut self, delta: &PartitionDelta) -> Result<RepairRun> {
+        let mut slot = self.repair_cache.pop().ok_or_else(|| LcsError::Config {
+            reason: "no tracked partition to update; call Session::track_partition first"
+                .to_string(),
+        })?;
+        let outcome = self.repair_with(
+            &slot.partition,
+            &slot.corpus,
+            &slot.config,
+            slot.strategy,
+            delta,
+        );
+        match outcome {
+            Ok((partition, corpus, run)) => {
+                slot.partition = partition;
+                slot.corpus = corpus;
+                self.repair_cache.push(slot);
+                Ok(run)
+            }
+            Err(err) => {
+                self.repair_cache.push(slot);
+                Err(err)
+            }
+        }
+    }
+
+    /// Serves one repair against a detached [`RepairBaseline`] — a pure
+    /// function of `(baseline, delta)` that leaves the session's own
+    /// tracked state untouched. This is the entry behind
+    /// [`crate::Query::Repair`], so a workload driver can replay the same
+    /// pre-generated `(baseline, delta)` pairs any number of times and
+    /// always observe the same result.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::update_partition`], minus the not-tracked case.
+    pub fn repair_from(
+        &mut self,
+        baseline: &RepairBaseline,
+        delta: &PartitionDelta,
+    ) -> Result<RepairRun> {
+        self.check_partition(&baseline.partition)?;
+        let (_, _, run) = self.repair_with(
+            &baseline.partition,
+            &baseline.corpus,
+            &baseline.config,
+            baseline.strategy,
+            delta,
+        )?;
+        Ok(run)
+    }
+
+    /// A detached snapshot of the most recently tracked partition and its
+    /// corpus (see [`RepairBaseline`]); `None` until
+    /// [`Session::track_partition`] succeeds.
+    pub fn repair_baseline(&self) -> Option<RepairBaseline> {
+        self.repair_cache.last().map(|slot| RepairBaseline {
+            strategy: slot.strategy,
+            partition: slot.partition.clone(),
+            corpus: slot.corpus.clone(),
+            config: slot.config,
+        })
+    }
+}
+
+/// The `Simulated` verification seam of the repair paths: builds the
+/// restricted part set from the driver's active mask and runs the
+/// message-passing block counting on exactly those parts.
+#[allow(clippy::too_many_arguments)]
+fn simulated_parts(
+    g: &Graph,
+    t: &RootedTree,
+    p: &Partition,
+    s: &TreeShortcut,
+    threshold: usize,
+    active: &[bool],
+    sim_config: SimConfig,
+    obs: &Obs,
+) -> lcs_core::Result<lcs_core::construction::VerificationOutcome> {
+    let mut parts = PartSet::new(p.part_count());
+    for (i, &a) in active.iter().enumerate() {
+        if a {
+            parts.insert(PartId::new(i));
+        }
+    }
+    let outcome =
+        verification_simulated_parts(g, t, p, s, threshold, &parts, Some(sim_config), obs)
+            .map_err(lcs_core::CoreError::from)?;
+    Ok(outcome.outcome)
 }
 
 #[cfg(test)]
@@ -753,6 +1180,42 @@ mod tests {
     use super::*;
     use crate::DoublingSpec;
     use lcs_graph::{generators, NodeId};
+
+    #[test]
+    fn repair_probes_are_thread_invariant() {
+        let graph = generators::grid(8, 8);
+        let partition = generators::partitions::grid_columns(8, 8);
+        let delta = PartitionDelta::new().move_nodes(vec![NodeId::new(1)], PartId::new(0));
+        let mut facts = Vec::new();
+        for threads in [1usize, 4] {
+            let obs = lcs_obs::Obs::recording();
+            let mut session = Pipeline::on(&graph)
+                .seed(5)
+                .threads(Threads::Fixed(threads))
+                .recorder(obs.clone())
+                .build()
+                .unwrap();
+            session
+                .track_partition(&partition, Strategy::doubling())
+                .unwrap();
+            session.update_partition(&delta).unwrap();
+            let snapshot = obs.snapshot();
+            assert_eq!(snapshot.counter("session/repairs"), Some(1));
+            // The per-repair latency timer and the repair span both
+            // recorded exactly one sample.
+            assert_eq!(snapshot.timer("session/repair/latency").unwrap().count(), 1);
+            assert_eq!(snapshot.timer("session/repair").unwrap().count(), 1);
+            facts.push((
+                snapshot.counter("session/repairs"),
+                snapshot.counter("session/repaired_parts"),
+                snapshot.counter("session/reused_parts"),
+            ));
+        }
+        // Counters are facts about the repair, identical at any engine
+        // thread count.
+        assert_eq!(facts[0], facts[1]);
+        assert_eq!(facts[0].1, Some(2), "a boundary move dirties two parts");
+    }
 
     #[test]
     fn build_rejects_bad_inputs() {
@@ -948,6 +1411,89 @@ mod tests {
             ),
             "a permanent crash must degrade, got: {err}"
         );
+    }
+
+    #[test]
+    fn update_partition_matches_a_fresh_track() {
+        let g = generators::grid(8, 8);
+        let p = generators::partitions::grid_columns(8, 8);
+        let mut session = Pipeline::on(&g).seed(5).build().unwrap();
+        let tracked = session.track_partition(&p, Strategy::doubling()).unwrap();
+        assert!(tracked.report.all_parts_good);
+        assert_eq!(tracked.repaired_parts, p.part_count());
+        assert_eq!(tracked.reused_parts, 0);
+        assert_eq!(
+            tracked.quality,
+            session.quality(&tracked.shortcut, &p).unwrap()
+        );
+
+        let delta = PartitionDelta::new().move_nodes(vec![NodeId::new(1)], PartId::new(0));
+        let updated = session.update_partition(&delta).unwrap();
+        let new_p = p.apply(&delta).unwrap();
+        let mut fresh = Pipeline::on(&g).seed(5).build().unwrap();
+        let rebuilt = fresh.track_partition(&new_p, Strategy::doubling()).unwrap();
+        assert_eq!(updated.shortcut, rebuilt.shortcut);
+        assert_eq!(updated.quality, rebuilt.quality);
+        assert_eq!(updated.good, rebuilt.good);
+        assert_eq!(updated.repaired_parts, 2, "only the two edited columns");
+        assert_eq!(
+            updated.repaired_parts + updated.reused_parts,
+            new_p.part_count()
+        );
+        assert!(updated.report.rounds_charged < tracked.report.rounds_charged);
+    }
+
+    #[test]
+    fn update_without_track_is_a_config_error() {
+        let g = generators::grid(4, 4);
+        let mut session = Pipeline::on(&g).build().unwrap();
+        let err = session
+            .update_partition(&PartitionDelta::new())
+            .unwrap_err();
+        assert!(matches!(err, LcsError::Config { .. }));
+    }
+
+    #[test]
+    fn a_failed_delta_leaves_the_tracked_state_usable() {
+        let g = generators::grid(6, 6);
+        let p = generators::partitions::grid_columns(6, 6);
+        let mut session = Pipeline::on(&g).build().unwrap();
+        session.track_partition(&p, Strategy::doubling()).unwrap();
+        // Draining column 0 entirely must fail without corrupting the slot.
+        let drain = PartitionDelta::new()
+            .move_nodes((0..6).map(|r| NodeId::new(6 * r)).collect(), PartId::new(1));
+        let err = session.update_partition(&drain).unwrap_err();
+        assert!(matches!(err, LcsError::Config { .. }));
+        let ok = session
+            .update_partition(
+                &PartitionDelta::new().move_nodes(vec![NodeId::new(0)], PartId::new(1)),
+            )
+            .unwrap();
+        assert!(ok.report.all_parts_good);
+    }
+
+    #[test]
+    fn repair_baselines_serve_purely_in_both_execution_modes() {
+        let g = generators::grid(6, 6);
+        let p = generators::partitions::grid_columns(6, 6);
+        for execution in [ExecutionMode::Scheduled, ExecutionMode::Simulated] {
+            let mut session = Pipeline::on(&g)
+                .seed(3)
+                .execution(execution)
+                .build()
+                .unwrap();
+            assert!(session.repair_baseline().is_none());
+            session.track_partition(&p, Strategy::doubling()).unwrap();
+            let baseline = session.repair_baseline().unwrap();
+            assert_eq!(baseline.partition(), &p);
+            let delta = PartitionDelta::new().move_nodes(vec![NodeId::new(1)], PartId::new(0));
+            let a = session.repair_from(&baseline, &delta).unwrap();
+            let b = session.repair_from(&baseline, &delta).unwrap();
+            assert_eq!(a.shortcut, b.shortcut);
+            assert_eq!(a.quality, b.quality);
+            // The session's own tracked state is untouched by serving.
+            assert_eq!(session.repair_baseline().unwrap().partition(), &p);
+        }
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! E16 benchmark: incremental repair vs full rebuild (the
+//! update-vs-rebuild table is produced by the `experiments` binary; this
+//! bench times the same operations under Criterion's statistics):
+//!
+//! * `track_full` — tracking a 48x48 grid's column partition from
+//!   scratch (the rebuild path repair is measured against);
+//! * `repair/{1,4,12}` — repairing the tracked baseline through a churn
+//!   delta that moves that many boundary nodes (dirtying one part more),
+//!   so the distribution shows the cost growing with the dirty-part
+//!   count while staying far below `track_full`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_api::graph::{generators, NodeId, PartId};
+use lcs_api::{PartitionDelta, Pipeline, Strategy};
+
+const SIDE: usize = 48;
+
+fn bench_repair(c: &mut Criterion) {
+    let graph = generators::grid(SIDE, SIDE);
+    let partition = generators::partitions::grid_columns(SIDE, SIDE);
+
+    {
+        let mut group = c.benchmark_group("e16/track");
+        group.bench_with_input(BenchmarkId::new("full", SIDE), &(), |b, ()| {
+            b.iter(|| {
+                let mut session = Pipeline::on(&graph).seed(7).build().unwrap();
+                session
+                    .track_partition(&partition, Strategy::doubling())
+                    .unwrap()
+            });
+        });
+        group.finish();
+    }
+
+    // One tracked baseline, repaired repeatedly: `repair_from` serves
+    // from the detached snapshot, so every iteration sees the same state.
+    let mut session = Pipeline::on(&graph).seed(7).build().unwrap();
+    session
+        .track_partition(&partition, Strategy::doubling())
+        .unwrap();
+    let baseline = session.repair_baseline().unwrap();
+
+    let mut group = c.benchmark_group("e16/repair");
+    for moved in [1usize, 4, 12] {
+        // Move the row-0 node of columns 1..=moved into column 0: the
+        // moved run stays attached to column 0 and every source column
+        // keeps its remaining path, so the delta is always valid.
+        let nodes: Vec<NodeId> = (1..=moved).map(NodeId::new).collect();
+        let delta = PartitionDelta::new().move_nodes(nodes, PartId::new(0));
+        group.bench_with_input(BenchmarkId::new("moved", moved), &delta, |b, delta| {
+            b.iter(|| session.repair_from(&baseline, delta).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repair);
+criterion_main!(benches);

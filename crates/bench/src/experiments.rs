@@ -1526,6 +1526,195 @@ pub fn e15_faults_table() -> (Table, String) {
     (table, format!("{{\"rows\":[{}]}}", extras.join(",")))
 }
 
+/// E16 — update-vs-rebuild tier: incremental decomposition repair
+/// ([`lcs_api::Session::update_partition`]) against a from-scratch
+/// rebuild of the post-delta partition, on n >= 10^4 instances of three
+/// families. Each row applies a churn delta of growing size (1 boundary
+/// node up to 50% of the parts dirtied), times both paths, and computes
+/// an FNV-1a digest over everything a repair returns (per-part shortcut
+/// edge sets, the quality record, per-part verdicts); `det` asserts the
+/// repaired and rebuilt digests are byte-identical — the part-scoped
+/// seeds are anchored at each part's minimum member, so reuse never
+/// changes a single byte. The extra JSON payload carries each row's
+/// digest for the cross-thread assertion CI performs on
+/// `BENCH_REPAIR_T{1,4}.json`.
+pub fn e16_repair_table() -> (Table, String) {
+    use lcs_api::{PartitionDelta, RepairRun};
+
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn mix(mut h: u64, v: u64) -> u64 {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+    fn digest_of(run: &RepairRun) -> u64 {
+        let mut h = FNV_OFFSET;
+        for p in 0..run.shortcut.part_count() {
+            let edges = run.shortcut.edges_of(lcs_api::graph::PartId::new(p));
+            h = mix(h, edges.len() as u64);
+            for &e in edges {
+                h = mix(h, e.index() as u64);
+            }
+        }
+        h = mix(h, run.quality.congestion as u64);
+        h = mix(h, run.quality.dilation as u64);
+        h = mix(h, run.quality.block_parameter as u64);
+        for &g in &run.good {
+            h = mix(h, u64::from(g));
+        }
+        h
+    }
+
+    /// A churn delta moving `moved_target` boundary nodes into adjacent
+    /// parts, each move validated to keep every part connected and
+    /// nonempty. Deterministic: candidates are scanned in node-id order.
+    fn churn_delta(graph: &Graph, partition: &Partition, moved_target: usize) -> PartitionDelta {
+        let mut delta = PartitionDelta::new();
+        let mut current = partition.apply(&delta).expect("the empty delta applies");
+        let mut moved = 0usize;
+        for index in 0..graph.node_count() {
+            if moved == moved_target {
+                break;
+            }
+            let v = NodeId::new(index);
+            let Some(src) = current.part_of(v) else {
+                continue;
+            };
+            if current.members(src).len() < 2 {
+                continue;
+            }
+            let Some(dst) = graph
+                .neighbors(v)
+                .find_map(|(u, _)| current.part_of(u).filter(|&p| p != src))
+            else {
+                continue;
+            };
+            let trial = delta.clone().move_nodes(vec![v], dst);
+            if let Ok(next) = partition.apply(&trial) {
+                if next.validate(graph).is_ok() {
+                    delta = trial;
+                    current = next;
+                    moved += 1;
+                }
+            }
+        }
+        assert!(
+            moved == moved_target,
+            "E16 churn delta found only {moved}/{moved_target} valid boundary moves"
+        );
+        delta
+    }
+
+    let mut rows = Vec::new();
+    let mut extras = Vec::new();
+    let mut instance = |label: &str, graph: &Graph, partition: &Partition, seed: u64| {
+        let mut session = session_on(graph, seed);
+        session
+            .track_partition(partition, Strategy::doubling())
+            .expect("E16 instances admit good shortcuts");
+        let parts = partition.part_count();
+        let shapes = [
+            ("1 node", 1usize),
+            ("1% parts", (parts / 100).max(1)),
+            ("10% parts", (parts / 10).max(2)),
+            ("50% parts", (parts / 2).max(3)),
+        ];
+        for (shape, moved) in shapes {
+            let delta = churn_delta(graph, partition, moved);
+            let target = partition.apply(&delta).expect("churn deltas are valid");
+            let baseline = session.repair_baseline().expect("tracked above");
+
+            let start = std::time::Instant::now();
+            let repaired = session
+                .repair_from(&baseline, &delta)
+                .expect("valid deltas repair cleanly");
+            let repair_ms = start.elapsed().as_secs_f64() * 1e3;
+
+            let mut rebuild_session = session_on(graph, seed);
+            let start = std::time::Instant::now();
+            let rebuilt = rebuild_session
+                .track_partition(&target, Strategy::doubling())
+                .expect("the post-delta partition is valid");
+            let rebuild_ms = start.elapsed().as_secs_f64() * 1e3;
+
+            let digest = digest_of(&repaired);
+            let deterministic = digest == digest_of(&rebuilt);
+            assert!(
+                deterministic,
+                "E16 repair and rebuild diverged on {label} / {shape}"
+            );
+            rows.push(vec![
+                label.to_string(),
+                graph.node_count().to_string(),
+                parts.to_string(),
+                shape.to_string(),
+                moved.to_string(),
+                repaired.repaired_parts.to_string(),
+                repaired.reused_parts.to_string(),
+                format!("{repair_ms:.1}"),
+                format!("{rebuild_ms:.1}"),
+                format!("{:.1}x", rebuild_ms / repair_ms.max(1e-9)),
+                format!("{digest:016x}"),
+                deterministic.to_string(),
+            ]);
+            extras.push(format!(
+                "{{\"instance\":\"{}\",\"shape\":\"{}\",\"moved\":{},\"repaired_parts\":{},\"reused_parts\":{},\"repair_ms\":{:.3},\"rebuild_ms\":{:.3},\"digest\":\"{:016x}\",\"deterministic\":{}}}",
+                lcs_obs::json::escape(label),
+                lcs_obs::json::escape(shape),
+                moved,
+                repaired.repaired_parts,
+                repaired.reused_parts,
+                repair_ms,
+                rebuild_ms,
+                digest,
+                deterministic,
+            ));
+        }
+    };
+
+    {
+        let (graph, partition) = grid_instance(100);
+        instance("grid 100x100 columns", &graph, &partition, 31);
+    }
+    {
+        let graph = generators::torus(100, 100);
+        let partition = generators::partitions::grid_columns(100, 100);
+        instance("torus 100x100 columns", &graph, &partition, 32);
+    }
+    {
+        let graph = generators::random_connected(10_000, 12_000, 33);
+        let partition = generators::partitions::random_bfs_balls(&graph, 100, 33);
+        instance("random n=10^4 bfs balls", &graph, &partition, 33);
+    }
+
+    let table = Table {
+        title: "E16: incremental repair — update_partition vs full rebuild (det = repaired and rebuilt digests identical)"
+            .to_string(),
+        headers: [
+            "instance",
+            "n",
+            "parts",
+            "delta",
+            "moved",
+            "repaired",
+            "reused",
+            "repair ms",
+            "rebuild ms",
+            "speedup",
+            "digest",
+            "det",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows,
+    };
+    (table, format!("{{\"rows\":[{}]}}", extras.join(",")))
+}
+
 /// A built table together with the wall-clock time it took to build — the
 /// quantity the bench trajectory (`BENCH_SCALE.json`) tracks across PRs.
 #[derive(Debug, Clone, PartialEq)]

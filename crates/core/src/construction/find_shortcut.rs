@@ -174,6 +174,47 @@ impl FindShortcut {
         graph: &Graph,
         tree: &RootedTree,
         partition: &Partition,
+        verifier: V,
+    ) -> Result<FindShortcutResult>
+    where
+        V: FnMut(
+            &Graph,
+            &RootedTree,
+            &Partition,
+            &TreeShortcut,
+            usize,
+            &[bool],
+        ) -> Result<VerificationOutcome>,
+    {
+        let all = vec![true; partition.part_count()];
+        self.run_on_parts(graph, tree, partition, &all, verifier)
+    }
+
+    /// Runs the construction restricted to the parts flagged in
+    /// `initial_active` — the part-scoped entry the incremental repair
+    /// layer drives, one dirty part (or a handful) at a time. Inactive
+    /// parts are never touched: the core subroutines skip them, the
+    /// verifier only judges active parts, and the returned shortcut
+    /// assigns edges only to parts that went active and verified good.
+    ///
+    /// `good_after_iteration` counts relative to the active set, so the
+    /// driver's halving guarantee reads the same as for a full run. Note
+    /// the *default* iteration budget is derived from the total part
+    /// count; callers comparing runs across partitions with different
+    /// part counts should pin an explicit
+    /// [`FindShortcutConfig::with_max_iterations`].
+    ///
+    /// # Errors
+    ///
+    /// The errors of [`FindShortcut::run_with_verifier`], plus
+    /// [`crate::CoreError::InconsistentInputs`] if the mask length differs
+    /// from the part count.
+    pub fn run_on_parts<V>(
+        &self,
+        graph: &Graph,
+        tree: &RootedTree,
+        partition: &Partition,
+        initial_active: &[bool],
         mut verifier: V,
     ) -> Result<FindShortcutResult>
     where
@@ -186,6 +227,15 @@ impl FindShortcut {
             &[bool],
         ) -> Result<VerificationOutcome>,
     {
+        if initial_active.len() != partition.part_count() {
+            return Err(crate::CoreError::InconsistentInputs {
+                reason: format!(
+                    "active mask covers {} parts but the partition has {}",
+                    initial_active.len(),
+                    partition.part_count()
+                ),
+            });
+        }
         if tree.node_count() != graph.node_count() {
             return Err(crate::CoreError::InconsistentInputs {
                 reason: format!(
@@ -210,8 +260,9 @@ impl FindShortcut {
         let block_threshold = 3 * self.config.block.max(1);
 
         let mut final_shortcut = TreeShortcut::empty(graph, partition);
-        let mut remaining: Vec<bool> = vec![true; part_count];
-        let mut remaining_count = part_count;
+        let mut remaining: Vec<bool> = initial_active.to_vec();
+        let active_count = remaining.iter().filter(|&&a| a).count();
+        let mut remaining_count = active_count;
         let mut cost = RoundCost::new();
         let mut good_after_iteration = Vec::new();
         let mut iterations = 0;
@@ -253,7 +304,7 @@ impl FindShortcut {
                     remaining_count -= 1;
                 }
             }
-            good_after_iteration.push(part_count - remaining_count);
+            good_after_iteration.push(active_count - remaining_count);
         }
 
         Ok(FindShortcutResult {

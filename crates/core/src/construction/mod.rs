@@ -26,6 +26,7 @@ mod core_slow;
 mod doubling;
 #[allow(deprecated)]
 mod find_shortcut;
+mod repair;
 mod verification;
 
 pub use core_fast::{core_fast, CoreFastConfig};
@@ -33,6 +34,10 @@ pub use core_slow::core_slow;
 #[allow(deprecated)]
 pub use doubling::{doubling_search, DoublingConfig, DoublingResult};
 pub use find_shortcut::{FindShortcut, FindShortcutConfig, FindShortcutResult};
+pub use repair::{
+    build_corpus, repair_corpus, PartState, RepairConfig, RepairStats, RepairVerifier,
+    ShortcutCorpus,
+};
 pub use verification::{verification, VerificationOutcome};
 
 use crate::TreeShortcut;

@@ -73,5 +73,6 @@ pub use flood::{
 pub use knowledge::{BlockFamily, Membership, NodeInfo};
 pub use verification::{
     counting_supersteps, verification_simulated, verification_simulated_obs,
-    verification_with_retry, DistVerificationOutcome, RetryPolicy, RetryVerification,
+    verification_simulated_parts, verification_with_retry, DistVerificationOutcome, RetryPolicy,
+    RetryVerification,
 };

@@ -10,8 +10,12 @@
 //! entry, so θ=1 traffic hammers the canonical decomposition while the
 //! tail occasionally pays for the irregular ones.
 
-use lcs_api::graph::{generators, EdgeWeights, Graph, Partition};
-use lcs_api::{LcsError, Pipeline, Result, Strategy, TreeShortcut};
+use lcs_api::graph::{generators, EdgeWeights, Graph, NodeId, Partition};
+use lcs_api::{
+    LcsError, PartitionDelta, Pipeline, RepairBaseline, Result, Session, Strategy, TreeShortcut,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 /// The graph families a corpus can be built over — the same five the
 /// experiment tiers sweep.
@@ -67,6 +71,22 @@ pub struct CorpusSpec {
     pub seed: u64,
 }
 
+/// A pre-generated churn case for repair queries: the tracked baseline
+/// (partition + shortcut corpus at corpus-build time) and the seeded
+/// delta every `repair` event against this entry replays. Pre-generating
+/// both keeps the trace a pure function of the [`WorkloadSpec`] — serving
+/// never draws fresh randomness.
+///
+/// [`WorkloadSpec`]: crate::WorkloadSpec
+#[derive(Debug, Clone)]
+pub struct RepairCase {
+    /// The tracked repair baseline (detached from any session cache).
+    pub baseline: RepairBaseline,
+    /// The partition delta to replay. Validated at corpus-build time:
+    /// applying it yields a connected partition with no empty part.
+    pub delta: PartitionDelta,
+}
+
 /// One pre-built serving entry.
 #[derive(Debug, Clone)]
 pub struct CorpusEntry {
@@ -80,6 +100,10 @@ pub struct CorpusEntry {
     pub threshold: usize,
     /// A seeded weight permutation for MST queries against this entry.
     pub weights: EdgeWeights,
+    /// Pre-generated churn case for repair queries. `None` unless the
+    /// corpus was built with [`Corpus::build_with_repair`]; a mix with a
+    /// nonzero `repair` weight over a `None` corpus is a config error.
+    pub repair: Option<RepairCase>,
 }
 
 /// A graph plus its pre-built entries — everything the drivers borrow.
@@ -99,6 +123,22 @@ impl Corpus {
     /// [`LcsError::Config`] for a degenerate spec (`entries == 0` or
     /// `size < 3`); otherwise whatever the construction session reports.
     pub fn build(spec: &CorpusSpec) -> Result<Corpus> {
+        Corpus::build_inner(spec, false)
+    }
+
+    /// [`Corpus::build`] plus a pre-generated [`RepairCase`] per entry,
+    /// enabling the `repair` kind in query mixes. The extra work is
+    /// additive — graph, partitions, shortcuts, thresholds, and weights
+    /// are byte-identical to a plain [`Corpus::build`] of the same spec.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Corpus::build`].
+    pub fn build_with_repair(spec: &CorpusSpec) -> Result<Corpus> {
+        Corpus::build_inner(spec, true)
+    }
+
+    fn build_inner(spec: &CorpusSpec, with_repair: bool) -> Result<Corpus> {
         if spec.entries == 0 {
             return Err(LcsError::Config {
                 reason: "corpus needs at least one entry (spec.entries = 0)".to_string(),
@@ -138,11 +178,17 @@ impl Corpus {
             let (_, block_guess) = run.winning_guess().ok_or_else(|| LcsError::Config {
                 reason: "corpus construction ended without a winning guess".to_string(),
             })?;
+            let repair = if with_repair {
+                Some(repair_case(&graph, &mut session, &partition, spec, k)?)
+            } else {
+                None
+            };
             entries.push(CorpusEntry {
                 partition,
                 shortcut: run.shortcut,
                 threshold: 3 * block_guess,
                 weights: EdgeWeights::random_permutation(&graph, spec.seed.wrapping_add(k as u64)),
+                repair,
             });
         }
         drop(session);
@@ -178,6 +224,74 @@ impl Corpus {
     pub fn label(&self) -> &str {
         &self.label
     }
+}
+
+/// Seed-mixing constant for the repair-delta stream: keeps delta draws
+/// independent of the partition / weight streams derived from the same
+/// corpus seed.
+const REPAIR_SEED_MIX: u64 = 0x5245_5041_4952; // "REPAIR"
+
+/// Tracks `partition` in `session` and pre-generates a seeded, validated
+/// delta for it.
+fn repair_case(
+    graph: &Graph,
+    session: &mut Session,
+    partition: &Partition,
+    spec: &CorpusSpec,
+    entry_index: usize,
+) -> Result<RepairCase> {
+    session.track_partition(partition, Strategy::doubling())?;
+    let baseline = session.repair_baseline().ok_or_else(|| LcsError::Config {
+        reason: "corpus repair tracking left no baseline".to_string(),
+    })?;
+    let delta = repair_delta(
+        graph,
+        partition,
+        (spec.seed ^ REPAIR_SEED_MIX).wrapping_add(entry_index as u64),
+    )?;
+    Ok(RepairCase { baseline, delta })
+}
+
+/// Draws a small, valid churn delta: a seeded boundary-node move when one
+/// exists (a node whose part keeps >= 2 members and that has a neighbor
+/// in another part, accepted only if the edited parts stay connected),
+/// falling back to merging the first adjacent part pair — always valid
+/// when the partition has >= 2 parts.
+fn repair_delta(graph: &Graph, partition: &Partition, seed: u64) -> Result<PartitionDelta> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = graph.node_count();
+    for _ in 0..64 {
+        let v = NodeId::new(rng.gen_range(0..n));
+        let Some(src) = partition.part_of(v) else {
+            continue;
+        };
+        if partition.members(src).len() < 2 {
+            continue;
+        }
+        let Some(dst) = graph
+            .neighbors(v)
+            .find_map(|(u, _)| partition.part_of(u).filter(|&p| p != src))
+        else {
+            continue;
+        };
+        let delta = PartitionDelta::new().move_nodes(vec![v], dst);
+        let still_connected = partition
+            .apply(&delta)
+            .is_ok_and(|moved| moved.validate(graph).is_ok());
+        if still_connected {
+            return Ok(delta);
+        }
+    }
+    for (_, edge) in graph.edges() {
+        if let (Some(a), Some(b)) = (partition.part_of(edge.u), partition.part_of(edge.v)) {
+            if a != b {
+                return Ok(PartitionDelta::new().merge_parts(a.min(b), a.max(b)));
+            }
+        }
+    }
+    Err(LcsError::Config {
+        reason: "corpus partition admits no churn delta (single part?)".to_string(),
+    })
 }
 
 #[cfg(test)]
@@ -220,6 +334,66 @@ mod tests {
             seed: 1,
         });
         assert!(matches!(tiny, Err(LcsError::Config { .. })));
+    }
+
+    #[test]
+    fn build_with_repair_yields_valid_cases_and_identical_entries() {
+        for family in [Family::Grid, Family::Wheel, Family::Random] {
+            let spec = CorpusSpec {
+                family,
+                size: 4,
+                entries: 2,
+                seed: 5,
+            };
+            let plain = Corpus::build(&spec).unwrap();
+            let churn = Corpus::build_with_repair(&spec).unwrap();
+            for (p, c) in plain.entries().iter().zip(churn.entries()) {
+                // The repair cases are additive: everything else is
+                // byte-identical to a plain build.
+                assert_eq!(p.shortcut, c.shortcut);
+                assert_eq!(p.threshold, c.threshold);
+                assert!(p.repair.is_none());
+                let case = c.repair.as_ref().expect("repair case generated");
+                // The pre-generated delta applies cleanly and keeps every
+                // part connected and nonempty.
+                let repaired = c.partition.apply(&case.delta).unwrap();
+                repaired.validate(churn.graph()).unwrap();
+                assert_eq!(
+                    case.baseline.partition().part_count(),
+                    c.partition.part_count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deltas_that_empty_a_partition_are_config_errors() {
+        let spec = CorpusSpec {
+            family: Family::Grid,
+            size: 4,
+            entries: 1,
+            seed: 2,
+        };
+        let corpus = Corpus::build_with_repair(&spec).unwrap();
+        let entry = &corpus.entries()[0];
+        let case = entry.repair.as_ref().unwrap();
+        // Drain part 0 entirely into part 1: rejected as a typed config
+        // error both at the delta layer and when served as a repair query.
+        let p0 = lcs_api::graph::PartId::new(0);
+        let p1 = lcs_api::graph::PartId::new(1);
+        let drain = PartitionDelta::new().move_nodes(entry.partition.members(p0).to_vec(), p1);
+        assert!(matches!(
+            entry.partition.apply(&drain),
+            Err(LcsError::Config { .. })
+        ));
+        let mut session = Pipeline::on(corpus.graph())
+            .seed(spec.seed)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            session.repair_from(&case.baseline, &drain),
+            Err(LcsError::Config { .. })
+        ));
     }
 
     #[test]

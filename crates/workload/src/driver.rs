@@ -56,9 +56,9 @@ pub struct WorkloadOutcome {
     pub per_client: Vec<ClientOutcome>,
     /// Total queries served (the trace length).
     pub queries: u64,
-    /// Per-kind served counts, in `[construct, verify, quality, mst]`
-    /// order.
-    pub kind_counts: [u64; 4],
+    /// Per-kind served counts, in
+    /// `[construct, verify, quality, mst, repair]` order.
+    pub kind_counts: [u64; 5],
     /// Wall-clock nanoseconds of the whole run.
     pub wall_nanos: u64,
     /// FNV-1a fold of the per-client digests in client order — the
@@ -88,6 +88,10 @@ impl WorkloadOutcome {
 ///
 /// Panics if `event.entry` is out of the corpus's range — traces are
 /// generated against the same corpus length, so this is a caller bug.
+/// Likewise panics on a [`QueryKind::Repair`] event against an entry with
+/// no pre-generated repair case — [`run_workload`] rejects that
+/// combination with [`lcs_api::LcsError::Config`] before serving starts,
+/// so reaching the panic means the trace bypassed validation.
 pub fn query_of<'a>(corpus: &'a Corpus, event: &QueryEvent) -> Query<'a> {
     let entry = &corpus.entries()[event.entry];
     match event.kind {
@@ -108,6 +112,16 @@ pub fn query_of<'a>(corpus: &'a Corpus, event: &QueryEvent) -> Query<'a> {
             weights: &entry.weights,
             strategy: ShortcutStrategy::Doubling,
         },
+        QueryKind::Repair => {
+            let case = entry
+                .repair
+                .as_ref()
+                .expect("repair event against a corpus built without repair cases");
+            Query::Repair {
+                baseline: &case.baseline,
+                delta: &case.delta,
+            }
+        }
     }
 }
 
@@ -153,6 +167,15 @@ pub fn run_workload_obs(
 ) -> Result<WorkloadOutcome> {
     let trace = generate_trace(spec, corpus.len())?;
     let kind_counts = count_kinds(&trace);
+    if kind_counts[QueryKind::Repair.index()] > 0
+        && corpus.entries().iter().any(|e| e.repair.is_none())
+    {
+        return Err(lcs_api::LcsError::Config {
+            reason: "query mix has a repair weight but the corpus has no pre-generated \
+                     repair cases; build it with Corpus::build_with_repair"
+                .to_string(),
+        });
+    }
     if obs.is_on() {
         obs.counter_add("workload/runs", 1);
         obs.counter_add("workload/queries", trace.len() as u64);
@@ -170,8 +193,8 @@ pub fn run_workload_obs(
     Ok(outcome)
 }
 
-fn count_kinds(trace: &[QueryEvent]) -> [u64; 4] {
-    let mut counts = [0u64; 4];
+fn count_kinds(trace: &[QueryEvent]) -> [u64; 5] {
+    let mut counts = [0u64; 5];
     for e in trace {
         counts[e.kind.index()] += 1;
     }
@@ -219,7 +242,7 @@ fn serve_events<'a>(
 
 fn finish(
     per_client: Vec<ClientOutcome>,
-    kind_counts: [u64; 4],
+    kind_counts: [u64; 5],
     wall_nanos: u64,
     results: Option<Vec<QueryValue>>,
 ) -> WorkloadOutcome {
@@ -246,7 +269,7 @@ fn run_open(
     corpus: &Corpus,
     spec: &WorkloadSpec,
     trace: &[QueryEvent],
-    kind_counts: [u64; 4],
+    kind_counts: [u64; 5],
     obs: &Obs,
 ) -> Result<WorkloadOutcome> {
     let mut session = warm_session(corpus, spec, obs)?;
@@ -313,7 +336,7 @@ fn run_closed(
     corpus: &Corpus,
     spec: &WorkloadSpec,
     trace: &[QueryEvent],
-    kind_counts: [u64; 4],
+    kind_counts: [u64; 5],
     clients: usize,
     think_nanos: u64,
     obs: &Obs,
@@ -482,6 +505,70 @@ mod tests {
         );
         assert!(matches!(
             run_workload(&corpus, &zero_clients),
+            Err(lcs_api::LcsError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn repair_mix_serves_and_agrees_across_drivers() {
+        let corpus = Corpus::build_with_repair(&CorpusSpec {
+            family: Family::Grid,
+            size: 4,
+            entries: 2,
+            seed: 3,
+        })
+        .unwrap();
+        let mix = QueryMix {
+            construct: 0,
+            verify: 2,
+            quality: 1,
+            mst: 0,
+            repair: 2,
+        };
+        let open = WorkloadSpec::new(
+            Mode::Open {
+                mean_interarrival_nanos: 0,
+            },
+            10,
+            1.0,
+            mix,
+            7,
+        )
+        .keep_results(true);
+        let closed = WorkloadSpec {
+            mode: Mode::Closed {
+                clients: 2,
+                think_nanos: 0,
+            },
+            ..open
+        };
+        let a = run_workload(&corpus, &open).unwrap();
+        let b = run_workload(&corpus, &closed).unwrap();
+        assert_eq!(a.kind_counts[QueryKind::Repair.index()], 4);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.digest, run_workload(&corpus, &open).unwrap().digest);
+    }
+
+    #[test]
+    fn repair_weight_without_repair_cases_is_a_config_error() {
+        let corpus = small_corpus();
+        let spec = WorkloadSpec::new(
+            Mode::Open {
+                mean_interarrival_nanos: 0,
+            },
+            5,
+            0.0,
+            QueryMix {
+                construct: 0,
+                verify: 1,
+                quality: 0,
+                mst: 0,
+                repair: 1,
+            },
+            4,
+        );
+        assert!(matches!(
+            run_workload(&corpus, &spec),
             Err(lcs_api::LcsError::Config { .. })
         ));
     }

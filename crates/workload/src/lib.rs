@@ -78,7 +78,7 @@ pub mod spec;
 pub mod trace;
 pub mod zipf;
 
-pub use corpus::{Corpus, CorpusEntry, CorpusSpec, Family};
+pub use corpus::{Corpus, CorpusEntry, CorpusSpec, Family, RepairCase};
 pub use driver::{query_of, run_workload, run_workload_obs, ClientOutcome, WorkloadOutcome};
 pub use histogram::LatencyHistogram;
 pub use spec::{Mode, QueryMix, WorkloadSpec};

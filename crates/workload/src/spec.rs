@@ -3,7 +3,7 @@
 
 use lcs_api::{ExecutionMode, Threads};
 
-/// Integer weights of the four query kinds in a trace. The trace
+/// Integer weights of the five query kinds in a trace. The trace
 /// generator apportions the total query count *exactly* (largest-remainder
 /// rounding), so a 1000-query trace with weights 10/55/30/5 contains
 /// exactly 100 constructs — never 99 or 101.
@@ -17,6 +17,10 @@ pub struct QueryMix {
     pub quality: u32,
     /// Weight of MST queries.
     pub mst: u32,
+    /// Weight of partition-churn repair queries (each replays the entry's
+    /// pre-generated delta against its tracked baseline). Requires a
+    /// corpus built with repair cases when nonzero.
+    pub repair: u32,
 }
 
 impl QueryMix {
@@ -29,6 +33,7 @@ impl QueryMix {
             verify: 60,
             quality: 40,
             mst: 0,
+            repair: 0,
         }
     }
 
@@ -41,29 +46,37 @@ impl QueryMix {
             verify: 55,
             quality: 30,
             mst: 5,
+            repair: 0,
         }
     }
 
-    /// Sum of the four weights.
+    /// Sum of the five weights.
     pub fn total(&self) -> u64 {
         u64::from(self.construct)
             + u64::from(self.verify)
             + u64::from(self.quality)
             + u64::from(self.mst)
+            + u64::from(self.repair)
     }
 
     /// A short label: `"consume"` / `"mixed"` for the named presets,
-    /// otherwise the raw weights as `c10/v55/q30/m5`.
+    /// otherwise the raw weights as `c10/v55/q30/m5` (with a trailing
+    /// `/r{n}` only when the repair weight is nonzero, so pre-churn labels
+    /// are unchanged).
     pub fn label(&self) -> String {
         if *self == QueryMix::consume() {
             "consume".to_string()
         } else if *self == QueryMix::mixed() {
             "mixed".to_string()
         } else {
-            format!(
+            let mut label = format!(
                 "c{}/v{}/q{}/m{}",
                 self.construct, self.verify, self.quality, self.mst
-            )
+            );
+            if self.repair > 0 {
+                label.push_str(&format!("/r{}", self.repair));
+            }
+            label
         }
     }
 
@@ -73,13 +86,13 @@ impl QueryMix {
     /// (ties broken in construct, verify, quality, mst order). The result
     /// always sums to `queries`, and a zero-weight kind always gets zero.
     ///
-    /// Returns `[construct, verify, quality, mst]` counts.
+    /// Returns `[construct, verify, quality, mst, repair]` counts.
     ///
     /// # Panics
     ///
     /// Panics if every weight is zero — specs are validated by the trace
     /// generator before reaching this point.
-    pub fn counts(&self, queries: usize) -> [usize; 4] {
+    pub fn counts(&self, queries: usize) -> [usize; 5] {
         let total = self.total();
         assert!(total > 0, "query mix must have a nonzero weight");
         let weights = [
@@ -87,17 +100,18 @@ impl QueryMix {
             u64::from(self.verify),
             u64::from(self.quality),
             u64::from(self.mst),
+            u64::from(self.repair),
         ];
-        let mut counts = [0usize; 4];
-        let mut remainders = [0u64; 4];
+        let mut counts = [0usize; 5];
+        let mut remainders = [0u64; 5];
         let q = queries as u64;
-        for k in 0..4 {
+        for k in 0..5 {
             counts[k] = ((q * weights[k]) / total) as usize;
             remainders[k] = (q * weights[k]) % total;
         }
         let mut leftover = queries - counts.iter().sum::<usize>();
         // Stable selection: largest remainder first, kind order on ties.
-        let mut order = [0usize, 1, 2, 3];
+        let mut order = [0usize, 1, 2, 3, 4];
         order.sort_by(|&a, &b| remainders[b].cmp(&remainders[a]).then(a.cmp(&b)));
         for &k in &order {
             if leftover == 0 {
@@ -224,9 +238,9 @@ mod tests {
 
     #[test]
     fn counts_are_exact_for_the_presets() {
-        assert_eq!(QueryMix::consume().counts(100), [0, 60, 40, 0]);
-        assert_eq!(QueryMix::mixed().counts(100), [10, 55, 30, 5]);
-        assert_eq!(QueryMix::mixed().counts(0), [0, 0, 0, 0]);
+        assert_eq!(QueryMix::consume().counts(100), [0, 60, 40, 0, 0]);
+        assert_eq!(QueryMix::mixed().counts(100), [10, 55, 30, 5, 0]);
+        assert_eq!(QueryMix::mixed().counts(0), [0, 0, 0, 0, 0]);
     }
 
     #[test]
@@ -239,12 +253,21 @@ mod tests {
                 verify: 1,
                 quality: 1,
                 mst: 0,
+                repair: 0,
             },
             QueryMix {
                 construct: 0,
                 verify: 0,
                 quality: 7,
                 mst: 3,
+                repair: 0,
+            },
+            QueryMix {
+                construct: 0,
+                verify: 3,
+                quality: 0,
+                mst: 0,
+                repair: 2,
             },
         ];
         for mix in mixes {
@@ -256,6 +279,9 @@ mod tests {
                 }
                 if mix.mst == 0 {
                     assert_eq!(counts[3], 0, "zero weight must stay zero: {mix:?}");
+                }
+                if mix.repair == 0 {
+                    assert_eq!(counts[4], 0, "zero weight must stay zero: {mix:?}");
                 }
             }
         }
@@ -270,10 +296,22 @@ mod tests {
                 construct: 1,
                 verify: 2,
                 quality: 3,
-                mst: 4
+                mst: 4,
+                repair: 0,
             }
             .label(),
             "c1/v2/q3/m4"
+        );
+        assert_eq!(
+            QueryMix {
+                construct: 1,
+                verify: 2,
+                quality: 3,
+                mst: 4,
+                repair: 5,
+            }
+            .label(),
+            "c1/v2/q3/m4/r5"
         );
         assert_eq!(
             Mode::Open {

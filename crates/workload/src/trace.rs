@@ -27,7 +27,7 @@ use rand_chacha::ChaCha8Rng;
 use crate::spec::{Mode, WorkloadSpec};
 use crate::zipf::{unit_f64, ZipfSampler};
 
-/// The four query kinds a trace event can carry, mirroring
+/// The five query kinds a trace event can carry, mirroring
 /// [`lcs_api::Query`]'s variants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueryKind {
@@ -39,24 +39,31 @@ pub enum QueryKind {
     Quality,
     /// Run MST with the entry's weight permutation.
     Mst,
+    /// Replay the entry's pre-generated partition delta against its
+    /// tracked repair baseline.
+    Repair,
 }
 
 impl QueryKind {
-    /// All kinds, in mix-weight order (construct, verify, quality, mst).
-    pub const ALL: [QueryKind; 4] = [
+    /// All kinds, in mix-weight order (construct, verify, quality, mst,
+    /// repair).
+    pub const ALL: [QueryKind; 5] = [
         QueryKind::Construct,
         QueryKind::Verify,
         QueryKind::Quality,
         QueryKind::Mst,
+        QueryKind::Repair,
     ];
 
-    /// Index into mix-order arrays (`[construct, verify, quality, mst]`).
+    /// Index into mix-order arrays
+    /// (`[construct, verify, quality, mst, repair]`).
     pub fn index(self) -> usize {
         match self {
             QueryKind::Construct => 0,
             QueryKind::Verify => 1,
             QueryKind::Quality => 2,
             QueryKind::Mst => 3,
+            QueryKind::Repair => 4,
         }
     }
 
@@ -67,6 +74,7 @@ impl QueryKind {
             QueryKind::Verify => "verify",
             QueryKind::Quality => "quality",
             QueryKind::Mst => "mst",
+            QueryKind::Repair => "repair",
         }
     }
 }
@@ -223,7 +231,7 @@ mod tests {
         });
         let trace = generate_trace(&s, 3).unwrap();
         let expected = s.mix.counts(s.queries);
-        let mut got = [0usize; 4];
+        let mut got = [0usize; 5];
         for e in &trace {
             got[e.kind.index()] += 1;
         }
@@ -251,6 +259,7 @@ mod tests {
             verify: 0,
             quality: 0,
             mst: 0,
+            repair: 0,
         };
         assert!(matches!(
             generate_trace(&zero_mix, 4),

@@ -12,13 +12,25 @@ use lcs_workload::{
 use lcs_api::{ExecutionMode, Pipeline, QueryValue, Strategy, Threads};
 
 fn corpus() -> Corpus {
-    Corpus::build(&CorpusSpec {
+    Corpus::build_with_repair(&CorpusSpec {
         family: Family::Grid,
         size: 4,
         entries: 3,
         seed: 21,
     })
     .unwrap()
+}
+
+/// The mixed preset plus a repair share, so the equivalence sweep also
+/// pins the churn path across thread counts and execution modes.
+fn churn_mix() -> QueryMix {
+    QueryMix {
+        construct: 10,
+        verify: 55,
+        quality: 30,
+        mst: 5,
+        repair: 10,
+    }
 }
 
 /// Replays the trace through the dedicated `Session` query methods — not
@@ -64,6 +76,17 @@ fn replay_directly(corpus: &Corpus, spec: &WorkloadSpec) -> Vec<QueryValue> {
                         weight: run.weight,
                     }
                 }
+                QueryKind::Repair => {
+                    let case = entry.repair.as_ref().unwrap();
+                    let run = session.repair_from(&case.baseline, &case.delta).unwrap();
+                    QueryValue::Repair {
+                        shortcut: run.shortcut,
+                        quality: run.quality,
+                        good: run.good,
+                        repaired_parts: run.repaired_parts,
+                        reused_parts: run.reused_parts,
+                    }
+                }
             }
         })
         .collect()
@@ -80,7 +103,7 @@ fn check_equivalence(execution: ExecutionMode, queries: usize) {
             },
             queries,
             1.0,
-            QueryMix::mixed(),
+            churn_mix(),
             13,
         )
         .execution(execution)

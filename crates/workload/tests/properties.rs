@@ -14,6 +14,7 @@ fn spec_from(
     queries: usize,
     theta_index: usize,
     weights: (u32, u32, u32, u32),
+    repair: u32,
     open: bool,
 ) -> WorkloadSpec {
     let mix = QueryMix {
@@ -21,6 +22,7 @@ fn spec_from(
         verify: weights.1,
         quality: weights.2,
         mst: weights.3,
+        repair,
     };
     let mode = if open {
         Mode::Open {
@@ -45,10 +47,11 @@ proptest! {
         queries in 1usize..200,
         theta_index in 0usize..4,
         weights in (0u32..10, 0u32..10, 0u32..10, 1u32..10),
+        repair_weight in 0u32..10,
         entries in 1usize..9,
         open_flag in 0u8..2,
     ) {
-        let spec = spec_from(seed, queries, theta_index, weights, open_flag == 1);
+        let spec = spec_from(seed, queries, theta_index, weights, repair_weight, open_flag == 1);
         let a = generate_trace(&spec, entries).unwrap();
         let b = generate_trace(&spec, entries).unwrap();
         prop_assert_eq!(a, b);
@@ -62,18 +65,19 @@ proptest! {
         seed in 0u64..1_000_000,
         queries in 1usize..300,
         weights in (0u32..20, 0u32..20, 0u32..20, 1u32..20),
+        repair_weight in 0u32..20,
         entries in 1usize..6,
     ) {
-        let spec = spec_from(seed, queries, 0, weights, false);
+        let spec = spec_from(seed, queries, 0, weights, repair_weight, false);
         let trace = generate_trace(&spec, entries).unwrap();
         prop_assert_eq!(trace.len(), queries);
-        let mut got = [0usize; 4];
+        let mut got = [0usize; 5];
         for event in &trace {
             got[event.kind.index()] += 1;
         }
         prop_assert_eq!(got, spec.mix.counts(queries));
-        let w = [weights.0, weights.1, weights.2, weights.3];
-        for k in 0..4 {
+        let w = [weights.0, weights.1, weights.2, weights.3, repair_weight];
+        for k in 0..5 {
             if w[k] == 0 {
                 prop_assert_eq!(got[k], 0, "zero-weight kind {} appeared", k);
             }
