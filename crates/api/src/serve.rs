@@ -298,7 +298,7 @@ impl Session<'_> {
     /// ([`Session::shortcut`], [`Session::verify`], [`Session::quality`],
     /// [`Session::mst`]).
     pub fn serve(&mut self, query: Query<'_>) -> Result<Served> {
-        self.serve_full(query).map(|(served, _)| served)
+        self.serve_shared(query)
     }
 
     /// [`Session::serve`], additionally returning the owned result values.
@@ -310,6 +310,34 @@ impl Session<'_> {
     ///
     /// Same as [`Session::serve`].
     pub fn serve_full(&mut self, query: Query<'_>) -> Result<(Served, QueryValue)> {
+        self.serve_shared_full(query)
+    }
+
+    /// [`Session::serve`] through a shared reference: any number of
+    /// threads may serve queries on one warm session concurrently. Every
+    /// query path behind this entry is `&self` — construction, verification
+    /// and MST read the session's tree and configuration only, and quality
+    /// measurements check a workspace out of the session's lock-protected
+    /// pool bank for the duration of the query. Responses are
+    /// byte-identical ([`Served::digest`] included) to the `&mut self`
+    /// [`Session::serve`] path, which delegates here; concurrency changes
+    /// timings, never values. This is the entry point the `lcs_server`
+    /// worker threads serve from.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::serve`].
+    pub fn serve_shared(&self, query: Query<'_>) -> Result<Served> {
+        self.serve_shared_full(query).map(|(served, _)| served)
+    }
+
+    /// [`Session::serve_shared`], additionally returning the owned result
+    /// values — the shared-reference twin of [`Session::serve_full`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::serve`].
+    pub fn serve_shared_full(&self, query: Query<'_>) -> Result<(Served, QueryValue)> {
         let probe_paths = self.obs.is_on().then(|| query.probe_paths());
         let start = Instant::now();
         let (wall_nanos, rounds_charged, all_good, value) = match query {
@@ -491,6 +519,56 @@ mod tests {
                 weight: direct_mst.weight,
             }
         );
+    }
+
+    #[test]
+    fn serve_shared_is_byte_identical_to_the_exclusive_path_under_concurrency() {
+        let g = generators::grid(6, 6);
+        let p = generators::partitions::grid_columns(6, 6);
+        let mut session = Pipeline::on(&g).seed(2).build().unwrap();
+        let run = session.shortcut(&p, Strategy::doubling()).unwrap();
+        let (_, b) = run.winning_guess().unwrap();
+        let queries = [
+            Query::Construct {
+                partition: &p,
+                strategy: Strategy::doubling(),
+            },
+            Query::Verify {
+                shortcut: &run.shortcut,
+                partition: &p,
+                threshold: 3 * b,
+            },
+            Query::Quality {
+                shortcut: &run.shortcut,
+                partition: &p,
+            },
+        ];
+        let want: Vec<u64> = queries
+            .iter()
+            .map(|q| session.serve(*q).unwrap().digest)
+            .collect();
+        // Four threads hammer the same warm session through the shared
+        // path; every thread must observe the exclusive path's digests.
+        let session = &session;
+        let queries = &queries;
+        let per_thread: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    scope.spawn(move || {
+                        queries
+                            .iter()
+                            .map(|q| session.serve_shared(*q).unwrap().digest)
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|handle| handle.join().expect("serving thread panicked"))
+                .collect()
+        });
+        for digests in per_thread {
+            assert_eq!(digests, want);
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! per-query results, never per-graph state; that is the serving posture
 //! the experiment tables measure in E11.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 use lcs_congest::{FaultPlan, RoundCost, RoundTrace, SimConfig};
@@ -215,7 +216,7 @@ impl<'g> Pipeline<'g> {
             graph,
             tree,
             shards: ShardMap::by_volume(graph, threads),
-            pool: QualityPool::new(graph, threads),
+            pool: PoolBank::with(QualityPool::new(graph, threads)),
             threads,
             execution: self.execution,
             seed: self.seed,
@@ -233,7 +234,7 @@ pub struct Session<'g> {
     graph: &'g Graph,
     tree: RootedTree,
     shards: ShardMap,
-    pool: QualityPool,
+    pool: PoolBank,
     threads: usize,
     execution: ExecutionMode,
     seed: u64,
@@ -243,6 +244,48 @@ pub struct Session<'g> {
     /// Tracked partitions and their customization corpora, one slot per
     /// strategy label, most recently tracked/updated last.
     repair_cache: Vec<RepairSlot>,
+}
+
+/// Free-list cap: workspaces returned while the list is full are dropped
+/// instead of pooled, so a burst of concurrent queries cannot pin more
+/// than this many per-graph workspaces for the session's lifetime.
+const MAX_POOLED_WORKSPACES: usize = 16;
+
+/// The lock-protected free-list of quality workspaces behind every
+/// `&self` query path — the checkout scheme that makes one warm session
+/// shareable across server worker threads.
+///
+/// A query checks one [`QualityPool`] out (allocating a fresh one only
+/// when every pooled workspace is already in use), runs with exclusive
+/// access to it, and returns it. The lock is held for the push/pop only,
+/// never across a query. Workspaces are epoch-stamped, so a query
+/// observes byte-identical values whether it got a reused pool, a fresh
+/// one, or the pool another thread just returned — concurrency changes
+/// which workspace serves a query, never what the query answers.
+struct PoolBank {
+    free: Mutex<Vec<QualityPool>>,
+}
+
+impl PoolBank {
+    /// A bank pre-warmed with one workspace, so the sequential serving
+    /// path (one query at a time) never allocates after build.
+    fn with(initial: QualityPool) -> Self {
+        PoolBank {
+            free: Mutex::new(vec![initial]),
+        }
+    }
+
+    fn checkout(&self, graph: &Graph, threads: usize) -> QualityPool {
+        let pooled = self.free.lock().expect("quality pool bank poisoned").pop();
+        pooled.unwrap_or_else(|| QualityPool::new(graph, threads))
+    }
+
+    fn give_back(&self, pool: QualityPool) {
+        let mut free = self.free.lock().expect("quality pool bank poisoned");
+        if free.len() < MAX_POOLED_WORKSPACES {
+            free.push(pool);
+        }
+    }
 }
 
 /// One cached `(partition, corpus)` pair of [`Session::track_partition`].
@@ -405,10 +448,20 @@ impl<'g> Session<'g> {
         self.execution
     }
 
-    /// Switches the execution mode for subsequent queries (cached state is
-    /// unaffected — the mode only selects how communication executes).
+    /// Switches the execution mode for subsequent queries.
+    ///
+    /// Changing the mode drops any tracked partitions
+    /// ([`Session::track_partition`]): a cached corpus records how its
+    /// parts were built under the old mode, so repairing it under a new
+    /// one would no longer equal a from-scratch rebuild. A subsequent
+    /// [`Session::update_partition`] reports the usual typed
+    /// [`LcsError::Config`] "no tracked partition" error until the caller
+    /// tracks again. Setting the mode already in effect changes nothing.
     pub fn set_execution(&mut self, execution: ExecutionMode) {
-        self.execution = execution;
+        if self.execution != execution {
+            self.execution = execution;
+            self.repair_cache.clear();
+        }
     }
 
     /// The random seed subsequent queries use.
@@ -417,8 +470,19 @@ impl<'g> Session<'g> {
     }
 
     /// Replaces the seed for subsequent queries.
+    ///
+    /// Changing the seed drops any tracked partitions
+    /// ([`Session::track_partition`]): per-part construction seeds derive
+    /// from the session seed, so a corpus built under the old seed would
+    /// silently stop satisfying the repair == rebuild contract. A
+    /// subsequent [`Session::update_partition`] reports the usual typed
+    /// [`LcsError::Config`] "no tracked partition" error until the caller
+    /// tracks again. Setting the seed already in effect changes nothing.
     pub fn set_seed(&mut self, seed: u64) {
-        self.seed = seed;
+        if self.seed != seed {
+            self.seed = seed;
+            self.repair_cache.clear();
+        }
     }
 
     /// The simulator configuration `Simulated` queries run with.
@@ -506,7 +570,7 @@ impl<'g> Session<'g> {
     /// A [`Strategy::Fixed`] run whose parameters turn out too small is
     /// *not* an error (mirroring the legacy driver): it returns `Ok` with
     /// [`Report::all_parts_good`] `false` and the partial shortcut.
-    pub fn shortcut(&mut self, partition: &Partition, strategy: Strategy) -> Result<ShortcutRun> {
+    pub fn shortcut(&self, partition: &Partition, strategy: Strategy) -> Result<ShortcutRun> {
         self.check_partition(partition)?;
         let start = Instant::now();
         let mut report = Report::new("shortcut");
@@ -582,21 +646,34 @@ impl<'g> Session<'g> {
     }
 
     /// Measures congestion, dilation and block parameter of `shortcut`
-    /// against `partition`, reusing the session's quality pool (no
-    /// allocation on the warm path). The values are identical for every
-    /// thread count.
+    /// against `partition`, checking a quality workspace out of the
+    /// session's pool bank (no allocation on the warm sequential path).
+    /// The values are identical for every thread count and for any number
+    /// of concurrent callers.
     ///
     /// # Errors
     ///
     /// [`LcsError::InconsistentInputs`] for a partition over a different
     /// node count.
     pub fn quality(
-        &mut self,
+        &self,
         shortcut: &TreeShortcut,
         partition: &Partition,
     ) -> Result<ShortcutQuality> {
         self.check_partition(partition)?;
-        Ok(shortcut.quality_with(self.graph, partition, &mut self.pool))
+        Ok(self.with_pool(|pool| shortcut.quality_with(self.graph, partition, pool)))
+    }
+
+    /// Checks a quality workspace out of the bank, runs `f` with
+    /// exclusive access to it, and returns it. Workspaces are
+    /// epoch-stamped, so pool identity never affects measured values —
+    /// the property that lets `&self` queries share one session across
+    /// threads while staying byte-identical to the sequential path.
+    fn with_pool<R>(&self, f: impl FnOnce(&mut QualityPool) -> R) -> R {
+        let mut pool = self.pool.checkout(self.graph, self.threads);
+        let result = f(&mut pool);
+        self.pool.give_back(pool);
+        result
     }
 
     /// Classifies every part of `partition` against `threshold` block
@@ -617,7 +694,7 @@ impl<'g> Session<'g> {
     /// simulation errors in `Simulated` mode; [`LcsError::Degraded`] when
     /// an injected fault plan defeats every retry epoch.
     pub fn verify(
-        &mut self,
+        &self,
         shortcut: &TreeShortcut,
         partition: &Partition,
         threshold: usize,
@@ -712,7 +789,7 @@ impl<'g> Session<'g> {
     ///
     /// [`LcsError::InconsistentInputs`] for a mismatched partition.
     pub fn core(
-        &mut self,
+        &self,
         partition: &Partition,
         kind: CoreKind,
         congestion: usize,
@@ -740,7 +817,7 @@ impl<'g> Session<'g> {
     ///
     /// Propagates construction errors and reports
     /// [`LcsError::BudgetExhausted`] if the phase cap is hit.
-    pub fn mst(&mut self, weights: &EdgeWeights, strategy: ShortcutStrategy) -> Result<MstRun> {
+    pub fn mst(&self, weights: &EdgeWeights, strategy: ShortcutStrategy) -> Result<MstRun> {
         let start = Instant::now();
         #[allow(deprecated)]
         let config = lcs_mst::BoruvkaConfig::new(strategy)
@@ -781,11 +858,7 @@ impl<'g> Session<'g> {
     /// caller bug, and surfacing it beats silently returning an empty
     /// `Vec`. Otherwise fails on the first query that fails, with that
     /// query's error.
-    pub fn batch(
-        &mut self,
-        partitions: &[&Partition],
-        strategy: Strategy,
-    ) -> Result<Vec<ShortcutRun>> {
+    pub fn batch(&self, partitions: &[&Partition], strategy: Strategy) -> Result<Vec<ShortcutRun>> {
         if partitions.is_empty() {
             return Err(LcsError::Config {
                 reason: "batch requires at least one partition (got an empty query list)"
@@ -854,17 +927,17 @@ impl<'g> Session<'g> {
     /// [`Session::shortcut`]; `Simulated` runs the restricted-part-set
     /// verification entry, fault-free).
     fn build_corpus_dispatch(
-        &mut self,
+        &self,
         partition: &Partition,
         config: &RepairConfig,
     ) -> Result<ShortcutCorpus> {
-        let result = match self.execution {
+        let result = self.with_pool(|pool| match self.execution {
             ExecutionMode::Scheduled => build_corpus(
                 self.graph,
                 &self.tree,
                 partition,
                 config,
-                &mut self.pool,
+                pool,
                 |g, t, p, s, threshold, active| Ok(verification(g, t, p, s, threshold, active)),
             ),
             ExecutionMode::Simulated => {
@@ -875,7 +948,7 @@ impl<'g> Session<'g> {
                     &self.tree,
                     partition,
                     config,
-                    &mut self.pool,
+                    pool,
                     move |g, t, p, s, threshold, active| {
                         let outcome =
                             simulated_parts(g, t, p, s, threshold, active, sim_config, &obs)?;
@@ -883,7 +956,7 @@ impl<'g> Session<'g> {
                     },
                 )
             }
-        };
+        });
         result.map_err(LcsError::from)
     }
 
@@ -892,14 +965,14 @@ impl<'g> Session<'g> {
     /// session's execution mode.
     #[allow(clippy::too_many_arguments)]
     fn repair_corpus_dispatch(
-        &mut self,
+        &self,
         partition: &Partition,
         prev: &ShortcutCorpus,
         origin: &[Option<PartId>],
         dirty: &PartSet,
         config: &RepairConfig,
     ) -> Result<(ShortcutCorpus, RepairStats)> {
-        let result = match self.execution {
+        let result = self.with_pool(|pool| match self.execution {
             ExecutionMode::Scheduled => repair_corpus(
                 self.graph,
                 &self.tree,
@@ -908,7 +981,7 @@ impl<'g> Session<'g> {
                 origin,
                 dirty,
                 config,
-                &mut self.pool,
+                pool,
                 |g, t, p, s, threshold, active| Ok(verification(g, t, p, s, threshold, active)),
             ),
             ExecutionMode::Simulated => {
@@ -922,7 +995,7 @@ impl<'g> Session<'g> {
                     origin,
                     dirty,
                     config,
-                    &mut self.pool,
+                    pool,
                     move |g, t, p, s, threshold, active| {
                         let outcome =
                             simulated_parts(g, t, p, s, threshold, active, sim_config, &obs)?;
@@ -930,7 +1003,7 @@ impl<'g> Session<'g> {
                     },
                 )
             }
-        };
+        });
         result.map_err(LcsError::from)
     }
 
@@ -976,7 +1049,7 @@ impl<'g> Session<'g> {
     /// report — with the `session/repair` span, the repair counters and
     /// the per-repair latency timer around it.
     fn repair_with(
-        &mut self,
+        &self,
         partition: &Partition,
         corpus: &ShortcutCorpus,
         config: &RepairConfig,
@@ -1121,7 +1194,7 @@ impl<'g> Session<'g> {
     ///
     /// Same as [`Session::update_partition`], minus the not-tracked case.
     pub fn repair_from(
-        &mut self,
+        &self,
         baseline: &RepairBaseline,
         delta: &PartitionDelta,
     ) -> Result<RepairRun> {
@@ -1218,6 +1291,50 @@ mod tests {
     }
 
     #[test]
+    fn sessions_are_shareable_across_threads() {
+        // The compile-time half of the serving story: one warm session can
+        // be borrowed by any number of server worker threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session<'static>>();
+    }
+
+    #[test]
+    fn set_seed_drops_the_tracked_corpus_instead_of_corrupting_repairs() {
+        let g = generators::grid(8, 8);
+        let p = generators::partitions::grid_columns(8, 8);
+        let delta = PartitionDelta::new().move_nodes(vec![NodeId::new(1)], PartId::new(0));
+        let mut session = Pipeline::on(&g).seed(5).build().unwrap();
+        session.track_partition(&p, Strategy::doubling()).unwrap();
+
+        // Per-part construction seeds derive from the session seed, so a
+        // corpus tracked under seed 5 must not survive a switch to seed 6:
+        // updating right away is the typed "no tracked partition" error,
+        // not a silently-wrong repair.
+        session.set_seed(6);
+        let err = session.update_partition(&delta).unwrap_err();
+        assert!(matches!(err, LcsError::Config { .. }));
+
+        // Re-tracking under the new seed restores repair == rebuild.
+        session.track_partition(&p, Strategy::doubling()).unwrap();
+        let updated = session.update_partition(&delta).unwrap();
+        let new_p = p.apply(&delta).unwrap();
+        let mut fresh = Pipeline::on(&g).seed(6).build().unwrap();
+        let rebuilt = fresh.track_partition(&new_p, Strategy::doubling()).unwrap();
+        assert_eq!(updated.shortcut, rebuilt.shortcut);
+        assert_eq!(updated.quality, rebuilt.quality);
+        assert_eq!(updated.good, rebuilt.good);
+
+        // Re-setting the values already in effect keeps the slot; an
+        // execution-mode change drops it for the same reason a seed
+        // change does.
+        session.set_seed(6);
+        session.set_execution(ExecutionMode::Scheduled);
+        assert!(session.repair_baseline().is_some());
+        session.set_execution(ExecutionMode::Simulated);
+        assert!(session.repair_baseline().is_none());
+    }
+
+    #[test]
     fn build_rejects_bad_inputs() {
         let g = generators::grid(4, 4);
         let err = Pipeline::on(&g)
@@ -1248,7 +1365,7 @@ mod tests {
     fn queries_reject_a_mismatched_partition() {
         let g = generators::grid(4, 4);
         let p_other = generators::partitions::grid_columns(3, 3);
-        let mut session = Pipeline::on(&g).build().unwrap();
+        let session = Pipeline::on(&g).build().unwrap();
         let err = session
             .shortcut(&p_other, Strategy::doubling())
             .unwrap_err();
@@ -1262,7 +1379,7 @@ mod tests {
     fn doubling_budget_exhaustion_maps_to_the_unified_error() {
         let (g, layout) = generators::lower_bound_graph(8, 16);
         let p = generators::partitions::lower_bound_paths(&layout);
-        let mut session = Pipeline::on(&g)
+        let session = Pipeline::on(&g)
             .tree(TreeSpec::Bfs(layout.connector(0)))
             .build()
             .unwrap();
@@ -1302,7 +1419,7 @@ mod tests {
     fn fixed_strategy_records_a_single_attempt() {
         let g = generators::wheel(33);
         let p = generators::partitions::wheel_arcs(33, 4);
-        let mut session = Pipeline::on(&g).build().unwrap();
+        let session = Pipeline::on(&g).build().unwrap();
         let run = session
             .shortcut(
                 &p,
@@ -1323,8 +1440,8 @@ mod tests {
     fn slow_core_strategy_is_deterministic_across_seeds() {
         let g = generators::grid(5, 5);
         let p = generators::partitions::grid_columns(5, 5);
-        let mut a = Pipeline::on(&g).seed(1).build().unwrap();
-        let mut b = Pipeline::on(&g).seed(99).build().unwrap();
+        let a = Pipeline::on(&g).seed(1).build().unwrap();
+        let b = Pipeline::on(&g).seed(99).build().unwrap();
         let run_a = a.shortcut(&p, Strategy::slow_core()).unwrap();
         let run_b = b.shortcut(&p, Strategy::slow_core()).unwrap();
         assert_eq!(run_a.shortcut, run_b.shortcut);
@@ -1334,7 +1451,7 @@ mod tests {
     fn verify_simulated_fills_sim_stats_and_trace() {
         let g = generators::grid(5, 5);
         let p = generators::partitions::grid_columns(5, 5);
-        let mut session = Pipeline::on(&g)
+        let session = Pipeline::on(&g)
             .execution(ExecutionMode::Simulated)
             .trace(true)
             .build()
@@ -1357,7 +1474,7 @@ mod tests {
     fn fault_injected_verify_heals_to_the_fault_free_classification() {
         let g = generators::grid(6, 6);
         let p = generators::partitions::grid_columns(6, 6);
-        let mut plain = Pipeline::on(&g)
+        let plain = Pipeline::on(&g)
             .execution(ExecutionMode::Simulated)
             .build()
             .unwrap();
@@ -1365,7 +1482,7 @@ mod tests {
         let threshold = 3 * run.winning_guess().unwrap().1;
         let want = plain.verify(&run.shortcut, &p, threshold).unwrap();
 
-        let mut faulty = Pipeline::on(&g)
+        let faulty = Pipeline::on(&g)
             .execution(ExecutionMode::Simulated)
             .fault(FaultPlan::new(5).with_latency(1).with_loss_ppm(10_000))
             .build()
@@ -1388,7 +1505,7 @@ mod tests {
     fn a_defeating_fault_plan_surfaces_as_a_typed_degraded_error() {
         let g = generators::grid(5, 5);
         let p = generators::partitions::grid_columns(5, 5);
-        let mut session = Pipeline::on(&g)
+        let session = Pipeline::on(&g)
             .execution(ExecutionMode::Simulated)
             .fault(FaultPlan::new(7).with_crashes(1, 0, 0))
             .retry(RetryPolicy {
@@ -1499,7 +1616,7 @@ mod tests {
     #[test]
     fn batch_rejects_an_empty_query_list() {
         let g = generators::grid(4, 4);
-        let mut session = Pipeline::on(&g).build().unwrap();
+        let session = Pipeline::on(&g).build().unwrap();
         let err = session.batch(&[], Strategy::doubling()).unwrap_err();
         assert!(
             matches!(err, LcsError::Config { .. }),

@@ -52,7 +52,7 @@ proptest! {
             ExecutionMode::Scheduled
         };
 
-        let mut batch_session = Pipeline::on(&graph)
+        let batch_session = Pipeline::on(&graph)
             .threads(Threads::Fixed(threads))
             .execution(mode)
             .seed(seed)
@@ -65,7 +65,7 @@ proptest! {
         // entries, some entry would differ from its isolated run.
         let mut singles = Vec::with_capacity(partitions.len());
         for partition in &partitions {
-            let mut one_shot = Pipeline::on(&graph)
+            let one_shot = Pipeline::on(&graph)
                 .threads(Threads::Fixed(threads))
                 .execution(mode)
                 .seed(seed)

@@ -74,7 +74,7 @@ fn doubling_strategy_equals_legacy_doubling_search() {
         .expect("families admit shortcuts");
         for threads in THREADS {
             for mode in MODES {
-                let mut s = session(&graph, threads, mode, 3);
+                let s = session(&graph, threads, mode, 3);
                 let run = s.shortcut(&partition, Strategy::doubling()).unwrap();
                 assert_eq!(run.shortcut, legacy.shortcut, "{name} t={threads} {mode:?}");
                 assert_eq!(
@@ -121,7 +121,7 @@ fn fixed_strategy_equals_legacy_find_shortcut_run() {
             .unwrap();
         for threads in THREADS {
             for mode in MODES {
-                let mut s = session(&graph, threads, mode, 5);
+                let s = session(&graph, threads, mode, 5);
                 let run = s
                     .shortcut(
                         &partition,
@@ -165,7 +165,7 @@ fn slow_core_strategy_equals_legacy_slow_doubling() {
         )
         .unwrap();
         for threads in THREADS {
-            let mut s = session(&graph, threads, ExecutionMode::Scheduled, 1);
+            let s = session(&graph, threads, ExecutionMode::Scheduled, 1);
             let run = s.shortcut(&partition, Strategy::slow_core()).unwrap();
             assert_eq!(run.shortcut, legacy.shortcut, "{name} t={threads}");
             assert_eq!(run.total_rounds(), legacy.total_rounds(), "{name}");
@@ -184,7 +184,7 @@ fn slow_core_strategy_equals_legacy_slow_doubling() {
                 .with_seed(1),
         )
         .unwrap();
-        let mut s = session(&graph, 1, ExecutionMode::Scheduled, 1);
+        let s = session(&graph, 1, ExecutionMode::Scheduled, 1);
         let run = s
             .shortcut(
                 &partition,
@@ -210,7 +210,7 @@ fn session_quality_equals_legacy_quality() {
         let legacy_run = doubling_search(&graph, &tree, &partition, DoublingConfig::new()).unwrap();
         let legacy_q = legacy_run.shortcut.quality(&graph, &partition);
         for threads in THREADS {
-            let mut s = session(&graph, threads, ExecutionMode::Scheduled, 0);
+            let s = session(&graph, threads, ExecutionMode::Scheduled, 0);
             // Quality measured twice through the same pool: warm reuse must
             // not drift.
             for round in 0..2 {
@@ -233,7 +233,7 @@ fn session_verify_equals_legacy_verification_in_both_modes() {
             let scheduled_legacy =
                 verification(&graph, &tree, &partition, &shortcut, threshold, &active);
             for threads in THREADS {
-                let mut s = session(&graph, threads, ExecutionMode::Scheduled, 0);
+                let s = session(&graph, threads, ExecutionMode::Scheduled, 0);
                 let run = s.verify(&shortcut, &partition, threshold).unwrap();
                 assert_eq!(run.good, scheduled_legacy.good, "{name} th={threshold}");
                 assert_eq!(
@@ -255,7 +255,7 @@ fn session_verify_equals_legacy_verification_in_both_modes() {
                     Some(SimConfig::for_graph(&graph).with_threads(threads)),
                 )
                 .unwrap();
-                let mut s = session(&graph, threads, ExecutionMode::Simulated, 0);
+                let s = session(&graph, threads, ExecutionMode::Simulated, 0);
                 let run = s.verify(&shortcut, &partition, threshold).unwrap();
                 assert_eq!(
                     run.good, simulated_legacy.outcome.good,
@@ -303,7 +303,7 @@ fn session_verify_trace_equals_legacy_trace() {
             ),
         )
         .unwrap();
-        let mut s = Pipeline::on(&graph)
+        let s = Pipeline::on(&graph)
             .threads(Threads::Fixed(threads))
             .execution(ExecutionMode::Simulated)
             .trace(true)
@@ -330,7 +330,7 @@ fn session_core_equals_legacy_core_subroutines() {
             &active,
         );
         for threads in THREADS {
-            let mut s = session(&graph, threads, ExecutionMode::Scheduled, 8);
+            let s = session(&graph, threads, ExecutionMode::Scheduled, 8);
             let slow = s.core(&partition, CoreKind::Slow, c).unwrap();
             let fast = s.core(&partition, CoreKind::Fast, c).unwrap();
             assert_eq!(slow.shortcut, legacy_slow.shortcut, "{name} t={threads}");
@@ -358,7 +358,7 @@ fn session_mst_equals_legacy_boruvka_in_both_modes() {
             )
             .unwrap();
             for threads in THREADS {
-                let mut s = session(&graph, threads, mode, 7);
+                let s = session(&graph, threads, mode, 7);
                 let run = s.mst(&weights, ShortcutStrategy::Doubling).unwrap();
                 assert_eq!(run.edges, legacy.edges, "{name} t={threads} {mode:?}");
                 assert_eq!(run.weight, legacy.weight, "{name}");
@@ -378,8 +378,8 @@ fn provided_tree_equals_bfs_tree_from_the_same_root() {
     let graph = generators::grid(6, 6);
     let partition = generators::partitions::grid_columns(6, 6);
     let tree = RootedTree::bfs(&graph, NodeId::new(0));
-    let mut via_bfs = Pipeline::on(&graph).build().unwrap();
-    let mut via_provided = Pipeline::on(&graph)
+    let via_bfs = Pipeline::on(&graph).build().unwrap();
+    let via_provided = Pipeline::on(&graph)
         .tree(TreeSpec::Provided(tree))
         .build()
         .unwrap();
@@ -403,7 +403,7 @@ fn doubling_spec_initial_guesses_equal_legacy_starting_at() {
         DoublingConfig::new().starting_at(2, 2).with_seed(4),
     )
     .unwrap();
-    let mut s = session(&graph, 1, ExecutionMode::Scheduled, 4);
+    let s = session(&graph, 1, ExecutionMode::Scheduled, 4);
     let run = s
         .shortcut(
             &partition,

@@ -16,7 +16,7 @@ fn bench_e10_scale(c: &mut Criterion) {
     let partition = generators::partitions::grid_columns(320, 320);
     let (cc, bb) = (319usize, 1usize);
     let shortcut = {
-        let mut session = Pipeline::on(&graph).seed(42).build().unwrap();
+        let session = Pipeline::on(&graph).seed(42).build().unwrap();
         session
             .shortcut(
                 &partition,
@@ -30,7 +30,7 @@ fn bench_e10_scale(c: &mut Criterion) {
     };
 
     for threads in [1usize, 2, 4] {
-        let mut session = Pipeline::on(&graph)
+        let session = Pipeline::on(&graph)
             .seed(42)
             .threads(Threads::Fixed(threads))
             .execution(ExecutionMode::Simulated)

@@ -30,7 +30,7 @@ fn bench_e11(c: &mut Criterion) {
 
         // Warm: the session (tree, shard map, quality pool) is built once
         // and reused by every query of every iteration.
-        let mut session = Pipeline::on(&graph).build().unwrap();
+        let session = Pipeline::on(&graph).build().unwrap();
         group.bench_with_input(BenchmarkId::new("warm_batch", side), &side, |b, _| {
             b.iter(|| session.batch(&refs, Strategy::doubling()).unwrap())
         });
@@ -40,7 +40,7 @@ fn bench_e11(c: &mut Criterion) {
             b.iter(|| {
                 let mut runs = Vec::with_capacity(partitions.len());
                 for partition in &partitions {
-                    let mut one_shot = Pipeline::on(&graph).build().unwrap();
+                    let one_shot = Pipeline::on(&graph).build().unwrap();
                     let mut run = one_shot.shortcut(partition, Strategy::doubling()).unwrap();
                     run.report.quality = Some(one_shot.quality(&run.shortcut, partition).unwrap());
                     runs.push(run);
@@ -52,7 +52,7 @@ fn bench_e11(c: &mut Criterion) {
         // Consume: verification against the cached decomposition corpus,
         // vs a cold consumer that reconstructs it per query.
         let corpus: Vec<TreeShortcut> = {
-            let mut prep = Pipeline::on(&graph).build().unwrap();
+            let prep = Pipeline::on(&graph).build().unwrap();
             partitions
                 .iter()
                 .map(|p| prep.shortcut(p, Strategy::doubling()).unwrap().shortcut)
@@ -72,7 +72,7 @@ fn bench_e11(c: &mut Criterion) {
                 partitions
                     .iter()
                     .map(|p| {
-                        let mut one_shot = Pipeline::on(&graph).build().unwrap();
+                        let one_shot = Pipeline::on(&graph).build().unwrap();
                         let run = one_shot.shortcut(p, Strategy::doubling()).unwrap();
                         one_shot.verify(&run.shortcut, p, 3).unwrap().good
                     })

@@ -21,7 +21,7 @@ use lcs_obs::Obs;
 const SIDE: usize = 32;
 
 fn verify_once(graph: &Graph, partition: &Partition, obs: &Obs) {
-    let mut session = Pipeline::on(graph)
+    let session = Pipeline::on(graph)
         .seed(42)
         .execution(ExecutionMode::Simulated)
         .recorder(obs.clone())

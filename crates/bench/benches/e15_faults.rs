@@ -19,7 +19,7 @@ use lcs_api::{ExecutionMode, FaultPlan, Pipeline, Strategy, TreeShortcut};
 const SIDE: usize = 32;
 
 fn build_shortcut(graph: &Graph, partition: &Partition) -> TreeShortcut {
-    let mut session = Pipeline::on(graph).seed(42).build().unwrap();
+    let session = Pipeline::on(graph).seed(42).build().unwrap();
     session
         .shortcut(
             partition,
@@ -44,7 +44,7 @@ fn verify_once(
     if let Some(plan) = fault {
         pipeline = pipeline.fault(plan);
     }
-    let mut session = pipeline.build().unwrap();
+    let session = pipeline.build().unwrap();
     let run = session.verify(shortcut, partition, 3).unwrap();
     assert!(run.good.iter().all(|&g| g));
 }

@@ -12,7 +12,7 @@ fn bench_e1(c: &mut Criterion) {
     for side in [8usize, 12, 16] {
         let graph = generators::grid(side, side);
         let partition = generators::partitions::grid_columns(side, side);
-        let mut session = Pipeline::on(&graph).build().unwrap();
+        let session = Pipeline::on(&graph).build().unwrap();
         group.bench_with_input(BenchmarkId::new("grid_doubling", side), &side, |b, _| {
             b.iter(|| session.shortcut(&partition, Strategy::doubling()).unwrap())
         });
@@ -20,7 +20,7 @@ fn bench_e1(c: &mut Criterion) {
     for genus in [1usize, 4] {
         let graph = generators::genus_handles(12, 12, genus);
         let partition = generators::partitions::grid_columns(12, 12);
-        let mut session = Pipeline::on(&graph).build().unwrap();
+        let session = Pipeline::on(&graph).build().unwrap();
         group.bench_with_input(BenchmarkId::new("genus_doubling", genus), &genus, |b, _| {
             b.iter(|| session.shortcut(&partition, Strategy::doubling()).unwrap())
         });

@@ -12,7 +12,7 @@ fn bench_e2(c: &mut Criterion) {
     for side in [8usize, 16, 24] {
         let graph = generators::grid(side, side);
         let partition = generators::partitions::grid_columns(side, side);
-        let mut session = Pipeline::on(&graph).build().unwrap();
+        let session = Pipeline::on(&graph).build().unwrap();
         let (_, reference) = reference_parameters(&graph, session.tree(), &partition);
         let strategy = Strategy::Fixed {
             congestion: reference.congestion.max(1),

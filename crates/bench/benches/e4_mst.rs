@@ -11,8 +11,8 @@ fn bench_e4(c: &mut Criterion) {
     let wheel_weights = EdgeWeights::random_permutation(&wheel, 3);
     let grid = generators::grid(10, 10);
     let grid_weights = EdgeWeights::random_permutation(&grid, 4);
-    let mut wheel_session = Pipeline::on(&wheel).build().unwrap();
-    let mut grid_session = Pipeline::on(&grid).build().unwrap();
+    let wheel_session = Pipeline::on(&wheel).build().unwrap();
+    let grid_session = Pipeline::on(&grid).build().unwrap();
     for (name, strategy) in [
         ("doubling", ShortcutStrategy::Doubling),
         ("no_shortcut", ShortcutStrategy::NoShortcut),

@@ -8,7 +8,7 @@ fn bench_e5(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_core");
     group.sample_size(10);
     let graph = generators::grid(20, 20);
-    let mut session = Pipeline::on(&graph).build().unwrap();
+    let session = Pipeline::on(&graph).build().unwrap();
     for parts in [20usize, 100] {
         let partition = generators::partitions::random_bfs_balls(&graph, parts, 3);
         let congestion = parts / 2;

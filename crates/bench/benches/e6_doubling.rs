@@ -11,7 +11,7 @@ fn bench_e6(c: &mut Criterion) {
     for side in [8usize, 16] {
         let graph = generators::grid(side, side);
         let partition = generators::partitions::grid_columns(side, side);
-        let mut session = Pipeline::on(&graph).build().unwrap();
+        let session = Pipeline::on(&graph).build().unwrap();
         let (_, reference) = reference_parameters(&graph, session.tree(), &partition);
         let known = Strategy::Fixed {
             congestion: reference.congestion.max(1),

@@ -15,8 +15,8 @@ fn bench_e7_dist(c: &mut Criterion) {
     for side in [8usize, 12, 16] {
         let graph = generators::grid(side, side);
         let partition = generators::partitions::grid_columns(side, side);
-        let mut scheduled = Pipeline::on(&graph).build().unwrap();
-        let mut simulated = Pipeline::on(&graph)
+        let scheduled = Pipeline::on(&graph).build().unwrap();
+        let simulated = Pipeline::on(&graph)
             .execution(ExecutionMode::Simulated)
             .build()
             .unwrap();

@@ -1,7 +1,7 @@
 //! Prints every experiment table of the reproduction (see EXPERIMENTS.md).
 //!
 //! Usage:
-//!   experiments                      # run the standard experiments (e1-e9, e11, e13-e16)
+//!   experiments                      # run the standard experiments (e1-e9, e11, e13-e17)
 //!   experiments --list               # list every table with a one-line description
 //!   experiments e1 e4                # run a subset
 //!   experiments e10                  # the 10^6-node tier (opt-in: heavy)
@@ -13,6 +13,7 @@
 //!   experiments e14                  # instrumentation overhead, recorder off vs on
 //!   experiments e15                  # robustness: fault-injected verification
 //!   experiments e16                  # incremental repair: update vs rebuild
+//!   experiments e17                  # server tier: concurrent TCP serving
 //!
 //! `--threads N` sets the `LCS_THREADS` environment variable before any
 //! table runs, which selects the simulator's round engine (and the
@@ -24,9 +25,10 @@
 
 use lcs_bench::{
     e10_scale_table, e11_serving_table, e13_workload_table, e14_obs_table, e15_faults_table,
-    e16_repair_table, e1_quality_table, e2_findshortcut_table, e3_routing_table, e4_mst_table,
-    e5_core_table, e6_doubling_table, e7_guarantees_table, e8_dist_table, e9_scale_table,
-    render_table, tables_to_json, timed_table, timed_table_with_extra, Table, TimedTable,
+    e16_repair_table, e17_server_table, e1_quality_table, e2_findshortcut_table, e3_routing_table,
+    e4_mst_table, e5_core_table, e6_doubling_table, e7_guarantees_table, e8_dist_table,
+    e9_scale_table, render_table, tables_to_json, timed_table, timed_table_with_extra, Table,
+    TimedTable,
 };
 
 /// Most tables are plain; E13/E14 additionally return a JSON payload
@@ -169,6 +171,12 @@ fn main() {
             description: "incremental repair: update_partition vs full rebuild, digest-equal",
             opt_in: false,
             build: TableBuilder::WithExtra(e16_repair_table),
+        },
+        Experiment {
+            name: "e17",
+            description: "server tier: concurrent TCP serving over one shared warm session",
+            opt_in: false,
+            build: TableBuilder::WithExtra(e17_server_table),
         },
     ];
     if list {

@@ -81,7 +81,7 @@ fn session_on(graph: &Graph, seed: u64) -> Session<'_> {
 pub fn e1_quality_table() -> Table {
     let mut rows = Vec::new();
     let mut push_row = |family: String, graph: &Graph, partition: &Partition| {
-        let mut session = session_on(graph, 0);
+        let session = session_on(graph, 0);
         let run = session
             .shortcut(partition, Strategy::doubling())
             .expect("families in E1 admit shortcuts");
@@ -150,7 +150,7 @@ pub fn e2_findshortcut_table() -> Table {
     let mut rows = Vec::new();
     for side in [8usize, 12, 16, 24, 32] {
         let (graph, partition) = grid_instance(side);
-        let mut session = session_on(&graph, 1);
+        let session = session_on(&graph, 1);
         let (_, reference) = reference_parameters(&graph, session.tree(), &partition);
         let (c, b) = (
             reference.congestion.max(1),
@@ -183,7 +183,7 @@ pub fn e2_findshortcut_table() -> Table {
     // served by one session (the multi-query shape the façade exists for).
     let side = 20usize;
     let graph = generators::grid(side, side);
-    let mut session = session_on(&graph, 2);
+    let session = session_on(&graph, 2);
     for parts in [5usize, 10, 20, 40, 80] {
         let partition = generators::partitions::random_bfs_balls(&graph, parts, 7);
         let (_, reference) = reference_parameters(&graph, session.tree(), &partition);
@@ -307,7 +307,7 @@ pub fn e4_mst_table() -> Table {
     let mut push_row = |family: &str, graph: &Graph, seed: u64| {
         let weights = EdgeWeights::random_permutation(graph, seed);
         let reference = lcs_api::graph::kruskal_mst(graph, &weights);
-        let mut session = session_on(graph, seed);
+        let session = session_on(graph, seed);
         let mut cells = vec![
             family.to_string(),
             graph.node_count().to_string(),
@@ -365,7 +365,7 @@ pub fn e5_core_table() -> Table {
     let mut rows = Vec::new();
     let side = 20usize;
     let graph = generators::grid(side, side);
-    let mut session = session_on(&graph, 5);
+    let session = session_on(&graph, 5);
     for parts in [10usize, 25, 50, 100, 200] {
         let partition = generators::partitions::random_bfs_balls(&graph, parts, 3);
         let (_, reference) = reference_parameters(&graph, session.tree(), &partition);
@@ -425,7 +425,7 @@ pub fn e6_doubling_table() -> Table {
     let mut rows = Vec::new();
     for side in [8usize, 16, 24] {
         let (graph, partition) = grid_instance(side);
-        let mut session = session_on(&graph, 3);
+        let session = session_on(&graph, 3);
         let (_, reference) = reference_parameters(&graph, session.tree(), &partition);
         let known = session
             .shortcut(
@@ -476,7 +476,7 @@ pub fn e6_doubling_table() -> Table {
 pub fn e7_guarantees_table() -> Table {
     let mut rows = Vec::new();
     let mut check = |family: &str, graph: &Graph, partition: &Partition| {
-        let mut session = session_on(graph, 9);
+        let session = session_on(graph, 9);
         let (_, reference) = reference_parameters(graph, session.tree(), partition);
         let c = reference.congestion.max(1);
         let b = reference.block_parameter.max(1);
@@ -558,7 +558,7 @@ pub fn e7_guarantees_table() -> Table {
 pub fn e8_dist_table() -> Table {
     let mut rows = Vec::new();
     let mut push_row = |family_name: &str, graph: &Graph, partition: &Partition| {
-        let mut session = session_on(graph, 0);
+        let session = session_on(graph, 0);
         let shortcut = session
             .shortcut(partition, Strategy::doubling())
             .expect("families in E8 admit shortcuts")
@@ -888,14 +888,14 @@ pub fn e11_serving_table() -> Table {
             .expect("serving families admit shortcuts");
 
         let warm_start = Instant::now();
-        let mut session = session_on(graph, 0);
+        let session = session_on(graph, 0);
         let warm = session.batch(&refs, Strategy::doubling()).unwrap();
         let warm_ms = warm_start.elapsed().as_secs_f64() * 1e3;
 
         let cold_start = Instant::now();
         let mut cold = Vec::with_capacity(queries);
         for partition in partitions {
-            let mut one_shot = session_on(graph, 0);
+            let one_shot = session_on(graph, 0);
             let mut run = one_shot.shortcut(partition, Strategy::doubling()).unwrap();
             run.report.quality = Some(one_shot.quality(&run.shortcut, partition).unwrap());
             cold.push(run);
@@ -929,7 +929,7 @@ pub fn e11_serving_table() -> Table {
         let threshold = 3;
 
         // Warmup pass (untimed) doubles as the reference results.
-        let mut reference_session = session_on(graph, 0);
+        let reference_session = session_on(graph, 0);
         let reference: Vec<_> = partitions
             .iter()
             .zip(&corpus)
@@ -940,7 +940,7 @@ pub fn e11_serving_table() -> Table {
             .collect();
 
         let warm_start = Instant::now();
-        let mut session = session_on(graph, 0);
+        let session = session_on(graph, 0);
         let warm: Vec<_> = partitions
             .iter()
             .zip(&corpus)
@@ -955,7 +955,7 @@ pub fn e11_serving_table() -> Table {
         let cold: Vec<_> = partitions
             .iter()
             .map(|p| {
-                let mut one_shot = session_on(graph, 0);
+                let one_shot = session_on(graph, 0);
                 let run = one_shot.shortcut(p, Strategy::doubling()).unwrap();
                 let v = one_shot.verify(&run.shortcut, p, threshold).unwrap();
                 (v.good, v.block_counts)
@@ -1224,7 +1224,7 @@ pub fn e14_obs_table() -> (Table, String) {
     // built once per instance, outside the measured region; each timed run
     // constructs a recorder-carrying session and serves one verify query.
     let mut verify_row = |label: &str, graph: &Graph, partition: &Partition, b: usize| {
-        let mut setup = session_on(graph, 42);
+        let setup = session_on(graph, 42);
         let run = setup
             .shortcut(
                 partition,
@@ -1235,7 +1235,7 @@ pub fn e14_obs_table() -> (Table, String) {
             )
             .expect("E14 instances admit shortcuts");
         push(obs_row(label, graph.node_count(), |obs| {
-            let mut session = Pipeline::on(graph)
+            let session = Pipeline::on(graph)
                 .seed(42)
                 .execution(ExecutionMode::Simulated)
                 .recorder(obs.clone())
@@ -1362,7 +1362,7 @@ pub fn e15_faults_table() -> (Table, String) {
                         graph: &Graph,
                         partition: &Partition,
                         plans: &[(&str, FaultPlan)]| {
-        let mut setup = session_on(graph, 42);
+        let setup = session_on(graph, 42);
         let shortcut = ancestor_shortcut(graph, setup.tree(), partition);
         // Two supersteps of flood slack above the exact block parameter,
         // so the fault-free verdict is all-good with margin to spare.
@@ -1371,7 +1371,7 @@ pub fn e15_faults_table() -> (Table, String) {
             .expect("partition matches the instance graph")
             .block_parameter
             + 2;
-        let mut plain_session = Pipeline::on(graph)
+        let plain_session = Pipeline::on(graph)
             .seed(42)
             .execution(ExecutionMode::Simulated)
             .build()
@@ -1387,7 +1387,7 @@ pub fn e15_faults_table() -> (Table, String) {
         for (fault_label, plan) in plans {
             let run_once = || {
                 let obs = lcs_obs::Obs::recording();
-                let mut session = Pipeline::on(graph)
+                let session = Pipeline::on(graph)
                     .seed(42)
                     .execution(ExecutionMode::Simulated)
                     .fault(*plan)
@@ -1789,6 +1789,142 @@ pub fn tables_to_json(tables: &[TimedTable], threads: usize) -> String {
     )
 }
 
+/// E17 — concurrent TCP serving: one warm session behind the
+/// `lcs_server` loop, hammered over loopback at client counts {1, 4, 16}
+/// × mixes {consume, mixed}, with p50/p95/p99 round-trip latency and
+/// throughput columns.
+///
+/// The determinism claim is stronger than E13's rerun check: for each
+/// mix, the trace is first replayed *sequentially* through
+/// `Session::serve_shared` on both engines (`Threads::Fixed(1)` and
+/// `Fixed(4)`), and the `det` column asserts the TCP replay's digest
+/// multiset equals both baselines — the wire and the worker
+/// interleaving add latency, never values. Each row's extras record the
+/// FNV-1a fold of the *sorted* digest multiset (order-independent, so
+/// byte-comparable across `--threads` runs in CI) plus the full latency
+/// histogram and its p99.9 tail.
+pub fn e17_server_table() -> (Table, String) {
+    use lcs_api::{Threads, ValueDigest};
+    use lcs_server::{client, ServerConfig, ServerHandle};
+    use lcs_workload::{
+        generate_trace, query_of, Corpus, CorpusSpec, Family, Mode, QueryMix, WorkloadSpec,
+    };
+
+    const QUERIES: usize = 64;
+    const SEED: u64 = 23;
+    const CLIENT_COUNTS: [usize; 3] = [1, 4, 16];
+
+    let corpus_spec = CorpusSpec {
+        family: Family::Grid,
+        size: 10,
+        entries: 4,
+        seed: SEED,
+    };
+    let corpus = Corpus::build(&corpus_spec).expect("grid corpus builds");
+
+    // The server is connection-per-worker, so workers must cover the
+    // largest concurrent client count.
+    let server = ServerHandle::spawn(
+        ServerConfig::new(vec![corpus_spec])
+            .workers(*CLIENT_COUNTS.iter().max().expect("nonempty"))
+            .seed(SEED),
+    )
+    .expect("server spawns");
+
+    // Sorted digest multiset of a sequential `serve_shared` replay at a
+    // fixed engine width.
+    let baseline = |spec: &WorkloadSpec, threads: usize| -> Vec<u64> {
+        let session = Pipeline::on(corpus.graph())
+            .seed(SEED)
+            .threads(Threads::Fixed(threads))
+            .build()
+            .expect("baseline session builds");
+        let trace = generate_trace(spec, corpus.len()).expect("trace generates");
+        let mut digests: Vec<u64> = trace
+            .iter()
+            .map(|event| {
+                session
+                    .serve_shared(query_of(&corpus, event))
+                    .expect("baseline query serves")
+                    .digest
+            })
+            .collect();
+        digests.sort_unstable();
+        digests
+    };
+    let fold = |sorted: &[u64]| -> u64 {
+        let mut digest = ValueDigest::new();
+        for &d in sorted {
+            digest.push(d);
+        }
+        digest.value()
+    };
+
+    let micros = |nanos: u64| format!("{:.1}", nanos as f64 / 1e3);
+    let mut rows = Vec::new();
+    let mut extras = Vec::new();
+    for &mix in &[QueryMix::consume(), QueryMix::mixed()] {
+        // Client count does not enter trace generation, so every client
+        // count replays the same event sequence.
+        let spec = WorkloadSpec::new(
+            Mode::Closed {
+                clients: 1,
+                think_nanos: 0,
+            },
+            QUERIES,
+            1.0,
+            mix,
+            SEED,
+        );
+        let serial = baseline(&spec, 1);
+        let sharded = baseline(&spec, 4);
+        let engines_agree = serial == sharded;
+        let trace = generate_trace(&spec, corpus.len()).expect("trace generates");
+        for &clients in &CLIENT_COUNTS {
+            let outcome = client::replay_closed(server.addr(), "grid", &trace, clients, 0)
+                .expect("tcp replay runs");
+            let mut served = outcome.digests.clone();
+            served.sort_unstable();
+            let deterministic = engines_agree && served == serial;
+            let h = &outcome.histogram;
+            rows.push(vec![
+                mix.label(),
+                clients.to_string(),
+                outcome.queries.to_string(),
+                micros(h.quantile(0.50)),
+                micros(h.quantile(0.95)),
+                micros(h.quantile(0.99)),
+                format!("{:.0}", outcome.throughput_qps()),
+                deterministic.to_string(),
+            ]);
+            extras.push(format!(
+                "{{\"mix\":\"{}\",\"clients\":{clients},\"queries\":{},\"qps\":{:.1},\"deterministic\":{deterministic},\"digest_multiset_fold\":{},\"p999_nanos\":{},\"histogram\":{}}}",
+                mix.label(),
+                outcome.queries,
+                outcome.throughput_qps(),
+                fold(&served),
+                h.p999(),
+                h.to_json(),
+            ));
+        }
+    }
+    client::shutdown(server.addr()).expect("server shuts down");
+    server.join().expect("server drains");
+
+    let table = Table {
+        title: "E17: concurrent TCP serving — one warm session, loopback clients (latency in microseconds; det = digest multiset equals sequential serve_shared on both engines)"
+            .to_string(),
+        headers: [
+            "mix", "clients", "queries", "p50 us", "p95 us", "p99 us", "qps", "det",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows,
+    };
+    (table, format!("{{\"rows\":[{}]}}", extras.join(",")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1883,7 +2019,7 @@ mod tests {
         // execution still verifies against Kruskal — through the façade.
         let g = generators::grid(4, 4);
         let w = EdgeWeights::random_permutation(&g, 2);
-        let mut session = Pipeline::on(&g)
+        let session = Pipeline::on(&g)
             .seed(1)
             .execution(ExecutionMode::Simulated)
             .build()

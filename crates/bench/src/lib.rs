@@ -18,7 +18,8 @@ pub mod experiments;
 
 pub use experiments::{
     e10_scale_table, e11_serving_table, e13_workload_table, e14_obs_table, e15_faults_table,
-    e16_repair_table, e1_quality_table, e2_findshortcut_table, e3_routing_table, e4_mst_table,
-    e5_core_table, e6_doubling_table, e7_guarantees_table, e8_dist_table, e9_scale_table,
-    render_table, tables_to_json, timed_table, timed_table_with_extra, Table, TimedTable,
+    e16_repair_table, e17_server_table, e1_quality_table, e2_findshortcut_table, e3_routing_table,
+    e4_mst_table, e5_core_table, e6_doubling_table, e7_guarantees_table, e8_dist_table,
+    e9_scale_table, render_table, tables_to_json, timed_table, timed_table_with_extra, Table,
+    TimedTable,
 };

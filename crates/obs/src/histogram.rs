@@ -154,6 +154,15 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// The p99.9 tail (`quantile(0.999)`). Server latency distributions
+    /// hide their worst behaviour beyond p99 — a single slow connection in
+    /// a thousand requests vanishes from p99 but dominates p99.9 — so the
+    /// server layer reads this accessor. Existing table columns stay at
+    /// p50/p95/p99; this is an additional probe, not a format change.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Folds `other` into `self` — one elementwise add, plus min/max/sum
     /// combination. Merge is associative and commutative, so per-client
     /// sub-histograms combine to the same totals in any order.
@@ -293,6 +302,57 @@ mod tests {
         let json = h.to_json();
         assert!(json.starts_with("{\"count\":3,"));
         assert!(json.contains("[3,3,2]"), "json: {json}");
+    }
+
+    /// Exact order-statistic oracle: the smallest recorded value with at
+    /// least ⌈q·n⌉ samples at or below it.
+    fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+        let target = ((q * sorted.len() as f64).ceil() as usize)
+            .max(1)
+            .min(sorted.len());
+        sorted[target - 1]
+    }
+
+    #[test]
+    fn p999_matches_the_sorted_vec_oracle_within_a_bucket() {
+        // A skewed distribution with a thin far tail: 998 fast samples
+        // plus 2 outliers, so ⌈0.999·1000⌉ = 999 lands in the outliers.
+        // p99 misses the outliers entirely; p99.9 must not.
+        let mut h = LatencyHistogram::new();
+        let mut samples = Vec::new();
+        let mut x = 11u64;
+        for _ in 0..998 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = 1_000 + x % 9_000; // 1µs..10µs
+            h.record(v);
+            samples.push(v);
+        }
+        for &outlier in &[5_000_000u64, 9_999_999] {
+            h.record(outlier);
+            samples.push(outlier);
+        }
+        samples.sort_unstable();
+        for &(q, got) in &[
+            (0.5, h.quantile(0.5)),
+            (0.99, h.quantile(0.99)),
+            (0.999, h.p999()),
+        ] {
+            let exact = oracle_quantile(&samples, q);
+            let (low, high) = bucket_bounds(bucket_index(exact));
+            assert!(
+                (low..=high).contains(&got) || got == h.max(),
+                "q={q}: reported {got} not in oracle bucket [{low},{high}]"
+            );
+            assert!(got >= exact, "q={q}: reported {got} below exact {exact}");
+        }
+        // The tail accessor actually sees the outliers.
+        assert!(h.p999() >= 5_000_000, "p999 {} missed the tail", h.p999());
+        assert!(
+            h.quantile(0.99) < 5_000_000,
+            "p99 should not reach the outliers"
+        );
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! The line-JSON wire protocol: one JSON object per `\n`-terminated line,
+//! in both directions.
+//!
+//! The grammar is deliberately tiny — four request ops, five response
+//! shapes — because the server's job is dispatch, not negotiation. Every
+//! request names its operation in an `"op"` member; every response leads
+//! with an `"ok"` boolean so clients can branch before looking at
+//! anything else. Digests travel as bare JSON integers: the
+//! [`lcs_obs::json::JsonValue`] parser keeps number tokens as raw text,
+//! so `u64` digests beyond 2^53 round-trip exactly (and Python readers
+//! get arbitrary-precision ints for free).
+//!
+//! ```text
+//! request  = query | metrics | ping | shutdown
+//! query    = {"op":"query","graph":<label>,"kind":<kind>,"entry":<n>}
+//! metrics  = {"op":"metrics"}
+//! ping     = {"op":"ping"}
+//! shutdown = {"op":"shutdown"}
+//! kind     = "construct" | "verify" | "quality" | "mst" | "repair"
+//!
+//! response = served | metrics' | pong | draining | error
+//! served   = {"ok":true,"op":"query","kind":<kind>,"entry":<n>,
+//!             "digest":<u64>,"wall_nanos":<u64>,
+//!             "rounds_charged":<u64>,"all_good":<bool>}
+//! metrics' = {"ok":true,"op":"metrics","prometheus":<string>}
+//! pong     = {"ok":true,"op":"pong"}
+//! draining = {"ok":true,"op":"shutdown","draining":true}
+//! error    = {"ok":false,"error":<string>}
+//! ```
+//!
+//! Both sides parse with the same recursive-descent parser, and
+//! [`Request::to_line`] / [`Response::to_line`] emit exactly the member
+//! order above, so a formatted line re-parses to an equal value (pinned
+//! by the round-trip tests below).
+
+use lcs_obs::json::{escape, JsonValue};
+use lcs_workload::QueryKind;
+
+/// A client request, one per protocol line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Serve one query against a named graph's corpus entry.
+    Query {
+        /// Corpus label (the graph family label, e.g. `"grid"`).
+        graph: String,
+        /// Which query kind to run against the entry.
+        kind: QueryKind,
+        /// Corpus entry index.
+        entry: usize,
+    },
+    /// Return the server's metrics snapshot in Prometheus text format.
+    Metrics,
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Begin graceful shutdown: the server acknowledges with
+    /// [`Response::Draining`], stops accepting new connections, and
+    /// drains in-flight ones.
+    Shutdown,
+}
+
+/// A server response, one per protocol line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A served query result — the wire form of [`lcs_api::Served`],
+    /// echoing the kind and entry for client-side bookkeeping.
+    Served {
+        /// Query kind echoed from the request.
+        kind: QueryKind,
+        /// Corpus entry echoed from the request.
+        entry: usize,
+        /// FNV-1a digest of the result value ([`lcs_api::ValueDigest`]).
+        digest: u64,
+        /// Server-side service time in nanoseconds (a measurement).
+        wall_nanos: u64,
+        /// Simulated-engine rounds charged (0 under the scheduled engine).
+        rounds_charged: u64,
+        /// Whether the result satisfied its quality/verification check.
+        all_good: bool,
+    },
+    /// Prometheus text-format metrics snapshot.
+    Metrics {
+        /// The full export body (newline-separated series).
+        prometheus: String,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Acknowledges [`Request::Shutdown`]; the connection stays usable
+    /// until the client closes it.
+    Draining,
+    /// Any failure: unparseable line, unknown graph/kind, out-of-range
+    /// entry, or a query error.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// Parses a query-kind label (`"construct"`, `"verify"`, …).
+///
+/// # Errors
+///
+/// A message naming the unknown label.
+pub fn kind_from_label(label: &str) -> Result<QueryKind, String> {
+    QueryKind::ALL
+        .into_iter()
+        .find(|k| k.label() == label)
+        .ok_or_else(|| format!("unknown query kind `{label}`"))
+}
+
+fn member<'v>(value: &'v JsonValue, key: &str, line_kind: &str) -> Result<&'v JsonValue, String> {
+    value
+        .get(key)
+        .ok_or_else(|| format!("{line_kind} line missing `{key}`"))
+}
+
+fn string_member(value: &JsonValue, key: &str, line_kind: &str) -> Result<String, String> {
+    member(value, key, line_kind)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{line_kind} `{key}` must be a string"))
+}
+
+fn u64_member(value: &JsonValue, key: &str, line_kind: &str) -> Result<u64, String> {
+    member(value, key, line_kind)?
+        .as_u64()
+        .ok_or_else(|| format!("{line_kind} `{key}` must be an unsigned integer"))
+}
+
+fn bool_member(value: &JsonValue, key: &str, line_kind: &str) -> Result<bool, String> {
+    match member(value, key, line_kind)? {
+        JsonValue::Bool(b) => Ok(*b),
+        _ => Err(format!("{line_kind} `{key}` must be a boolean")),
+    }
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first problem (JSON syntax,
+    /// missing member, unknown op or kind).
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let value = JsonValue::parse(line.trim())?;
+        let op = string_member(&value, "op", "request")?;
+        match op.as_str() {
+            "query" => Ok(Request::Query {
+                graph: string_member(&value, "graph", "query")?,
+                kind: kind_from_label(&string_member(&value, "kind", "query")?)?,
+                entry: u64_member(&value, "entry", "query")? as usize,
+            }),
+            "metrics" => Ok(Request::Metrics),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    /// Formats the request as one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Query { graph, kind, entry } => format!(
+                "{{\"op\":\"query\",\"graph\":\"{}\",\"kind\":\"{}\",\"entry\":{entry}}}",
+                escape(graph),
+                kind.label(),
+            ),
+            Request::Metrics => "{\"op\":\"metrics\"}".to_string(),
+            Request::Ping => "{\"op\":\"ping\"}".to_string(),
+            Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
+        }
+    }
+}
+
+impl Response {
+    /// Parses one response line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first problem.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let value = JsonValue::parse(line.trim())?;
+        if !bool_member(&value, "ok", "response")? {
+            return Ok(Response::Error {
+                message: string_member(&value, "error", "error")?,
+            });
+        }
+        let op = string_member(&value, "op", "response")?;
+        match op.as_str() {
+            "query" => Ok(Response::Served {
+                kind: kind_from_label(&string_member(&value, "kind", "served")?)?,
+                entry: u64_member(&value, "entry", "served")? as usize,
+                digest: u64_member(&value, "digest", "served")?,
+                wall_nanos: u64_member(&value, "wall_nanos", "served")?,
+                rounds_charged: u64_member(&value, "rounds_charged", "served")?,
+                all_good: bool_member(&value, "all_good", "served")?,
+            }),
+            "metrics" => Ok(Response::Metrics {
+                prometheus: string_member(&value, "prometheus", "metrics")?,
+            }),
+            "pong" => Ok(Response::Pong),
+            "shutdown" => Ok(Response::Draining),
+            other => Err(format!("unknown response op `{other}`")),
+        }
+    }
+
+    /// Formats the response as one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Response::Served {
+                kind,
+                entry,
+                digest,
+                wall_nanos,
+                rounds_charged,
+                all_good,
+            } => format!(
+                "{{\"ok\":true,\"op\":\"query\",\"kind\":\"{}\",\"entry\":{entry},\"digest\":{digest},\"wall_nanos\":{wall_nanos},\"rounds_charged\":{rounds_charged},\"all_good\":{all_good}}}",
+                kind.label(),
+            ),
+            Response::Metrics { prometheus } => format!(
+                "{{\"ok\":true,\"op\":\"metrics\",\"prometheus\":\"{}\"}}",
+                escape(prometheus),
+            ),
+            Response::Pong => "{\"ok\":true,\"op\":\"pong\"}".to_string(),
+            Response::Draining => "{\"ok\":true,\"op\":\"shutdown\",\"draining\":true}".to_string(),
+            Response::Error { message } => {
+                format!("{{\"ok\":false,\"error\":\"{}\"}}", escape(message))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_their_wire_form() {
+        let requests = [
+            Request::Query {
+                graph: "grid".to_string(),
+                kind: QueryKind::Verify,
+                entry: 3,
+            },
+            Request::Metrics,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = request.to_line();
+            assert_eq!(Request::parse(&line), Ok(request), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_including_large_digests() {
+        let responses = [
+            Response::Served {
+                kind: QueryKind::Mst,
+                entry: 7,
+                digest: u64::MAX - 11, // beyond 2^53: raw-token numbers must survive
+                wall_nanos: 123_456_789,
+                rounds_charged: 42,
+                all_good: true,
+            },
+            Response::Metrics {
+                prometheus: "lcs_server_requests_total 5\n# escaped \"quotes\"".to_string(),
+            },
+            Response::Pong,
+            Response::Draining,
+            Response::Error {
+                message: "unknown graph `m\u{f6}bius`".to_string(),
+            },
+        ];
+        for response in responses {
+            let line = response.to_line();
+            assert_eq!(Response::parse(&line), Ok(response), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn every_kind_label_parses_back() {
+        for kind in QueryKind::ALL {
+            assert_eq!(kind_from_label(kind.label()), Ok(kind));
+        }
+        assert!(kind_from_label("bogus").is_err());
+    }
+
+    #[test]
+    fn malformed_lines_are_descriptive_errors() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{\"op\":\"warp\"}")
+            .unwrap_err()
+            .contains("warp"));
+        assert!(Request::parse("{\"op\":\"query\",\"graph\":\"grid\"}")
+            .unwrap_err()
+            .contains("kind"));
+        assert!(Response::parse("{\"ok\":false,\"error\":\"boom\"}").is_ok());
+        assert!(Response::parse("{\"ok\":true,\"op\":\"query\",\"kind\":\"verify\"}").is_err());
+    }
+}

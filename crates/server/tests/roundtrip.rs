@@ -1,0 +1,145 @@
+//! End-to-end server tests on loopback: replayed traces must be
+//! digest-identical to an in-process `Session::serve_shared` replay,
+//! shutdown must drain gracefully, and the metrics op must export the
+//! serving probes.
+
+use lcs_api::Pipeline;
+use lcs_obs::Obs;
+use lcs_server::{client, ServerConfig, ServerHandle};
+use lcs_workload::{
+    generate_trace, query_of, Corpus, CorpusSpec, Family, Mode, QueryMix, WorkloadSpec,
+};
+
+fn spec_for(family: Family) -> CorpusSpec {
+    CorpusSpec {
+        family,
+        size: 5,
+        entries: 3,
+        seed: 11,
+    }
+}
+
+fn trace_spec(queries: usize, clients: usize) -> WorkloadSpec {
+    WorkloadSpec::new(
+        Mode::Closed {
+            clients,
+            think_nanos: 0,
+        },
+        queries,
+        1.0,
+        QueryMix::mixed(),
+        11,
+    )
+}
+
+/// The trace replayed directly through one warm session, in trace order.
+fn direct_digests(corpus: &Corpus, spec: &WorkloadSpec) -> Vec<u64> {
+    let session = Pipeline::on(corpus.graph())
+        .seed(spec.seed)
+        .build()
+        .expect("session builds");
+    let trace = generate_trace(spec, corpus.len()).expect("trace generates");
+    trace
+        .iter()
+        .map(|event| {
+            session
+                .serve_shared(query_of(corpus, event))
+                .expect("query serves")
+                .digest
+        })
+        .collect()
+}
+
+#[test]
+fn tcp_replay_is_digest_identical_to_direct_serving() {
+    let corpus_spec = spec_for(Family::Grid);
+    let corpus = Corpus::build(&corpus_spec).expect("corpus builds");
+    let spec = trace_spec(24, 3);
+    let want = direct_digests(&corpus, &spec);
+
+    let server = ServerHandle::spawn(ServerConfig::new(vec![corpus_spec]).workers(3).seed(11))
+        .expect("server spawns");
+    let trace = generate_trace(&spec, corpus.len()).expect("trace generates");
+    let outcome = client::replay_closed(server.addr(), "grid", &trace, 3, 0).expect("replay runs");
+    assert_eq!(outcome.queries, 24);
+    assert_eq!(outcome.digests, want, "wire must add latency, not values");
+
+    // Open loop over the same trace: same digests, same order.
+    let open = client::replay_open(server.addr(), "grid", &trace).expect("open replay runs");
+    assert_eq!(open.digests, want);
+
+    client::shutdown(server.addr()).expect("shutdown acknowledged");
+    let stats = server.join().expect("server drains");
+    // 3 closed-loop clients + 1 open-loop + 1 shutdown connection.
+    assert_eq!(stats.connections, 5);
+    assert_eq!(stats.requests, 24 + 24 + 1);
+}
+
+#[test]
+fn scripted_session_pings_queries_and_shuts_down() {
+    let server = ServerHandle::spawn(
+        ServerConfig::new(vec![spec_for(Family::Wheel)])
+            .workers(2)
+            .seed(11)
+            .recorder(Obs::recording()),
+    )
+    .expect("server spawns");
+    let addr = server.addr();
+    client::ping(addr).expect("ping answers");
+
+    let spec = trace_spec(8, 1);
+    let corpus = Corpus::build(&spec_for(Family::Wheel)).expect("corpus builds");
+    let trace = generate_trace(&spec, corpus.len()).expect("trace generates");
+    let outcome = client::replay_closed(addr, "wheel", &trace, 1, 0).expect("replay runs");
+    assert_eq!(outcome.digests, direct_digests(&corpus, &spec));
+
+    let prometheus = client::fetch_metrics(addr).expect("metrics export");
+    assert!(
+        prometheus.contains("lcs_server_requests_total"),
+        "export should carry the server request counter:\n{prometheus}"
+    );
+    assert!(
+        prometheus.contains("lcs_server_query_"),
+        "export should carry per-kind latency summaries:\n{prometheus}"
+    );
+
+    client::shutdown(addr).expect("shutdown acknowledged");
+    server.join().expect("server drains");
+    // After the drain, new connections must be refused or dropped unread.
+    assert!(client::ping(addr).is_err(), "drained server must not serve");
+}
+
+#[test]
+fn unknown_graphs_kinds_and_entries_are_typed_errors() {
+    let server = ServerHandle::spawn(ServerConfig::new(vec![spec_for(Family::Torus)]).seed(11))
+        .expect("server spawns");
+    let addr = server.addr();
+
+    let corpus = Corpus::build(&spec_for(Family::Torus)).expect("corpus builds");
+    let spec = trace_spec(4, 1);
+    let trace = generate_trace(&spec, corpus.len()).expect("trace generates");
+
+    // Wrong graph label → protocol error naming the known graphs.
+    let err = client::replay_closed(addr, "grid", &trace[..1], 1, 0).unwrap_err();
+    assert!(err.to_string().contains("unknown graph"), "got: {err}");
+
+    // Out-of-range entry → protocol error, connection stays serviceable.
+    let mut event = trace[0];
+    event.entry = 99;
+    let err = client::replay_closed(addr, "torus", &[event], 1, 0).unwrap_err();
+    assert!(err.to_string().contains("out of range"), "got: {err}");
+
+    // Repair against a corpus built without repair cases.
+    let mut repair = trace[0];
+    repair.kind = lcs_workload::QueryKind::Repair;
+    repair.entry = 0;
+    let err = client::replay_closed(addr, "torus", &[repair], 1, 0).unwrap_err();
+    assert!(err.to_string().contains("repair"), "got: {err}");
+
+    // The server survives all of that and still answers.
+    let outcome = client::replay_closed(addr, "torus", &trace, 1, 0).expect("replay runs");
+    assert_eq!(outcome.queries, 4);
+
+    client::shutdown(addr).expect("shutdown acknowledged");
+    server.join().expect("server drains");
+}

@@ -386,7 +386,7 @@ mod tests {
             entry.partition.apply(&drain),
             Err(LcsError::Config { .. })
         ));
-        let mut session = Pipeline::on(corpus.graph())
+        let session = Pipeline::on(corpus.graph())
             .seed(spec.seed)
             .build()
             .unwrap();

@@ -38,7 +38,7 @@ fn churn_mix() -> QueryMix {
 /// API, not against itself.
 fn replay_directly(corpus: &Corpus, spec: &WorkloadSpec) -> Vec<QueryValue> {
     let trace = generate_trace(spec, corpus.len()).unwrap();
-    let mut session = Pipeline::on(corpus.graph())
+    let session = Pipeline::on(corpus.graph())
         .seed(spec.seed)
         .execution(spec.execution)
         .threads(spec.threads)

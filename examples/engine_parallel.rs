@@ -27,7 +27,7 @@ fn main() {
         .seed(42)
         .build()
         .expect("the grid is connected");
-    let mut sharded = Pipeline::on(&graph)
+    let sharded = Pipeline::on(&graph)
         .threads(Threads::Fixed(4))
         .execution(ExecutionMode::Simulated)
         .seed(42)

@@ -25,7 +25,7 @@ fn main() {
     // Build the shortcut once, fault-free (construction interprets a
     // failed verification as "guess too small", so faults are injected
     // into the verify query only).
-    let mut clean = Pipeline::on(&graph)
+    let clean = Pipeline::on(&graph)
         .seed(42)
         .execution(ExecutionMode::Simulated)
         .build()
@@ -49,7 +49,7 @@ fn main() {
         .with_loss_ppm(10_000)
         .with_crashes(1, 10, 40);
     let obs = Obs::recording();
-    let mut session = Pipeline::on(&graph)
+    let session = Pipeline::on(&graph)
         .seed(42)
         .execution(ExecutionMode::Simulated)
         .fault(plan)

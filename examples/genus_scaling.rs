@@ -21,7 +21,7 @@ fn main() {
     for g in [0usize, 1, 2, 4, 8] {
         let graph = generators::genus_handles(rows, cols, g);
         let partition = generators::partitions::grid_columns(rows, cols);
-        let mut session = Pipeline::on(&graph)
+        let session = Pipeline::on(&graph)
             .build()
             .expect("handle graphs are connected");
         let run = session

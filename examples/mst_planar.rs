@@ -13,7 +13,7 @@ use low_congestion_shortcuts::graph::{generators, kruskal_mst, EdgeWeights, Grap
 fn run(name: &str, graph: &Graph, seed: u64) {
     let weights = EdgeWeights::random_permutation(graph, seed);
     let reference = kruskal_mst(graph, &weights);
-    let mut session = Pipeline::on(graph)
+    let session = Pipeline::on(graph)
         .seed(seed)
         .build()
         .expect("MST instances are connected");

@@ -27,7 +27,7 @@ fn main() {
     // A fresh registry; cloning the handle is a refcount bump, so the same
     // recorder observes every layer the session touches.
     let obs = Obs::recording();
-    let mut session = Pipeline::on(&graph)
+    let session = Pipeline::on(&graph)
         .seed(42)
         .execution(ExecutionMode::Simulated)
         .recorder(obs.clone())

@@ -18,7 +18,7 @@ fn main() {
 
     // One session owns the BFS tree, the shard map and the quality
     // workspaces; every query below reuses them.
-    let mut session = Pipeline::on(&graph)
+    let session = Pipeline::on(&graph)
         .build()
         .expect("the grid is nonempty and connected");
 

@@ -15,7 +15,7 @@ use low_congestion_shortcuts::graph::generators;
 fn main() {
     let (rows, cols) = (20usize, 20usize);
     let graph = generators::grid(rows, cols);
-    let mut session = Pipeline::on(&graph)
+    let session = Pipeline::on(&graph)
         .seed(1)
         .build()
         .expect("the grid is connected");

@@ -47,4 +47,5 @@ pub use lcs_dist as dist;
 pub use lcs_graph as graph;
 pub use lcs_mst as mst;
 pub use lcs_obs as obs;
+pub use lcs_server as server;
 pub use lcs_workload as workload;

@@ -314,7 +314,7 @@ fn unified_error_spans_the_pipeline_layers() {
     // Budget: the lower-bound instance cannot be served at (1, 1).
     let (graph, layout) = generators::lower_bound_graph(6, 16);
     let partition = generators::partitions::lower_bound_paths(&layout);
-    let mut session = api::Pipeline::on(&graph)
+    let session = api::Pipeline::on(&graph)
         .tree(api::TreeSpec::Bfs(layout.connector(0)))
         .build()
         .unwrap();
